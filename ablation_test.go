@@ -1,0 +1,215 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/storage"
+	"repro/locus"
+)
+
+// Ablation benchmarks: turn off individual LOCUS design choices and
+// measure what they buy. These back the design-rationale claims in
+// DESIGN.md rather than a specific paper table.
+
+// BenchmarkAblationOpenOptimizations compares the open protocol with
+// and without the §2.3.3 shortcuts (US-is-SS, CSS-is-SS answer without
+// contacting a third site).
+func BenchmarkAblationOpenOptimizations(b *testing.B) {
+	for _, optimized := range []bool{true, false} {
+		name := "optimized"
+		if !optimized {
+			name = "always-general"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := mustSimple(b, 3)
+			u1 := c.Site(1).Login("u")
+			mustWrite(b, u1, "/f", pageOf('x'))
+			if err := c.Site(1).FS.SetReplication(u1.Cred(), "/f", []locus.SiteID{3}); err != nil {
+				b.Fatal(err)
+			}
+			c.Settle()
+			for _, s := range c.Sites() {
+				c.Site(s).FS.SetOpenOptimizations(optimized)
+			}
+			r, err := c.Site(1).FS.Resolve(u1.Cred(), "/f")
+			if err != nil {
+				b.Fatal(err)
+			}
+			// US=3 stores the latest copy: with optimizations this open
+			// costs 2 messages, without it the CSS polls an SS anyway.
+			start := c.Stats().Msgs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := c.Site(3).FS.OpenID(r.ID, fs.ModeRead)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportSim(b, c, start, int64(b.N))
+		})
+	}
+}
+
+// BenchmarkAblationPathCache compares pathname searching with and
+// without the §2.3.4 zero-message local-directory fast path.
+func BenchmarkAblationPathCache(b *testing.B) {
+	for _, fast := range []bool{true, false} {
+		name := "local-search"
+		if !fast {
+			name = "always-via-css"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := mustSimple(b, 3)
+			u := c.Site(2).Login("u")
+			if err := u.Mkdir("/a"); err != nil {
+				b.Fatal(err)
+			}
+			if err := u.Mkdir("/a/b"); err != nil {
+				b.Fatal(err)
+			}
+			if err := u.Mkdir("/a/b/c"); err != nil {
+				b.Fatal(err)
+			}
+			mustWrite(b, u, "/a/b/c/leaf", []byte("x"))
+			c.Settle()
+			for _, s := range c.Sites() {
+				c.Site(s).FS.SetLocalSearchFastPath(fast)
+			}
+			start := c.Stats().Msgs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Site(2).FS.Resolve(u.Cred(), "/a/b/c/leaf"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportSim(b, c, start, int64(b.N))
+		})
+	}
+}
+
+// BenchmarkAblationPagePropagation compares page-level propagation
+// (the commit notification names the modified pages, §2.3.6) against
+// whole-file pulls for a small update to a large file.
+func BenchmarkAblationPagePropagation(b *testing.B) {
+	for _, pages := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("filepages-%d", pages), func(b *testing.B) {
+			c := mustSimple(b, 2)
+			u1 := c.Site(1).Login("u")
+			big := make([]byte, pages*storage.PageSize)
+			mustWrite(b, u1, "/big", big)
+			if err := c.Site(1).FS.SetReplication(u1.Cred(), "/big", []locus.SiteID{1, 2}); err != nil {
+				b.Fatal(err)
+			}
+			c.Settle()
+			r, err := c.Site(1).FS.Resolve(u1.Cred(), "/big")
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := c.Stats().Msgs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := c.Site(1).FS.OpenID(r.ID, fs.ModeModify)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.WriteAt(pageOf(byte('a'+i%20)), 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+				c.Settle() // pulls exactly the one modified page
+			}
+			b.StopTimer()
+			reportSim(b, c, start, int64(b.N))
+		})
+	}
+}
+
+// TestAblationOpenOptimizationSavesMessages proves the optimized open
+// is strictly cheaper.
+func TestAblationOpenOptimizationSavesMessages(t *testing.T) {
+	measure := func(optimized bool) int64 {
+		c, err := locus.Simple(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		u1 := c.Site(1).Login("u")
+		if err := u1.WriteFile("/f", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Site(1).FS.SetReplication(u1.Cred(), "/f", []locus.SiteID{3}); err != nil {
+			t.Fatal(err)
+		}
+		c.Settle()
+		for _, s := range c.Sites() {
+			c.Site(s).FS.SetOpenOptimizations(optimized)
+		}
+		r, err := c.Site(1).FS.Resolve(u1.Cred(), "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := c.Stats().Msgs
+		f, err := c.Site(3).FS.OpenID(r.ID, fs.ModeRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := c.Stats().Msgs - before
+		f.Close() //nolint:errcheck
+		return msgs
+	}
+	opt := measure(true)
+	gen := measure(false)
+	if opt != 2 {
+		t.Fatalf("optimized US-is-SS open = %d msgs, want 2", opt)
+	}
+	if gen <= opt {
+		t.Fatalf("general open (%d msgs) should cost more than optimized (%d)", gen, opt)
+	}
+}
+
+// TestAblationLocalSearchSavesMessages proves the local-directory fast
+// path eliminates network traffic for local resolution.
+func TestAblationLocalSearchSavesMessages(t *testing.T) {
+	c, err := locus.Simple(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	u := c.Site(2).Login("u")
+	if err := u.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WriteFile("/d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle()
+
+	before := c.Stats().Msgs
+	if _, err := c.Site(2).FS.Resolve(u.Cred(), "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	withFast := c.Stats().Msgs - before
+
+	c.Site(2).FS.SetLocalSearchFastPath(false)
+	before = c.Stats().Msgs
+	if _, err := c.Site(2).FS.Resolve(u.Cred(), "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	withoutFast := c.Stats().Msgs - before
+
+	if withFast != 0 {
+		t.Fatalf("local search with fast path = %d msgs, want 0", withFast)
+	}
+	if withoutFast == 0 {
+		t.Fatalf("disabled fast path should cost messages")
+	}
+}

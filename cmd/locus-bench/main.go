@@ -1,0 +1,59 @@
+// Command locus-bench regenerates the LOCUS paper's figures, tables,
+// and quantitative claims on the simulated substrate and prints them.
+//
+// Usage:
+//
+//	locus-bench            # run every experiment
+//	locus-bench -exp E2    # run one experiment (E1..E10)
+//	locus-bench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+var experiments = map[string]func() *bench.Table{
+	"E1":  bench.E1,
+	"E2":  bench.E2,
+	"E3":  bench.E3,
+	"E4":  bench.E4,
+	"E5":  bench.E5,
+	"E6":  bench.E6,
+	"E7":  bench.E7,
+	"E8":  bench.E8,
+	"E9":  bench.E9,
+	"E10": bench.E10,
+}
+
+var order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (E1..E10)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, id := range order {
+			t := experiments[id]()
+			fmt.Printf("%-4s %s\n", t.ID, t.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		f, ok := experiments[strings.ToUpper(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "locus-bench: unknown experiment %q (E1..E10)\n", *exp)
+			os.Exit(2)
+		}
+		f().Fprint(os.Stdout)
+		return
+	}
+	for _, id := range order {
+		experiments[id]().Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,263 @@
+// Command locus-shell is an interactive shell onto a simulated LOCUS
+// network: a REPL of Unix-flavoured commands executed against the
+// single-system-image filesystem, plus operator commands for
+// partitioning, merging, and inspecting the network.
+//
+// Usage:
+//
+//	locus-shell [-sites N] [-user NAME]
+//
+// Commands (try `help` inside the shell):
+//
+//	ls [path]            cat <path>           write <path> <text...>
+//	mkdir <path>         rm <path>            mv <old> <new>
+//	ln <old> <new>       stat <path>          replicate <path> <site...>
+//	site <n>             sites                partition <a,b|c,d>
+//	merge                settle               conflicts
+//	resolve <id> <site>  mail                 send <user> <text...>
+//	stats                help                 exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/locus"
+)
+
+type shell struct {
+	c        *locus.Cluster
+	sessions map[locus.SiteID]*locus.Session
+	cur      locus.SiteID
+	user     string
+}
+
+func main() {
+	nSites := flag.Int("sites", 3, "number of simulated sites")
+	user := flag.String("user", "operator", "login user")
+	flag.Parse()
+
+	c, err := locus.Simple(*nSites)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locus-shell:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	sh := &shell{c: c, sessions: map[locus.SiteID]*locus.Session{}, cur: 1, user: *user}
+	fmt.Printf("LOCUS shell: %d sites, logged in as %s at site 1. Type 'help'.\n", *nSites, *user)
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("site%d:%s$ ", sh.cur, sh.user)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		args := strings.Fields(line)
+		if args[0] == "exit" || args[0] == "quit" {
+			return
+		}
+		if err := sh.run(args); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func (sh *shell) sess() *locus.Session {
+	s := sh.sessions[sh.cur]
+	if s == nil {
+		s = sh.c.Site(sh.cur).Login(sh.user)
+		sh.sessions[sh.cur] = s
+	}
+	return s
+}
+
+func (sh *shell) run(args []string) error {
+	se := sh.sess()
+	switch args[0] {
+	case "help":
+		fmt.Println("filesystem: ls cat write mkdir rm mv ln stat replicate")
+		fmt.Println("operations: site sites partition merge settle conflicts resolve stats")
+		fmt.Println("mail:       mail send")
+	case "ls":
+		path := "/"
+		if len(args) > 1 {
+			path = args[1]
+		}
+		ents, err := se.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			fmt.Printf("%s\t(inode %d)\n", e.Name, e.Inode)
+		}
+	case "cat":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: cat <path>")
+		}
+		d, err := se.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(d))
+	case "write":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: write <path> <text...>")
+		}
+		return se.WriteFile(args[1], []byte(strings.Join(args[2:], " ")))
+	case "mkdir":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mkdir <path>")
+		}
+		return se.Mkdir(args[1])
+	case "rm":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: rm <path>")
+		}
+		return se.Unlink(args[1])
+	case "mv":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: mv <old> <new>")
+		}
+		return se.Rename(args[1], args[2])
+	case "ln":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: ln <old> <new>")
+		}
+		return se.Link(args[1], args[2])
+	case "stat":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: stat <path>")
+		}
+		ino, err := se.Stat(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inode %d  type %v  size %d  mode %o  links %d  owner %s\n",
+			ino.Num, ino.Type, ino.Size, ino.Mode, ino.Nlink, ino.Owner)
+		fmt.Printf("stored at sites %v  version %v\n", ino.Sites, ino.VV)
+	case "replicate":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: replicate <path> <site...>")
+		}
+		var sites []locus.SiteID
+		for _, a := range args[2:] {
+			n, err := strconv.Atoi(a)
+			if err != nil {
+				return err
+			}
+			sites = append(sites, locus.SiteID(n))
+		}
+		if err := se.SetReplication(args[1], sites...); err != nil {
+			return err
+		}
+		sh.c.Settle()
+	case "site":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: site <n>")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || sh.c.Site(locus.SiteID(n)) == nil {
+			return fmt.Errorf("no such site %q", args[1])
+		}
+		sh.cur = locus.SiteID(n)
+	case "sites":
+		for _, s := range sh.c.Sites() {
+			up := "up"
+			if !sh.c.Network().Up(s) {
+				up = "DOWN"
+			}
+			fmt.Printf("site %d: %s, partition %v\n", s, up, sh.c.Site(s).Topo.Partition())
+		}
+	case "partition":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: partition 1,2|3  (groups separated by |)")
+		}
+		var groups [][]locus.SiteID
+		for _, g := range strings.Split(args[1], "|") {
+			var grp []locus.SiteID
+			for _, a := range strings.Split(g, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(a))
+				if err != nil {
+					return err
+				}
+				grp = append(grp, locus.SiteID(n))
+			}
+			groups = append(groups, grp)
+		}
+		sh.c.Partition(groups...)
+		fmt.Println("partitioned")
+	case "merge":
+		rep, err := sh.c.Merge()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merged: %d dirs merged, %d propagated, %d conflicts, %d deletes undone, %d renames\n",
+			rep.DirsMerged, rep.Propagated, rep.ConflictsReported, rep.DeletesUndone, rep.NameConflicts)
+	case "settle":
+		fmt.Printf("%d propagation pulls\n", sh.c.Settle())
+	case "conflicts":
+		confs := sh.c.Site(sh.cur).Recon.ListConflicts()
+		if len(confs) == 0 {
+			fmt.Println("no conflicts")
+		}
+		for _, cf := range confs {
+			fmt.Printf("%v owner=%s copies=%v\n", cf.ID, cf.Owner, cf.Copies)
+		}
+	case "resolve":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: resolve <inode> <winner-site>")
+		}
+		ino, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		win, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		for _, cf := range sh.c.Site(sh.cur).Recon.ListConflicts() {
+			if int(cf.ID.Inode) == ino {
+				if err := sh.c.Site(sh.cur).Recon.ResolveKeep(cf.ID, locus.SiteID(win)); err != nil {
+					return err
+				}
+				sh.c.Settle()
+				fmt.Println("resolved")
+				return nil
+			}
+		}
+		return fmt.Errorf("no conflict with inode %d", ino)
+	case "mail":
+		msgs, err := se.ReadMail()
+		if err != nil {
+			return err
+		}
+		if len(msgs) == 0 {
+			fmt.Println("no mail")
+		}
+		for _, m := range msgs {
+			fmt.Printf("[%s] from %s: %s\n", m.ID, m.From, m.Body)
+		}
+	case "send":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: send <user> <text...>")
+		}
+		return se.SendMail(args[1], strings.Join(args[2:], " "))
+	case "stats":
+		st := sh.c.Stats()
+		fmt.Printf("messages %d  bytes %d  sim-CPU %dus  sim-disk %dus\n",
+			st.Msgs, st.Bytes, st.CPUUs, st.DiskUs)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", args[0])
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of the LOCUS
+// distributed operating system (Walker, Popek, English, Kline, Thiel —
+// SOSP 1983). The public API lives in package repro/locus; the kernel
+// subsystems are under internal/ (see DESIGN.md for the inventory);
+// bench_test.go regenerates every figure/table in the paper (see
+// EXPERIMENTS.md for paper-vs-measured results).
+package repro

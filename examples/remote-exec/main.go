@@ -1,0 +1,146 @@
+// Remote execution: transparent process creation on any site (§3),
+// heterogeneous load modules through hidden directories (§2.4.1),
+// cross-network signals, named pipes, and simple load balancing — the
+// paper's "primary motivation for remote execution was load balancing"
+// (§6).
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync/atomic"
+
+	"repro/internal/proc"
+	"repro/locus"
+)
+
+func main() {
+	// A mixed machine room: two VAXes and two PDP-11s (the UCLA
+	// configuration before the 11s were decommissioned).
+	c, err := locus.NewCluster(locus.ClusterSpec{
+		Sites: []locus.SiteSpec{
+			{ID: 1, MachineType: "vax"},
+			{ID: 2, MachineType: "vax"},
+			{ID: 3, MachineType: "pdp11"},
+			{ID: 4, MachineType: "pdp11"},
+		},
+		Filegroups: []locus.FilegroupSpec{
+			{ID: 1, MountPath: "/", Replicas: []locus.SiteID{1, 2, 3, 4}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	sess := c.Site(1).Login("operator")
+
+	// /bin/crunch is a hidden directory holding one load module per
+	// machine type; the same command name works on every machine.
+	must(sess.Mkdir("/bin"))
+	must(c.Site(1).FS.MkHidden(sess.Cred(), "/bin/crunch", 0755))
+	must(sess.WriteFile("/bin/crunch@@/vax", []byte("go:crunch-vax\n")))
+	must(sess.WriteFile("/bin/crunch@@/pdp11", []byte("go:crunch-pdp11\n")))
+	must(sess.Mkfifo("/results"))
+	c.Settle()
+
+	// Register the "binaries": each machine type has its own build,
+	// both writing results into the network-wide named pipe.
+	var vaxRuns, pdpRuns atomic.Int64
+	for _, id := range c.Sites() {
+		site := c.Site(id)
+		mt := site.Proc.MachineType()
+		register := func(name string, counter *atomic.Int64) {
+			site.Proc.Register(name, func(ctx *proc.Ctx) int {
+				counter.Add(1)
+				pipe, err := ctx.M.OpenPipe(ctx.Self, "/results", true)
+				if err != nil {
+					return 1
+				}
+				defer pipe.Close() //nolint:errcheck
+				msg := fmt.Sprintf("crunched on site %d (%s)\n", ctx.M.Site(), ctx.M.MachineType())
+				if err := pipe.Write([]byte(msg)); err != nil {
+					return 1
+				}
+				return 0
+			})
+		}
+		if mt == "vax" {
+			register("crunch-vax", &vaxRuns)
+		} else {
+			register("crunch-pdp11", &pdpRuns)
+		}
+	}
+
+	// A reader collects results from the pipe (running at site 2).
+	reader := c.Site(2).Login("collector")
+	rp, err := reader.OpenPipe("/results", false)
+	must(err)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			b, err := rp.Read(256)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				log.Printf("pipe read: %v", err)
+				return
+			}
+			fmt.Print("  result: ", string(b))
+		}
+	}()
+
+	// Hold a writer end open for the whole batch so the pipe does not
+	// deliver EOF between jobs (the usual Unix idiom).
+	holder, err := sess.OpenPipe("/results", true)
+	must(err)
+
+	// Round-robin "load balancer": run eight jobs across all four
+	// machines by setting the advice list before each run.
+	fmt.Println("== dispatching 8 jobs round-robin across 4 heterogeneous sites ==")
+	sites := c.Sites()
+	var pids []proc.PID
+	for i := 0; i < 8; i++ {
+		target := sites[i%len(sites)]
+		sess.SetExecSite(target)
+		pid, err := sess.Run("/bin/crunch")
+		must(err)
+		fmt.Printf("job %d -> process %v\n", i, pid)
+		pids = append(pids, pid)
+	}
+	for _, pid := range pids {
+		if st := sess.Wait(pid); st.Code != 0 {
+			log.Fatalf("job %v failed: %+v", pid, st)
+		}
+	}
+	// Closing the last writer delivers EOF to the reader.
+	must(holder.Close())
+	<-done
+
+	fmt.Printf("== done: %d jobs on VAXes, %d on PDP-11s — same command name everywhere ==\n",
+		vaxRuns.Load(), pdpRuns.Load())
+
+	// Cross-network signal demo: park a service remotely, then stop it.
+	c.Site(4).Proc.Register("service", func(ctx *proc.Ctx) int {
+		sig := <-ctx.Signals()
+		fmt.Printf("service on site 4 got signal %d; shutting down\n", sig)
+		return 0
+	})
+	must(sess.WriteFile("/bin/service", []byte("go:service\n")))
+	c.Settle()
+	sess.SetExecSite(4)
+	pid, err := sess.Run("/bin/service")
+	must(err)
+	must(sess.Signal(pid, proc.SIGTERM))
+	st := sess.Wait(pid)
+	fmt.Printf("service exited with status %d\n", st.Code)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

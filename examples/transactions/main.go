@@ -1,0 +1,91 @@
+// Nested transactions ([MEUL83], §1): bind a set of file updates
+// together so they commit or abort as a unit, run subtransactions that
+// can fail independently, and watch a partition abort the affected
+// transaction subtree (§5.6).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/txn"
+	"repro/locus"
+)
+
+func main() {
+	c, err := locus.Simple(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	teller := c.Site(1).Login("teller")
+	must(teller.Mkdir("/bank"))
+	must(teller.WriteFile("/bank/alice", []byte("100")))
+	must(teller.WriteFile("/bank/bob", []byte("50")))
+	must(teller.WriteFile("/bank/audit.log", []byte("")))
+	c.Settle()
+
+	// --- A transfer that commits atomically across three files.
+	fmt.Println("== transfer 30 alice->bob inside a transaction ==")
+	tx := teller.Begin()
+	must(tx.WriteFile("/bank/alice", []byte("70")))
+	must(tx.WriteFile("/bank/bob", []byte("80")))
+	must(tx.AppendFile("/bank/audit.log", []byte("xfer 30 alice->bob\n")))
+	// Nothing is visible outside until commit.
+	outside, _ := c.Site(2).Login("aud").ReadFile("/bank/alice")
+	fmt.Printf("during txn, site 2 still sees alice=%s\n", outside)
+	must(tx.Commit())
+	c.Settle()
+	a, _ := c.Site(2).Login("aud").ReadFile("/bank/alice")
+	b, _ := c.Site(2).Login("aud").ReadFile("/bank/bob")
+	fmt.Printf("after commit: alice=%s bob=%s\n", a, b)
+
+	// --- Nested subtransactions: the failed leg rolls back alone.
+	fmt.Println("== batch with a failing subtransaction ==")
+	batch := teller.Begin()
+	must(batch.AppendFile("/bank/audit.log", []byte("batch start\n")))
+
+	ok, err := batch.Begin()
+	must(err)
+	must(ok.WriteFile("/bank/alice", []byte("60"))) // fee: 10
+	must(ok.Commit())
+
+	bad, err := batch.Begin()
+	must(err)
+	must(bad.WriteFile("/bank/bob", []byte("-999"))) // invalid!
+	fmt.Println("validation fails; aborting only the bad subtransaction")
+	must(bad.Abort())
+
+	must(batch.Commit())
+	c.Settle()
+	a, _ = teller.ReadFile("/bank/alice")
+	b, _ = teller.ReadFile("/bank/bob")
+	fmt.Printf("after batch: alice=%s (fee applied) bob=%s (bad leg undone)\n", a, b)
+
+	// --- Partition aborts transactions touching lost storage sites.
+	fmt.Println("== partition aborts a transaction whose storage site is lost ==")
+	must(teller.WriteFile("/bank/remote", []byte("remote data")))
+	must(teller.SetReplication("/bank/remote", 3))
+	c.Settle()
+
+	doomed := c.Site(1).Login("teller2").Begin()
+	must(doomed.WriteFile("/bank/remote", []byte("never committed")))
+	c.Partition([]locus.SiteID{1, 2}, []locus.SiteID{3})
+	fmt.Printf("transaction state after partition: %v\n", doomed.State())
+	if err := doomed.Commit(); errors.Is(err, txn.ErrDone) || errors.Is(err, txn.ErrAborted) {
+		fmt.Println("commit refused:", err)
+	}
+	rep, err := c.Merge()
+	must(err)
+	_ = rep
+	v, _ := teller.ReadFile("/bank/remote")
+	fmt.Printf("after merge, /bank/remote = %q (uncommitted update discarded)\n", v)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package cluster assembles a complete simulated LOCUS network: the
+// netsim substrate, one filesystem kernel per site, formatting, and
+// convenience controls for partitioning, crashing, and settling
+// background propagation. It is the common harness for integration
+// tests, examples, and the benchmark suite.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/fs"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+)
+
+// SiteID re-exports the site identifier type.
+type SiteID = fs.SiteID
+
+// Cluster is a running simulated LOCUS network.
+type Cluster struct {
+	Net     *netsim.Network
+	Kernels map[SiteID]*fs.Kernel
+	Cfg     *fs.Config
+	sites   []SiteID
+}
+
+// Options configures cluster construction.
+type Options struct {
+	// Costs is the simulated cost model; zero value means
+	// netsim.DefaultCosts().
+	Costs netsim.CostModel
+}
+
+// SimpleConfig builds a one-filegroup configuration replicated across
+// nSites sites (site ids 1..n), mounted at "/". Each pack gets a
+// 1e6-wide inode allocation range.
+func SimpleConfig(nSites int) *fs.Config {
+	packs := make([]fs.PackDesc, nSites)
+	for i := 0; i < nSites; i++ {
+		packs[i] = fs.PackDesc{
+			Site: SiteID(i + 1),
+			Lo:   storage.InodeNum(i*1_000_000 + 1),
+			Hi:   storage.InodeNum((i + 1) * 1_000_000),
+		}
+	}
+	cfg, err := fs.NewConfig([]fs.FilegroupDesc{{FG: 1, MountPath: "/", Packs: packs}})
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// New builds and formats a cluster from a configuration. All sites
+// named by any pack are created; the first pack of each filegroup
+// formats the root.
+func New(cfg *fs.Config, opts Options) (*Cluster, error) {
+	costs := opts.Costs
+	if costs == (netsim.CostModel{}) {
+		costs = netsim.DefaultCosts()
+	}
+	nw := netsim.New(costs)
+	cl := &Cluster{Net: nw, Kernels: make(map[SiteID]*fs.Kernel), Cfg: cfg}
+	seen := map[SiteID]bool{}
+	for _, d := range cfg.Filegroups {
+		for _, p := range d.Packs {
+			if !seen[p.Site] {
+				seen[p.Site] = true
+				cl.sites = append(cl.sites, p.Site)
+			}
+		}
+	}
+	for _, s := range cl.sites {
+		node := nw.AddSite(s)
+		cl.Kernels[s] = fs.BootSite(node, cfg, nw.Meter(), storage.Costs{
+			DiskUs:  costs.DiskUs,
+			PageCPU: costs.PageCPU,
+		})
+	}
+	if err := fs.Format(cl.Kernels, cfg); err != nil {
+		nw.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// MustNew is New, panicking on error (test/bench setup).
+func MustNew(cfg *fs.Config, opts Options) *Cluster {
+	cl, err := New(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+// Simple builds an n-site single-filegroup cluster.
+func Simple(n int) *Cluster { return MustNew(SimpleConfig(n), Options{}) }
+
+// Close shuts the network down.
+func (c *Cluster) Close() { c.Net.Close() }
+
+// K returns the kernel for a site.
+func (c *Cluster) K(s SiteID) *fs.Kernel { return c.Kernels[s] }
+
+// Sites returns all site ids in ascending order.
+func (c *Cluster) Sites() []SiteID { return append([]SiteID(nil), c.sites...) }
+
+// Settle drains every kernel's propagation queue until the whole
+// network is quiescent. Returns the number of propagation pulls
+// completed.
+func (c *Cluster) Settle() int {
+	total := 0
+	for pass := 0; pass < 100; pass++ {
+		c.Net.Quiesce()
+		n := 0
+		for _, k := range c.Kernels {
+			n += k.DrainPropagation()
+		}
+		total += n
+		if n == 0 {
+			c.Net.Quiesce()
+			pending := 0
+			for _, k := range c.Kernels {
+				pending += k.PendingPropagations()
+			}
+			if pending == 0 {
+				return total
+			}
+		}
+	}
+	return total
+}
+
+// Partition splits the network into groups and installs the matching
+// partition view in every kernel (what the reconfiguration protocols of
+// internal/topology do automatically; tests drive it directly for
+// determinism).
+func (c *Cluster) Partition(groups ...[]SiteID) {
+	c.Net.PartitionGroups(groups...)
+	for _, g := range groups {
+		for _, s := range g {
+			if k := c.Kernels[s]; k != nil {
+				k.CleanupAfterPartitionChange(g)
+			}
+		}
+	}
+}
+
+// Heal restores full connectivity and installs the full-membership view
+// everywhere. Reconciliation (internal/recon) must run afterwards to
+// merge divergent copies; stalled propagations are requeued.
+func (c *Cluster) Heal() {
+	c.Net.HealAll()
+	var up []SiteID
+	for _, s := range c.sites {
+		if c.Net.Up(s) {
+			up = append(up, s)
+		}
+	}
+	for _, s := range up {
+		k := c.Kernels[s]
+		k.CleanupAfterPartitionChange(up)
+		k.RequeueStalledPropagations()
+	}
+}
+
+// Crash takes a site down; surviving kernels get the shrunken view.
+func (c *Cluster) Crash(s SiteID) {
+	c.Net.Crash(s)
+	var up []SiteID
+	for _, x := range c.sites {
+		if c.Net.Up(x) {
+			up = append(up, x)
+		}
+	}
+	for _, x := range up {
+		c.Kernels[x].CleanupAfterPartitionChange(up)
+	}
+}
+
+// Restart brings a crashed site back and rejoins it to the full
+// partition (in-core state at the site was lost with the crash; its
+// disk survived).
+func (c *Cluster) Restart(s SiteID) {
+	c.Net.Restart(s)
+	c.Heal()
+}
+
+// String describes the cluster briefly.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{%d sites, %d filegroups}", len(c.sites), len(c.Cfg.Filegroups))
+}

@@ -1,0 +1,80 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fs"
+	"repro/internal/storage"
+)
+
+func TestSimpleConfigShape(t *testing.T) {
+	cfg := cluster.SimpleConfig(4)
+	d, ok := cfg.FG(1)
+	if !ok || len(d.Packs) != 4 {
+		t.Fatalf("config: %+v ok=%v", d, ok)
+	}
+	// Disjoint inode ranges.
+	for i := 0; i < 3; i++ {
+		if d.Packs[i].Hi >= d.Packs[i+1].Lo {
+			t.Fatalf("pack ranges overlap: %+v", d.Packs)
+		}
+	}
+	if fg, ok := cfg.MountAt("/"); !ok || fg != 1 {
+		t.Fatalf("mount: %v %v", fg, ok)
+	}
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	c := cluster.Simple(3)
+	defer c.Close()
+	if len(c.Sites()) != 3 {
+		t.Fatalf("sites: %v", c.Sites())
+	}
+	k := c.K(1)
+	f, err := k.Create(fs.DefaultCred("u"), "/x", storage.TypeRegular, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAll([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Settle(); n == 0 {
+		t.Fatal("expected propagation pulls")
+	}
+	// Partition + heal round trip keeps state coherent.
+	c.Partition([]cluster.SiteID{1, 2}, []cluster.SiteID{3})
+	if got := c.K(3).Partition(); len(got) != 1 {
+		t.Fatalf("site 3 view: %v", got)
+	}
+	c.Heal()
+	c.Settle()
+	g, err := c.K(3).Open(fs.DefaultCred("u"), "/x", fs.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close() //nolint:errcheck
+	d, err := g.ReadAll()
+	if err != nil || string(d) != "y" {
+		t.Fatalf("read %q %v", d, err)
+	}
+}
+
+func TestCrashRestartLifecycle(t *testing.T) {
+	c := cluster.Simple(2)
+	defer c.Close()
+	c.Crash(2)
+	if c.Net.Up(2) {
+		t.Fatal("site 2 should be down")
+	}
+	if got := c.K(1).Partition(); len(got) != 1 {
+		t.Fatalf("survivor view: %v", got)
+	}
+	c.Restart(2)
+	if got := c.K(1).Partition(); len(got) != 2 {
+		t.Fatalf("after restart: %v", got)
+	}
+}

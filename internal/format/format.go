@@ -1,0 +1,362 @@
+// Package format defines the on-disk serialization of the two system
+// data types LOCUS understands well enough to merge automatically:
+// naming-catalog directories (§4.4) and mailboxes (§4.5).
+//
+// Directories are sets of records mapping one pathname element to an
+// inode number (§4.4: "A directory can be viewed as a set of records,
+// each one containing the character string comprising one element in
+// the path name of a file"). Because reconciliation must propagate
+// deletes performed in another partition, removed entries are retained
+// as tombstones carrying the version vector of the file at the time of
+// the delete; rule (d) of the merge algorithm compares that vector with
+// the file's current vector to decide whether the file was "modified
+// since the delete".
+//
+// The encoding is a deterministic, self-contained binary format
+// (length-prefixed records, entries sorted by name) so that directory
+// pages flow through exactly the same page read/write protocols as
+// ordinary file data.
+package format
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// ErrCorrupt reports undecodable directory or mailbox content.
+var ErrCorrupt = errors.New("format: corrupt serialized data")
+
+const dirMagic = 0x4C44  // "LD": LOCUS directory
+const mailMagic = 0x4C4D // "LM": LOCUS mailbox
+
+// DirEntry is one directory record.
+type DirEntry struct {
+	// Name is the pathname component. Names are unique within a
+	// directory (including tombstones).
+	Name string
+	// Inode is the file descriptor number within the directory's
+	// filegroup.
+	Inode storage.InodeNum
+	// Deleted marks a tombstone: the name was removed, and the fact of
+	// removal must survive for partition merge.
+	Deleted bool
+	// DelVV is, for a tombstone, the version vector of the file at the
+	// time of the delete; the merge rules use it to detect "data has
+	// been modified since the delete".
+	DelVV vclock.VV
+}
+
+// Directory is decoded directory content.
+type Directory struct {
+	Entries []DirEntry // sorted by Name
+}
+
+// Lookup returns the live entry for name, if any.
+func (d *Directory) Lookup(name string) (DirEntry, bool) {
+	i := sort.Search(len(d.Entries), func(i int) bool { return d.Entries[i].Name >= name })
+	if i < len(d.Entries) && d.Entries[i].Name == name && !d.Entries[i].Deleted {
+		return d.Entries[i], true
+	}
+	return DirEntry{}, false
+}
+
+// LookupAny returns the entry for name including tombstones.
+func (d *Directory) LookupAny(name string) (DirEntry, bool) {
+	i := sort.Search(len(d.Entries), func(i int) bool { return d.Entries[i].Name >= name })
+	if i < len(d.Entries) && d.Entries[i].Name == name {
+		return d.Entries[i], true
+	}
+	return DirEntry{}, false
+}
+
+// Live returns the non-tombstone entries, sorted by name.
+func (d *Directory) Live() []DirEntry {
+	out := make([]DirEntry, 0, len(d.Entries))
+	for _, e := range d.Entries {
+		if !e.Deleted {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Insert adds or replaces the entry for name. Inserting over a
+// tombstone resurrects the name. Directory operations are atomic at
+// the entry level (§2.3.4: "no system call does more than just enter,
+// delete, or change an entry within a directory").
+func (d *Directory) Insert(name string, ino storage.InodeNum) {
+	d.put(DirEntry{Name: name, Inode: ino})
+}
+
+// Remove replaces the live entry for name with a tombstone recording
+// the file's version vector at delete time. Removing a missing or
+// already-deleted name reports false.
+func (d *Directory) Remove(name string, fileVV vclock.VV) bool {
+	i := sort.Search(len(d.Entries), func(i int) bool { return d.Entries[i].Name >= name })
+	if i >= len(d.Entries) || d.Entries[i].Name != name || d.Entries[i].Deleted {
+		return false
+	}
+	d.Entries[i].Deleted = true
+	d.Entries[i].DelVV = fileVV.Copy()
+	return true
+}
+
+func (d *Directory) put(e DirEntry) {
+	i := sort.Search(len(d.Entries), func(i int) bool { return d.Entries[i].Name >= e.Name })
+	if i < len(d.Entries) && d.Entries[i].Name == e.Name {
+		d.Entries[i] = e
+		return
+	}
+	d.Entries = append(d.Entries, DirEntry{})
+	copy(d.Entries[i+1:], d.Entries[i:])
+	d.Entries[i] = e
+}
+
+// PutRaw installs an entry verbatim (used by reconciliation to
+// propagate tombstones between copies).
+func (d *Directory) PutRaw(e DirEntry) { d.put(e) }
+
+func appendVV(b []byte, vv vclock.VV) []byte {
+	sites := vv.Sites()
+	b = binary.AppendUvarint(b, uint64(len(sites)))
+	for _, s := range sites {
+		b = binary.AppendUvarint(b, uint64(s))
+		b = binary.AppendUvarint(b, vv.Get(s))
+	}
+	return b
+}
+
+func readVV(b []byte) (vclock.VV, []byte, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, nil, ErrCorrupt
+	}
+	b = b[k:]
+	vv := vclock.New()
+	for i := uint64(0); i < n; i++ {
+		s, k := binary.Uvarint(b)
+		if k <= 0 {
+			return nil, nil, ErrCorrupt
+		}
+		b = b[k:]
+		c, k2 := binary.Uvarint(b)
+		if k2 <= 0 {
+			return nil, nil, ErrCorrupt
+		}
+		b = b[k2:]
+		vv[vclock.SiteID(s)] = c
+	}
+	return vv, b, nil
+}
+
+// EncodeDir serializes a directory.
+func EncodeDir(d *Directory) []byte {
+	b := binary.AppendUvarint(nil, dirMagic)
+	b = binary.AppendUvarint(b, uint64(len(d.Entries)))
+	for _, e := range d.Entries {
+		b = binary.AppendUvarint(b, uint64(len(e.Name)))
+		b = append(b, e.Name...)
+		b = binary.AppendUvarint(b, uint64(e.Inode))
+		if e.Deleted {
+			b = append(b, 1)
+			b = appendVV(b, e.DelVV)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// DecodeDir parses serialized directory content. Empty input decodes
+// as an empty directory (a freshly created directory has no pages).
+func DecodeDir(b []byte) (*Directory, error) {
+	d := &Directory{}
+	if len(b) == 0 {
+		return d, nil
+	}
+	magic, k := binary.Uvarint(b)
+	if k <= 0 || magic != dirMagic {
+		return nil, fmt.Errorf("%w: bad directory magic", ErrCorrupt)
+	}
+	b = b[k:]
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, ErrCorrupt
+	}
+	b = b[k:]
+	for i := uint64(0); i < n; i++ {
+		nameLen, k := binary.Uvarint(b)
+		if k <= 0 || uint64(len(b[k:])) < nameLen {
+			return nil, ErrCorrupt
+		}
+		b = b[k:]
+		name := string(b[:nameLen])
+		b = b[nameLen:]
+		ino, k := binary.Uvarint(b)
+		if k <= 0 || len(b[k:]) < 1 {
+			return nil, ErrCorrupt
+		}
+		b = b[k:]
+		del := b[0] == 1
+		b = b[1:]
+		e := DirEntry{Name: name, Inode: storage.InodeNum(ino), Deleted: del}
+		if del {
+			var err error
+			e.DelVV, b, err = readVV(b)
+			if err != nil {
+				return nil, err
+			}
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	sort.Slice(d.Entries, func(i, j int) bool { return d.Entries[i].Name < d.Entries[j].Name })
+	return d, nil
+}
+
+// Message is one mail message in the default "multiple messages in a
+// single file" mailbox format.
+type Message struct {
+	// ID is a globally unique message id (origin site + sequence),
+	// which is what makes mailbox merge free of name conflicts (§4.5:
+	// "it is easy to arrange for no name conflicts").
+	ID string
+	// From names the sender ("locus-recovery" for conflict mail).
+	From string
+	// Body is the message text.
+	Body string
+	// Deleted marks a tombstone so deletes propagate at merge.
+	Deleted bool
+}
+
+// Mailbox is decoded mailbox content.
+type Mailbox struct {
+	Messages []Message // sorted by ID
+}
+
+// Live returns non-deleted messages, sorted by ID.
+func (m *Mailbox) Live() []Message {
+	out := make([]Message, 0, len(m.Messages))
+	for _, msg := range m.Messages {
+		if !msg.Deleted {
+			out = append(out, msg)
+		}
+	}
+	return out
+}
+
+// Deliver inserts a message (idempotent by ID: redelivery of the same
+// ID is a no-op, and delivery over a tombstone stays deleted).
+func (m *Mailbox) Deliver(msg Message) {
+	i := sort.Search(len(m.Messages), func(i int) bool { return m.Messages[i].ID >= msg.ID })
+	if i < len(m.Messages) && m.Messages[i].ID == msg.ID {
+		return
+	}
+	m.Messages = append(m.Messages, Message{})
+	copy(m.Messages[i+1:], m.Messages[i:])
+	m.Messages[i] = msg
+}
+
+// Delete tombstones a message by ID; reports whether it was live.
+func (m *Mailbox) Delete(id string) bool {
+	i := sort.Search(len(m.Messages), func(i int) bool { return m.Messages[i].ID >= id })
+	if i >= len(m.Messages) || m.Messages[i].ID != id || m.Messages[i].Deleted {
+		return false
+	}
+	m.Messages[i].Deleted = true
+	m.Messages[i].Body = "" // reclaim space; the tombstone needs only the ID
+	return true
+}
+
+// PutRaw installs a message record verbatim (merge use).
+func (m *Mailbox) PutRaw(msg Message) {
+	i := sort.Search(len(m.Messages), func(i int) bool { return m.Messages[i].ID >= msg.ID })
+	if i < len(m.Messages) && m.Messages[i].ID == msg.ID {
+		m.Messages[i] = msg
+		return
+	}
+	m.Messages = append(m.Messages, Message{})
+	copy(m.Messages[i+1:], m.Messages[i:])
+	m.Messages[i] = msg
+}
+
+// EncodeMailbox serializes a mailbox.
+func EncodeMailbox(m *Mailbox) []byte {
+	b := binary.AppendUvarint(nil, mailMagic)
+	b = binary.AppendUvarint(b, uint64(len(m.Messages)))
+	appendStr := func(s string) {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	for _, msg := range m.Messages {
+		appendStr(msg.ID)
+		appendStr(msg.From)
+		appendStr(msg.Body)
+		if msg.Deleted {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// DecodeMailbox parses serialized mailbox content; empty input is an
+// empty mailbox.
+func DecodeMailbox(b []byte) (*Mailbox, error) {
+	m := &Mailbox{}
+	if len(b) == 0 {
+		return m, nil
+	}
+	magic, k := binary.Uvarint(b)
+	if k <= 0 || magic != mailMagic {
+		return nil, fmt.Errorf("%w: bad mailbox magic", ErrCorrupt)
+	}
+	b = b[k:]
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, ErrCorrupt
+	}
+	b = b[k:]
+	readStr := func() (string, error) {
+		l, k := binary.Uvarint(b)
+		if k <= 0 || uint64(len(b[k:])) < l {
+			return "", ErrCorrupt
+		}
+		s := string(b[k : k+int(l)])
+		b = b[k+int(l):]
+		return s, nil
+	}
+	for i := uint64(0); i < n; i++ {
+		var msg Message
+		var err error
+		if msg.ID, err = readStr(); err != nil {
+			return nil, err
+		}
+		if msg.From, err = readStr(); err != nil {
+			return nil, err
+		}
+		if msg.Body, err = readStr(); err != nil {
+			return nil, err
+		}
+		if len(b) < 1 {
+			return nil, ErrCorrupt
+		}
+		msg.Deleted = b[0] == 1
+		b = b[1:]
+		m.Messages = append(m.Messages, msg)
+	}
+	sort.Slice(m.Messages, func(i, j int) bool { return m.Messages[i].ID < m.Messages[j].ID })
+	return m, nil
+}
+
+// ValidName reports whether a pathname component is legal: nonempty, no
+// slash, not "." or "..".
+func ValidName(name string) bool {
+	return name != "" && name != "." && name != ".." && !strings.Contains(name, "/")
+}

@@ -1,0 +1,71 @@
+package format
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: decoding arbitrary bytes must never panic and never
+// return a half-valid structure silently — either a clean error or a
+// structurally sound value. Directory pages travel over the simulated
+// wire and through reconciliation, so the decoder is a trust boundary.
+
+func TestDecodeDirNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := make([]byte, int(n))
+		r.Read(b) //nolint:errcheck // math/rand never fails
+		d, err := DecodeDir(b)
+		if err != nil {
+			return true
+		}
+		// A successful decode must round-trip.
+		b2 := EncodeDir(d)
+		d2, err := DecodeDir(b2)
+		if err != nil {
+			return false
+		}
+		return len(d2.Entries) == len(d.Entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeMailboxNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := make([]byte, int(n))
+		r.Read(b) //nolint:errcheck // math/rand never fails
+		m, err := DecodeMailbox(b)
+		if err != nil {
+			return true
+		}
+		b2 := EncodeMailbox(m)
+		m2, err := DecodeMailbox(b2)
+		if err != nil {
+			return false
+		}
+		return len(m2.Messages) == len(m.Messages)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDirTruncationsAllFailCleanly(t *testing.T) {
+	d := &Directory{}
+	d.Insert("some-name", 42)
+	d.Insert("another", 7)
+	d.Remove("another", nil)
+	enc := EncodeDir(d)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeDir(enc[:cut]); err == nil {
+			// A truncation that still decodes must decode a prefix of
+			// the entries, never garbage; with our length-prefixed
+			// format every strict prefix must fail.
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(enc))
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// BootSite builds the storage for one site per the configuration and
+// returns its filesystem kernel attached to the node. meter may be nil.
+func BootSite(node *netsim.Node, cfg *Config, meter storage.Meter, costs storage.Costs) *Kernel {
+	store := storage.NewStore(node.ID())
+	for _, d := range cfg.Filegroups {
+		for _, p := range d.Packs {
+			if p.Site == node.ID() {
+				store.AddContainer(storage.NewContainer(d.FG, p.Site, p.Lo, p.Hi, meter, costs))
+			}
+		}
+	}
+	return NewKernel(node, store, cfg)
+}
+
+// Format initializes a freshly booted set of kernels: it writes each
+// filegroup's root directory to all of its packs and creates the
+// mount-point directories in parent filegroups. Kernels must cover
+// every pack site in the configuration.
+func Format(kernels map[SiteID]*Kernel, cfg *Config) error {
+	// 1. Root directories, replicated at every pack with a vector
+	// stamped at the first pack (the filegroup's birth site).
+	for _, d := range cfg.Filegroups {
+		first := d.Packs[0].Site
+		root := &storage.Inode{
+			Num:   RootInode,
+			Type:  storage.TypeDirectory,
+			Owner: "root",
+			Mode:  0755,
+			Nlink: 1,
+			Sites: d.PackSites(),
+			VV:    vclock.New().Bump(first),
+		}
+		for _, p := range d.Packs {
+			k := kernels[p.Site]
+			if k == nil {
+				return fmt.Errorf("fs: no kernel for pack site %d of filegroup %d", p.Site, d.FG)
+			}
+			c := k.container(d.FG)
+			if c == nil {
+				return fmt.Errorf("fs: site %d has no container for filegroup %d", p.Site, d.FG)
+			}
+			if c.HasInode(RootInode) {
+				continue // already formatted
+			}
+			if err := c.CommitInode(root); err != nil {
+				return err
+			}
+		}
+	}
+
+	// 2. Mount-point directories, shortest paths first so parents exist.
+	mounts := make([]FilegroupDesc, 0, len(cfg.Filegroups))
+	for _, d := range cfg.Filegroups {
+		if d.MountPath != "/" {
+			mounts = append(mounts, d)
+		}
+	}
+	sort.Slice(mounts, func(i, j int) bool {
+		return strings.Count(mounts[i].MountPath, "/") < strings.Count(mounts[j].MountPath, "/")
+	})
+	cred := DefaultCred("root")
+	for _, d := range mounts {
+		// Any kernel can drive the creation; use the mounted
+		// filegroup's first pack site.
+		k := kernels[d.Packs[0].Site]
+		if _, err := k.Resolve(cred, d.MountPath); err == nil {
+			continue // mount point already resolves (through the mount)
+		}
+		if err := k.Mkdir(cred, d.MountPath, 0755); err != nil {
+			return fmt.Errorf("fs: creating mount point %s: %w", d.MountPath, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package fs
+
+import (
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// CleanupReport summarizes the actions the cleanup procedure took,
+// mirroring the failure-action table of §5.6.
+type CleanupReport struct {
+	// ModifyOpensAborted counts US-side modify handles whose SS was
+	// lost: "Discard pages, set error in local file descriptor".
+	ModifyOpensAborted int
+	// ReadOpensReopened counts read handles transparently switched to
+	// another storage site holding the same version: "Internal close,
+	// attempt to reopen at other site".
+	ReadOpensReopened int
+	// ReadOpensLost counts read handles with no substitute copy.
+	ReadOpensLost int
+	// ServesDiscarded counts SS-side serving states for lost using
+	// sites: "Discard pages, close file and abort updates".
+	ServesDiscarded int
+	// LocksReleased counts CSS lock-table records for lost sites.
+	LocksReleased int
+}
+
+// CleanupAfterPartitionChange installs a new partition view and runs
+// the cleanup procedure of §5.6: every resource in use across a lost
+// circuit is released or failed over, on both the local and remote
+// sides, before normal operation resumes.
+func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupReport {
+	k.SetPartition(newPartition)
+	in := make(map[SiteID]bool, len(newPartition))
+	for _, s := range newPartition {
+		in[s] = true
+	}
+	var rep CleanupReport
+
+	// --- US side: open files whose storage site left the partition.
+	k.mu.Lock()
+	var affected []*File
+	for f := range k.openFiles {
+		if !in[f.ss] && f.ss != k.site {
+			affected = append(affected, f)
+		}
+	}
+	k.mu.Unlock()
+	for _, f := range affected {
+		switch {
+		case f.internal:
+			// Internal opens hold no remote state; nothing to do.
+		case f.mode == ModeModify:
+			// Updates in progress are lost with the storage site.
+			f.stale = true
+			f.dirty = make(map[storage.PageNo]bool)
+			rep.ModifyOpensAborted++
+		default: // ModeRead
+			if k.reopenElsewhere(f) {
+				rep.ReadOpensReopened++
+			} else {
+				f.stale = true
+				rep.ReadOpensLost++
+			}
+		}
+	}
+
+	// --- SS side: serving state for using sites that are gone.
+	k.mu.Lock()
+	type drop struct {
+		id    storage.FileID
+		pages []storage.PhysPage
+	}
+	var drops []drop
+	for id, sv := range k.ssState {
+		if sv.writerUS != vclock.NoSite && !in[sv.writerUS] {
+			var freed []storage.PhysPage
+			if sv.incore != nil {
+				for _, pp := range sv.incore.Pages {
+					if pp != storage.PhysPageNil && !sv.committedPages[pp] {
+						freed = append(freed, pp)
+					}
+				}
+			}
+			sv.writerUS = vclock.NoSite
+			sv.incore = nil
+			sv.committedPages = nil
+			sv.dirty = nil
+			drops = append(drops, drop{id: id, pages: freed})
+			rep.ServesDiscarded++
+		}
+		for us := range sv.readers {
+			if !in[us] {
+				delete(sv.readers, us)
+				rep.ServesDiscarded++
+			}
+		}
+		if sv.writerUS == vclock.NoSite && len(sv.readers) == 0 {
+			delete(k.ssState, id)
+		}
+	}
+
+	// --- CSS side: rebuild the lock table. Entries for filegroups we
+	// no longer synchronize are dropped; records naming lost sites are
+	// released.
+	for id, e := range k.cssState {
+		css, err := k.cssOfLocked(id.FG)
+		if err != nil || css != k.site {
+			delete(k.cssState, id)
+			continue
+		}
+		if e.writerUS == vclock.NoSite && len(e.readers) == 0 {
+			// No ongoing opens: drop the entry so the first open after
+			// the change rebuilds it by polling the packs now in the
+			// partition — the lock-table reconstruction of §5.6, which
+			// is also what detects cross-partition version conflicts.
+			delete(k.cssState, id)
+			continue
+		}
+		if e.writerUS != vclock.NoSite && !in[e.writerUS] {
+			e.writerUS = vclock.NoSite
+			e.writerSS = vclock.NoSite
+			rep.LocksReleased++
+		}
+		if e.writerSS != vclock.NoSite && !in[e.writerSS] {
+			// The storage site serving the writer is gone; the writer's
+			// own cleanup aborts its handle.
+			e.writerUS = vclock.NoSite
+			e.writerSS = vclock.NoSite
+			rep.LocksReleased++
+		}
+		for us := range e.readers {
+			if !in[us] || !in[e.readerSS[us]] {
+				delete(e.readers, us)
+				delete(e.readerSS, us)
+				rep.LocksReleased++
+			}
+		}
+	}
+	k.mu.Unlock()
+
+	for _, d := range drops {
+		if c := k.container(d.id.FG); c != nil && len(d.pages) > 0 {
+			c.FreePages(d.pages...)
+		}
+	}
+	return rep
+}
+
+// cssOfLocked is CSSOf without taking k.mu (caller holds it).
+func (k *Kernel) cssOfLocked(fg storage.FilegroupID) (SiteID, error) {
+	d, ok := k.cfg.FG(fg)
+	if !ok {
+		return 0, ErrNoCSS
+	}
+	inPart := func(s SiteID) bool {
+		for _, x := range k.partition {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	var best SiteID
+	for _, p := range d.Packs {
+		if inPart(p.Site) && (best == 0 || p.Site < best) {
+			best = p.Site
+		}
+	}
+	if best == 0 {
+		return 0, ErrNoCSS
+	}
+	return best, nil
+}
+
+// reopenElsewhere tries to substitute another storage site holding the
+// same version of the file for a read handle whose SS vanished ("If a
+// process loses contact with a file it was reading remotely, the
+// system will attempt to reopen a different copy of the same version"
+// — §5.1).
+func (k *Kernel) reopenElsewhere(f *File) bool {
+	g, err := k.OpenID(f.id, ModeRead)
+	if err != nil {
+		return false
+	}
+	// Same version required: the paper substitutes only equal versions
+	// for a continuing read.
+	if !g.ino.VV.Equal(f.ino.VV) {
+		g.Close() //nolint:errcheck // substitute rejected
+		return false
+	}
+	f.ss = g.ss
+	f.ino = g.ino
+	// Transfer the registration made by g to f and retire g silently.
+	k.mu.Lock()
+	delete(k.openFiles, g)
+	g.closed = true
+	k.mu.Unlock()
+	return true
+}

@@ -1,0 +1,51 @@
+package fs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fs"
+)
+
+func TestPropagationDaemonDrivesReplication(t *testing.T) {
+	c := newCluster(t, 3)
+	for _, k := range c.kernels {
+		k.StartPropagationDaemon(time.Millisecond)
+		defer k.StopPropagationDaemon()
+	}
+	writeFile(t, c.kernels[1], "/f", []byte("auto"))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := true
+		for s := fs.SiteID(1); s <= 3; s++ {
+			f, err := c.kernels[s].Open(cred(), "/f", fs.ModeRead)
+			if err != nil {
+				ok = false
+				break
+			}
+			d, err := f.ReadAll()
+			f.Close() //nolint:errcheck
+			if err != nil || string(d) != "auto" || f.SS() != s {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return // every site serves its own current copy
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not replicate /f to all sites")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestPropagationDaemonIdempotentStartStop(t *testing.T) {
+	c := newCluster(t, 1)
+	k := c.kernels[1]
+	k.StartPropagationDaemon(time.Millisecond)
+	k.StartPropagationDaemon(time.Millisecond) // no double start
+	k.StopPropagationDaemon()
+	k.StopPropagationDaemon() // no double close panic
+}

@@ -1,0 +1,219 @@
+package fs_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/storage"
+)
+
+func TestReadaheadHalvesSequentialReadMessages(t *testing.T) {
+	c := newCluster(t, 2)
+	data := bytes.Repeat([]byte{'s'}, 8*storage.PageSize)
+	writeFile(t, c.kernels[1], "/seq", data)
+	if err := c.kernels[1].SetReplication(cred(), "/seq", []fs.SiteID{1}); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(t)
+
+	scan := func(readahead bool) int64 {
+		f, err := c.kernels[2].Open(cred(), "/seq", fs.ModeRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close() //nolint:errcheck
+		f.SetReadahead(readahead)
+		before := c.net.Stats()
+		buf := make([]byte, storage.PageSize)
+		for pn := 0; pn < 8; pn++ {
+			if _, err := f.ReadAt(buf, int64(pn)*storage.PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.net.Stats().Sub(before).Msgs
+	}
+	plain := scan(false)
+	ra := scan(true)
+	if plain != 16 {
+		t.Fatalf("plain sequential scan = %d msgs, want 16 (2/page)", plain)
+	}
+	// With piggybacked readahead every second page is already cached:
+	// 4 exchanges = 8 messages.
+	if ra != 8 {
+		t.Fatalf("readahead scan = %d msgs, want 8", ra)
+	}
+	// Content correctness with readahead.
+	f, err := c.kernels[2].Open(cred(), "/seq", fs.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close() //nolint:errcheck
+	f.SetReadahead(true)
+	got, err := f.ReadAll()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("readahead content mismatch (%d vs %d bytes), err=%v", len(got), len(data), err)
+	}
+}
+
+func TestReadaheadWriterSeesOwnWrites(t *testing.T) {
+	c := newCluster(t, 2)
+	writeFile(t, c.kernels[1], "/f", bytes.Repeat([]byte{'a'}, 2*storage.PageSize))
+	if err := c.kernels[1].SetReplication(cred(), "/f", []fs.SiteID{1}); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(t)
+	w, err := c.kernels[2].Open(cred(), "/f", fs.ModeModify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close() //nolint:errcheck
+	w.SetReadahead(true)
+	buf := make([]byte, 4)
+	if _, err := w.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt([]byte("ZZZZ"), storage.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ReadAt(buf, storage.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ZZZZ" {
+		t.Fatalf("writer read %q through readahead handle, want ZZZZ", buf)
+	}
+}
+
+func TestPathShippingResolvesRemoteTreeInOneExchange(t *testing.T) {
+	// A deep tree stored only at site 1; site 2 resolves it.
+	packs := []fs.PackDesc{{Site: 1, Lo: 1, Hi: 1000}, {Site: 2, Lo: 1001, Hi: 2000}}
+	cfg, err := fs.NewConfig([]fs.FilegroupDesc{{FG: 1, MountPath: "/", Packs: packs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newClusterCfg(t, cfg)
+	k1, k2 := c.kernels[1], c.kernels[2]
+	for _, d := range []string{"/a", "/a/b", "/a/b/c", "/a/b/c/d"} {
+		if err := k1.Mkdir(cred(), d, 0755); err != nil {
+			t.Fatal(err)
+		}
+		if err := k1.SetReplication(cred(), d, []fs.SiteID{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(t, k1, "/a/b/c/d/leaf", []byte("deep"))
+	if err := k1.SetReplication(cred(), "/a/b/c/d/leaf", []fs.SiteID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.SetReplication(cred(), "/", []fs.SiteID{1}); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(t)
+
+	// Baseline: remote walk.
+	before := c.net.Stats()
+	r1, err := k2.Resolve(cred(), "/a/b/c/d/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainMsgs := c.net.Stats().Sub(before).Msgs
+
+	// Shipped: CSS (site 1) stores the whole tree, so one exchange
+	// resolves everything.
+	k2.SetPathShipping(true)
+	before = c.net.Stats()
+	r2, err := k2.Resolve(cred(), "/a/b/c/d/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipMsgs := c.net.Stats().Sub(before).Msgs
+
+	if r1.ID != r2.ID || r2.Type != storage.TypeRegular {
+		t.Fatalf("shipped resolution differs: %+v vs %+v", r1, r2)
+	}
+	if shipMsgs != 2 {
+		t.Fatalf("shipped resolve = %d msgs, want 2 (one exchange)", shipMsgs)
+	}
+	if plainMsgs <= shipMsgs {
+		t.Fatalf("plain walk (%d msgs) should cost more than shipping (%d)", plainMsgs, shipMsgs)
+	}
+}
+
+func TestPathShippingMatchesPlainResolutionEverywhere(t *testing.T) {
+	// Equivalence check across a mixed tree (local dirs, remote dirs,
+	// hidden dirs, mounts).
+	packs1 := []fs.PackDesc{{Site: 1, Lo: 1, Hi: 1000}, {Site: 2, Lo: 1001, Hi: 2000}}
+	packs2 := []fs.PackDesc{{Site: 2, Lo: 1, Hi: 1000}}
+	cfg, err := fs.NewConfig([]fs.FilegroupDesc{
+		{FG: 1, MountPath: "/", Packs: packs1},
+		{FG: 2, MountPath: "/vol", Packs: packs2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newClusterCfg(t, cfg)
+	k1 := c.kernels[1]
+	if err := k1.Mkdir(cred(), "/bin", 0755); err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.MkHidden(cred(), "/bin/tool", 0755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, k1, "/bin/tool@@/vax", []byte("vax tool"))
+	writeFile(t, k1, "/vol/data", []byte("mounted"))
+	c.settle(t)
+
+	hidden := &fs.Cred{User: "u", HiddenCtx: []string{"vax"}}
+	paths := []struct {
+		p    string
+		cred *fs.Cred
+	}{
+		{"/bin", cred()},
+		{"/bin/tool", hidden},
+		{"/bin/tool@@", cred()},
+		{"/bin/tool@@/vax", cred()},
+		{"/vol", cred()},
+		{"/vol/data", cred()},
+	}
+	for _, k := range []*fs.Kernel{k1, c.kernels[2]} {
+		for _, tc := range paths {
+			plain, err1 := k.Resolve(tc.cred, tc.p)
+			k.SetPathShipping(true)
+			shipped, err2 := k.Resolve(tc.cred, tc.p)
+			k.SetPathShipping(false)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("site %d %s: plain err=%v shipped err=%v", k.Site(), tc.p, err1, err2)
+			}
+			if err1 == nil && (plain.ID != shipped.ID || plain.Type != shipped.Type) {
+				t.Fatalf("site %d %s: plain %+v shipped %+v", k.Site(), tc.p, plain, shipped)
+			}
+		}
+		// Errors agree too.
+		k.SetPathShipping(true)
+		_, errShip := k.Resolve(cred(), "/bin/missing")
+		k.SetPathShipping(false)
+		if !errors.Is(errShip, fs.ErrNotFound) {
+			t.Fatalf("site %d: shipped missing-name error = %v", k.Site(), errShip)
+		}
+	}
+}
+
+func TestMknodAnnotations(t *testing.T) {
+	c := newCluster(t, 2)
+	k := c.kernels[1]
+	if err := k.Mknod(cred(), "/dev-lp", 2, "lineprinter", 0666); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(t)
+	ino, err := c.kernels[2].Stat(cred(), "/dev-lp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ino.Type != storage.TypeDevice {
+		t.Fatalf("type = %v", ino.Type)
+	}
+	if ino.Annotations[fs.DevSiteAnnotation] != "2" || ino.Annotations[fs.DevNameAnnotation] != "lineprinter" {
+		t.Fatalf("annotations = %v", ino.Annotations)
+	}
+}

@@ -1,0 +1,642 @@
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// pageSpan computes the logical pages covering [off, off+n).
+func pageSpan(off int64, n int) (first, last storage.PageNo) {
+	first = storage.PageNo(off / storage.PageSize)
+	last = storage.PageNo((off + int64(n) - 1) / storage.PageSize)
+	return first, last
+}
+
+// ReadAt reads up to len(p) bytes at offset off, returning the count
+// read. Reads past end of file return a short count (0 at or past EOF).
+// Data is fetched page-at-a-time: locally through the container, or
+// with the two-message network read protocol of §2.3.3.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if f.stale {
+		return 0, fmt.Errorf("%w: %v", ErrStale, f.id)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("fs: negative offset %d", off)
+	}
+	// For the writer, EOF is the in-core size this handle maintains;
+	// for readers it is discovered from the SS per page.
+	size := f.ino.Size
+	total := 0
+	for total < len(p) {
+		cur := off + int64(total)
+		if cur >= size && f.mode == ModeModify {
+			break
+		}
+		pn := storage.PageNo(cur / storage.PageSize)
+		data, ssSize, err := f.fetchPage(pn)
+		if err != nil {
+			return total, err
+		}
+		size = ssSize
+		if f.mode != ModeModify {
+			f.ino.Size = ssSize
+		}
+		if cur >= size {
+			break
+		}
+		pageOff := int(cur % storage.PageSize)
+		avail := int64(len(data)) - int64(pageOff)
+		if rem := size - (cur - int64(pageOff)); rem < int64(len(data)) {
+			avail = rem - int64(pageOff)
+		}
+		if avail <= 0 {
+			break
+		}
+		n := copy(p[total:], data[pageOff:int64(pageOff)+avail])
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+// fetchPage returns one logical page and the file size at the SS.
+func (f *File) fetchPage(pn storage.PageNo) ([]byte, int64, error) {
+	k := f.k
+	incore := f.mode == ModeModify
+	if f.ss == k.site {
+		return k.localPage(f.id, pn, incore, f.us)
+	}
+	if !incore && f.raPage.valid && f.raPage.pn == pn {
+		// Readahead hit: the page arrived with the previous response.
+		f.raPage.valid = false
+		return f.raPage.data, f.raPage.size, nil
+	}
+	resp, err := k.node.Call(f.ss, mRead, &readReq{ID: f.id, Page: pn, Incore: incore, Readahead: f.readahead && !incore})
+	if err != nil {
+		return nil, 0, err
+	}
+	r := resp.(*readResp)
+	if r.Next != nil {
+		f.raPage.pn = pn + 1
+		f.raPage.data = r.Next
+		f.raPage.size = r.Size
+		f.raPage.valid = true
+	}
+	if r.EOF {
+		return make([]byte, storage.PageSize), r.Size, nil
+	}
+	return r.Data, r.Size, nil
+}
+
+// localPage serves a page at the storage site: from the writer's
+// in-core (shadowed) inode when incore is set and the requester is the
+// writer, otherwise from the committed disk inode.
+func (k *Kernel) localPage(id storage.FileID, pn storage.PageNo, incore bool, us SiteID) ([]byte, int64, error) {
+	c := k.container(id.FG)
+	if c == nil {
+		return nil, 0, fmt.Errorf("%w: %v at site %d", ErrNoStorageSite, id, k.site)
+	}
+	var ino *storage.Inode
+	if incore {
+		k.mu.Lock()
+		sv := k.ssState[id]
+		if sv != nil && sv.writerUS == us && sv.incore != nil {
+			ino = sv.incore.Clone()
+		}
+		k.mu.Unlock()
+	}
+	if ino == nil {
+		var err error
+		ino, err = c.GetInode(id.Inode)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if int(pn) >= len(ino.Pages) {
+		return make([]byte, storage.PageSize), ino.Size, nil
+	}
+	pp := ino.Pages[pn]
+	if pp == storage.PhysPageNil {
+		return make([]byte, storage.PageSize), ino.Size, nil
+	}
+	data, err := c.ReadPage(pp)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, ino.Size, nil
+}
+
+func (k *Kernel) handleRead(from SiteID, p any) (any, error) {
+	req := p.(*readReq)
+	data, size, err := k.localPage(req.ID, req.Page, req.Incore, from)
+	if err != nil {
+		return nil, err
+	}
+	resp := &readResp{Data: data, Size: size}
+	if req.Readahead {
+		// Piggyback the next page while it is cheap to fetch (the SS's
+		// own readahead has likely staged it).
+		if next, _, err := k.localPage(req.ID, req.Page+1, req.Incore, from); err == nil {
+			if int64(req.Page+1)*storage.PageSize < size {
+				resp.Next = next
+			}
+		}
+	}
+	return resp, nil
+}
+
+// WriteAt writes p at offset off through a modify-mode handle. Whole
+// pages are shipped with the one-message write protocol (§2.3.5);
+// partial pages are first read with the read protocol, merged, and
+// shipped whole.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if f.stale {
+		return 0, fmt.Errorf("%w: %v", ErrStale, f.id)
+	}
+	if f.mode != ModeModify {
+		return 0, ErrReadOnly
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("fs: negative offset %d", off)
+	}
+	total := 0
+	for total < len(p) {
+		cur := off + int64(total)
+		pn := storage.PageNo(cur / storage.PageSize)
+		pageOff := int(cur % storage.PageSize)
+		n := storage.PageSize - pageOff
+		if n > len(p)-total {
+			n = len(p) - total
+		}
+		var page []byte
+		if pageOff == 0 && n == storage.PageSize {
+			// Entire page changes: no read needed (§2.3.5).
+			page = p[total : total+n]
+		} else {
+			// Partial page: read-merge-write.
+			old, _, err := f.fetchPage(pn)
+			if err != nil {
+				return total, err
+			}
+			page = old
+			copy(page[pageOff:], p[total:total+n])
+		}
+		newSize := f.ino.Size
+		if end := cur + int64(n); end > newSize {
+			newSize = end
+		}
+		if err := f.sendWrite(pn, page, newSize); err != nil {
+			return total, err
+		}
+		f.ino.Size = newSize
+		f.dirty[pn] = true
+		f.raPage.valid = false // writes invalidate the readahead page
+		total += n
+	}
+	return total, nil
+}
+
+// Append writes p at the current end of file.
+func (f *File) Append(p []byte) (int, error) { return f.WriteAt(p, f.ino.Size) }
+
+func (f *File) sendWrite(pn storage.PageNo, page []byte, size int64) error {
+	k := f.k
+	req := &writeReq{ID: f.id, Page: pn, Data: append([]byte(nil), page...), Size: size}
+	if f.ss == k.site {
+		_, err := k.applyWrite(k.site, req)
+		return err
+	}
+	return k.node.Cast(f.ss, mWrite, req)
+}
+
+// applyWrite is the SS side of the write protocol: allocate a shadow
+// page, install it in the in-core inode. "The entire shadow page
+// mechanism is implemented at the SS and is transparent to the US"
+// (§2.3.6).
+func (k *Kernel) applyWrite(from SiteID, req *writeReq) (any, error) {
+	c := k.container(req.ID.FG)
+	if c == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoStorageSite, req.ID)
+	}
+	k.mu.Lock()
+	sv := k.ssState[req.ID]
+	if sv == nil || sv.writerUS != from || sv.incore == nil {
+		k.mu.Unlock()
+		// The modify open is gone (e.g. cleaned up after a partition
+		// change); the one-way write is dropped, and the US will learn
+		// at commit/close.
+		return nil, nil
+	}
+	ino := sv.incore
+	if req.Data == nil {
+		// Truncate: shrink the page table, freeing shadow pages past
+		// the new end (committed pages are freed only by commit).
+		nPages := int((req.Size + storage.PageSize - 1) / storage.PageSize)
+		var drop []storage.PhysPage
+		for i := nPages; i < len(ino.Pages); i++ {
+			if pp := ino.Pages[i]; pp != storage.PhysPageNil && !sv.committedPages[pp] {
+				drop = append(drop, pp)
+			}
+		}
+		ino.Pages = ino.Pages[:min(nPages, len(ino.Pages))]
+		ino.Size = req.Size
+		sv.truncated = true
+		k.mu.Unlock()
+		c.FreePages(drop...)
+		return nil, nil
+	}
+	k.mu.Unlock()
+
+	// If this logical page was already shadowed during this modify
+	// session, reuse the shadow page in place (§2.3.6: "After the first
+	// time the page is modified, it is marked as being a shadow page
+	// and reused in place").
+	k.mu.Lock()
+	var reuse storage.PhysPage
+	if int(req.Page) < len(ino.Pages) {
+		if pp := ino.Pages[req.Page]; pp != storage.PhysPageNil && !sv.committedPages[pp] {
+			reuse = pp
+		}
+	}
+	k.mu.Unlock()
+
+	pp, err := c.WritePage(req.Data)
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.ssState[req.ID] != sv || sv.writerUS != from {
+		// Serving state torn down while we wrote: discard the page.
+		c.FreePages(pp)
+		return nil, nil
+	}
+	for int(req.Page) >= len(ino.Pages) {
+		ino.Pages = append(ino.Pages, storage.PhysPageNil)
+	}
+	ino.Pages[req.Page] = pp
+	if reuse != storage.PhysPageNil {
+		c.FreePages(reuse)
+	}
+	ino.Size = req.Size
+	sv.dirty[req.Page] = true
+	return nil, nil
+}
+
+func (k *Kernel) handleWrite(from SiteID, p any) (any, error) {
+	return k.applyWrite(from, p.(*writeReq))
+}
+
+// Truncate sets the file size (shrinking drops whole pages past the new
+// end). Implemented as an in-core inode update committed like any other
+// modification.
+func (f *File) Truncate(size int64) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if f.mode != ModeModify {
+		return ErrReadOnly
+	}
+	if size < 0 {
+		return fmt.Errorf("fs: negative size %d", size)
+	}
+	// Data == nil marks a truncate in the write protocol.
+	k := f.k
+	req := &writeReq{ID: f.id, Page: 0, Data: nil, Size: size}
+	var err error
+	if f.ss == k.site {
+		_, err = k.applyWrite(k.site, req)
+	} else {
+		err = k.node.Cast(f.ss, mWrite, req)
+	}
+	if err != nil {
+		return err
+	}
+	f.ino.Size = size
+	f.dirty[0] = true
+	return nil
+}
+
+// Commit atomically commits all changes made through this handle since
+// the last commit (§2.3.6). On return the new version is durable at
+// the SS and propagation to the other storage sites has been scheduled.
+func (f *File) Commit() error {
+	return f.commitOrAbort(false)
+}
+
+// Abort undoes all changes back to the previous commit point.
+func (f *File) Abort() error {
+	return f.commitOrAbort(true)
+}
+
+func (f *File) commitOrAbort(abort bool) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if f.stale {
+		return fmt.Errorf("%w: %v", ErrStale, f.id)
+	}
+	if f.mode != ModeModify {
+		return ErrReadOnly
+	}
+	k := f.k
+	req := &commitReq{ID: f.id, US: f.us, Abort: abort}
+	var resp any
+	var err error
+	if f.ss == k.site {
+		resp, err = k.handleCommit(k.site, req)
+	} else {
+		resp, err = k.node.Call(f.ss, mCommit, req)
+	}
+	if err != nil {
+		return err
+	}
+	r := resp.(*commitResp)
+	f.ino.VV = r.VV.Copy()
+	if abort {
+		// Reload the committed inode image.
+		f.refreshFromSS()
+	}
+	f.dirty = make(map[storage.PageNo]bool)
+	return nil
+}
+
+func (f *File) refreshFromSS() {
+	k := f.k
+	if f.ss == k.site {
+		if c := k.container(f.id.FG); c != nil {
+			if ino, err := c.GetInode(f.id.Inode); err == nil {
+				f.ino = ino
+			}
+		}
+		return
+	}
+	if resp, err := k.node.Call(f.ss, mPullOpen, &pullOpenReq{ID: f.id}); err == nil {
+		f.ino = resp.(*pullOpenResp).Ino.Clone()
+	}
+}
+
+// handleCommit is the SS side of commit/abort. Commit installs the
+// in-core inode as the disk inode (atomic), bumps the version vector at
+// this site, and notifies the file's other storage sites and the CSS
+// (§2.3.6). Abort discards the in-core state and frees shadow pages.
+func (k *Kernel) handleCommit(from SiteID, p any) (any, error) {
+	req := p.(*commitReq)
+	c := k.container(req.ID.FG)
+	if c == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoStorageSite, req.ID)
+	}
+	k.mu.Lock()
+	sv := k.ssState[req.ID]
+	if sv == nil || sv.writerUS != from || sv.incore == nil {
+		k.mu.Unlock()
+		return nil, fmt.Errorf("%w: no modify open of %v from site %d", ErrStale, req.ID, from)
+	}
+	if req.Abort {
+		// Free shadow pages; keep serving state for further writes.
+		var drop []storage.PhysPage
+		for _, pp := range sv.incore.Pages {
+			if pp != storage.PhysPageNil && !sv.committedPages[pp] {
+				drop = append(drop, pp)
+			}
+		}
+		k.mu.Unlock()
+		c.FreePages(drop...)
+		ino, err := c.GetInode(req.ID.Inode)
+		if err != nil {
+			return nil, err
+		}
+		k.mu.Lock()
+		sv.incore = ino.Clone()
+		sv.committedPages = pageSet(ino.Pages)
+		sv.dirty = make(map[storage.PageNo]bool)
+		k.mu.Unlock()
+		return &commitResp{VV: ino.VV.Copy()}, nil
+	}
+
+	// Commit: bump the version vector at this (storage) site and move
+	// the in-core inode to the disk inode.
+	sv.incore.VV = sv.incore.VV.Copy().Bump(k.site)
+	ino := sv.incore.Clone()
+	var pages []storage.PageNo
+	if !sv.truncated {
+		pages = make([]storage.PageNo, 0, len(sv.dirty))
+		for pn := range sv.dirty {
+			pages = append(pages, pn)
+		}
+	}
+	sv.dirty = make(map[storage.PageNo]bool)
+	sv.truncated = false
+	k.mu.Unlock()
+
+	if err := c.CommitInode(ino); err != nil {
+		return nil, err
+	}
+
+	k.mu.Lock()
+	sv.committedPages = pageSet(ino.Pages)
+	k.mu.Unlock()
+
+	k.notifyCommit(req.ID, ino, pages)
+	return &commitResp{VV: ino.VV.Copy()}, nil
+}
+
+// notifyCommit sends the one-way commit notifications: to every other
+// storage site of the file so they pull the new version, and to the
+// CSS so its latest-version knowledge stays current.
+func (k *Kernel) notifyCommit(id storage.FileID, ino *storage.Inode, pages []storage.PageNo) {
+	note := &propNotify{
+		ID: id, VV: ino.VV.Copy(), Origin: k.site,
+		Pages: pages, Sites: ino.Sites,
+		InodeOnly: pages != nil && len(pages) == 0,
+	}
+	if ino.Deleted {
+		note.Pages = nil // deletes always ship the whole (empty) state
+	}
+	sent := map[SiteID]bool{k.site: true}
+	for _, s := range ino.Sites {
+		if !sent[s] && k.inPartition(s) {
+			sent[s] = true
+			k.node.Cast(s, mPropNotify, note) //nolint:errcheck // unreachable peers pull at merge
+		}
+	}
+	if css, err := k.CSSOf(id.FG); err == nil && !sent[css] {
+		k.node.Cast(css, mPropNotify, note) //nolint:errcheck // see above
+	}
+	// The committing site applies its own notification locally (updates
+	// CSS knowledge if this site is the CSS; the pull is a no-op since
+	// our copy is the new version).
+	k.applyPropNotify(k.site, note)
+}
+
+// Close closes the handle. Closing a modify handle first commits
+// outstanding changes ("closing a file commits it" — §2.3.6), then
+// runs the 4-message close protocol of §2.3.3 so the SS and CSS can
+// deallocate in-core state. Internal opens close with no messages.
+func (f *File) Close() error {
+	if f.closed {
+		return ErrClosed
+	}
+	k := f.k
+	defer func() {
+		f.closed = true
+		k.mu.Lock()
+		delete(k.openFiles, f)
+		k.mu.Unlock()
+	}()
+
+	if f.stale {
+		return nil // error already delivered through the descriptor
+	}
+	if f.mode == ModeModify && len(f.dirty) > 0 {
+		if err := f.Commit(); err != nil {
+			return err
+		}
+	}
+	if f.internal {
+		return nil
+	}
+	req := &closeReq{ID: f.id, US: f.us, Mode: f.mode}
+	var err error
+	if f.ss == k.site {
+		_, err = k.handleClose(k.site, req)
+	} else {
+		_, err = k.node.Call(f.ss, mClose, req)
+	}
+	return err
+}
+
+// handleClose is the SS side of the close protocol: release serving
+// state, then inform the CSS (the response ordering fixes the reopen
+// race described in the paper's close footnote).
+func (k *Kernel) handleClose(from SiteID, p any) (any, error) {
+	req := p.(*closeReq)
+	k.mu.Lock()
+	sv := k.ssState[req.ID]
+	var freed []storage.PhysPage
+	if sv != nil {
+		if req.Mode == ModeModify && sv.writerUS == from {
+			// Uncommitted changes at close are discarded (the US
+			// commits before closing in the normal path).
+			if sv.incore != nil {
+				for _, pp := range sv.incore.Pages {
+					if pp != storage.PhysPageNil && !sv.committedPages[pp] {
+						freed = append(freed, pp)
+					}
+				}
+			}
+			sv.writerUS = vclock.NoSite
+			sv.incore = nil
+			sv.committedPages = nil
+			sv.dirty = nil
+		} else if req.Mode == ModeRead {
+			if sv.readers[from] > 1 {
+				sv.readers[from]--
+			} else {
+				delete(sv.readers, from)
+			}
+		}
+		if sv.writerUS == vclock.NoSite && len(sv.readers) == 0 {
+			delete(k.ssState, req.ID)
+		}
+	}
+	k.mu.Unlock()
+	if len(freed) > 0 {
+		if c := k.container(req.ID.FG); c != nil {
+			c.FreePages(freed...)
+		}
+	}
+
+	// Tell the CSS so it can deallocate in-core state and update
+	// synchronization information; we respond to the US only after the
+	// CSS has answered, closing the reopen race.
+	css, err := k.CSSOf(req.ID.FG)
+	if err != nil {
+		return nil, nil // no CSS in partition: nothing to tell
+	}
+	screq := &ssCloseReq{ID: req.ID, SS: k.site, US: from, Mode: req.Mode}
+	if c := k.container(req.ID.FG); c != nil {
+		if ino, err := c.GetInode(req.ID.Inode); err == nil {
+			screq.VV = ino.VV
+			screq.Sites = ino.Sites
+		}
+	}
+	if css == k.site {
+		return k.handleSSClose(k.site, screq)
+	}
+	if _, err := k.node.Call(css, mSSClose, screq); err != nil {
+		return nil, nil // CSS unreachable: partition cleanup will fix the lock table
+	}
+	return nil, nil
+}
+
+// handleSSClose is the CSS side of the close protocol.
+func (k *Kernel) handleSSClose(_ SiteID, p any) (any, error) {
+	req := p.(*ssCloseReq)
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e := k.cssState[req.ID]
+	if e == nil {
+		return nil, nil
+	}
+	// Absorb the closing SS's version knowledge before releasing any
+	// lock, so the next open synchronizes against the new version even
+	// if the commit notification cast is still in flight.
+	if req.VV != nil && req.VV.Compare(e.latestVV) == vclock.Dominates {
+		e.latestVV = req.VV.Copy()
+		if req.Sites != nil {
+			e.sites = append([]SiteID(nil), req.Sites...)
+		}
+	}
+	if req.Mode == ModeModify && e.writerUS == req.US {
+		e.writerUS = vclock.NoSite
+		e.writerSS = vclock.NoSite
+	} else if req.Mode == ModeRead {
+		if e.readers[req.US] > 1 {
+			e.readers[req.US]--
+		} else {
+			delete(e.readers, req.US)
+			delete(e.readerSS, req.US)
+		}
+	}
+	return nil, nil
+}
+
+// ReadAll reads the whole file through the handle.
+func (f *File) ReadAll() ([]byte, error) {
+	size := f.ino.Size
+	buf := make([]byte, size)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// WriteAll truncates the file to exactly p and leaves it uncommitted.
+func (f *File) WriteAll(p []byte) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	_, err := f.WriteAt(p, 0)
+	return err
+}

@@ -1,0 +1,504 @@
+// Package fs implements the LOCUS distributed filesystem (§2 of the
+// paper): a single network-wide naming tree built from replicated
+// filegroups, with transparent remote access through the three logical
+// sites of every file operation — using site (US), storage site (SS)
+// and current synchronization site (CSS) — atomic file commit via
+// shadow pages, pull-based update propagation, and context-sensitive
+// hidden directories.
+//
+// Each participating machine runs a Kernel, which owns that site's
+// containers (internal/storage) and its attachment to the network
+// (internal/netsim). All inter-site interaction uses the specialized
+// message protocols of §2.3; their message counts match the paper
+// (general open 4, read 2, write 1, close 4) and are verified by tests.
+package fs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// SiteID aliases the shared site identifier type.
+type SiteID = vclock.SiteID
+
+// OpenMode says what an open intends. LOCUS synchronization policy
+// (§2.3.1) is enforced per-mode at the CSS.
+type OpenMode int
+
+const (
+	// ModeRead opens for reading committed data.
+	ModeRead OpenMode = iota
+	// ModeModify opens for modification; at most one such open per
+	// file network-wide (the default LOCUS policy used in the paper's
+	// examples).
+	ModeModify
+	// ModeInternal is an internal unsynchronized read used by pathname
+	// searching (§2.3.4): no global lock is taken at the CSS.
+	ModeInternal
+)
+
+func (m OpenMode) String() string {
+	switch m {
+	case ModeRead:
+		return "read"
+	case ModeModify:
+		return "modify"
+	case ModeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("OpenMode(%d)", int(m))
+	}
+}
+
+// PackDesc describes one physical container of a filegroup.
+type PackDesc struct {
+	Site SiteID
+	// Lo, Hi bound the pack's private inode allocation range.
+	Lo, Hi storage.InodeNum
+}
+
+// FilegroupDesc describes a logical filegroup: where it is mounted in
+// the global tree and which sites hold physical containers.
+type FilegroupDesc struct {
+	FG storage.FilegroupID
+	// MountPath is "/" for the root filegroup, otherwise the absolute
+	// path where this filegroup's root directory is attached.
+	MountPath string
+	Packs     []PackDesc
+}
+
+// PackSites returns the pack sites in declaration order.
+func (d FilegroupDesc) PackSites() []SiteID {
+	out := make([]SiteID, len(d.Packs))
+	for i, p := range d.Packs {
+		out[i] = p.Site
+	}
+	return out
+}
+
+// RootInode is the inode number of every filegroup's root directory.
+const RootInode storage.InodeNum = 1
+
+// Config is the replicated filesystem configuration: the logical mount
+// table plus pack placement. The paper keeps this state replicated at
+// all sites (§2.1) and requires the mount hierarchy to be the same
+// everywhere (§5.1); we model that by sharing one immutable Config.
+type Config struct {
+	Filegroups []FilegroupDesc
+
+	mountByPath map[string]storage.FilegroupID
+	byFG        map[storage.FilegroupID]FilegroupDesc
+}
+
+// NewConfig validates and indexes a filesystem configuration. Exactly
+// one filegroup must be mounted at "/".
+func NewConfig(fgs []FilegroupDesc) (*Config, error) {
+	c := &Config{
+		Filegroups:  fgs,
+		mountByPath: make(map[string]storage.FilegroupID),
+		byFG:        make(map[storage.FilegroupID]FilegroupDesc),
+	}
+	root := false
+	for _, d := range fgs {
+		if len(d.Packs) == 0 {
+			return nil, fmt.Errorf("fs: filegroup %d has no packs", d.FG)
+		}
+		if _, dup := c.byFG[d.FG]; dup {
+			return nil, fmt.Errorf("fs: duplicate filegroup %d", d.FG)
+		}
+		if _, dup := c.mountByPath[d.MountPath]; dup {
+			return nil, fmt.Errorf("fs: duplicate mount path %q", d.MountPath)
+		}
+		if d.MountPath == "/" {
+			root = true
+		}
+		c.byFG[d.FG] = d
+		c.mountByPath[d.MountPath] = d.FG
+	}
+	if !root {
+		return nil, fmt.Errorf("fs: no filegroup mounted at /")
+	}
+	return c, nil
+}
+
+// FG returns the descriptor for a filegroup.
+func (c *Config) FG(fg storage.FilegroupID) (FilegroupDesc, bool) {
+	d, ok := c.byFG[fg]
+	return d, ok
+}
+
+// MountAt returns the filegroup mounted at an absolute path, if any.
+func (c *Config) MountAt(path string) (storage.FilegroupID, bool) {
+	fg, ok := c.mountByPath[path]
+	return fg, ok
+}
+
+// Cred is the per-process context a system call executes under. It
+// carries the paper's inherited per-process state: the default number
+// of copies for created files (§2.3.7) and the hidden-directory context
+// list (§2.4.1).
+type Cred struct {
+	// User is the requesting user (owner of created files; conflict
+	// mail recipient).
+	User string
+	// NCopies is the inherited default replication factor for created
+	// files; the effective factor is min(NCopies, parent directory's).
+	// Zero means "inherit the parent directory's factor".
+	NCopies int
+	// HiddenCtx is the per-process context for hidden directories,
+	// tried in order (e.g. ["vax", "generic"]).
+	HiddenCtx []string
+}
+
+// DefaultCred returns a usable credential for user u.
+func DefaultCred(u string) *Cred { return &Cred{User: u} }
+
+// ssServe is SS-side state for one file with at least one remote or
+// local open being served from this storage site.
+type ssServe struct {
+	id storage.FileID
+	// incore is the in-core inode: for a writer it accumulates shadow
+	// pages; for readers it is a snapshot of the committed inode.
+	incore *storage.Inode
+	// committedPages remembers the committed page table at open time so
+	// abort can release only true shadow pages.
+	committedPages map[storage.PhysPage]bool
+	writerUS       SiteID // NoSite when no open-for-modify in progress
+	dirty          map[storage.PageNo]bool
+	truncated      bool           // a truncate happened: propagate the whole file
+	readers        map[SiteID]int // US -> open count being served
+}
+
+// cssEntry is CSS-side synchronization state for one file: the lock
+// table entry rebuilt on reconfiguration (§5.6).
+type cssEntry struct {
+	id       storage.FileID
+	writerUS SiteID         // site with the single open-for-modify
+	writerSS SiteID         // storage site serving that writer
+	readers  map[SiteID]int // US -> count of read opens
+	readerSS map[SiteID]SiteID
+	// latestVV is the most current version the CSS knows of (§2.3.1:
+	// the CSS "must have knowledge of ... what the most current
+	// version of the file is").
+	latestVV vclock.VV
+	sites    []SiteID // packs storing the file, from the disk inode
+}
+
+// propTask is one queued propagation pull (§2.3.6: "A queue of
+// propagation requests is kept by the kernel at each site and a kernel
+// process services the queue").
+type propTask struct {
+	id     storage.FileID
+	vv     vclock.VV
+	origin SiteID
+	pages  []storage.PageNo // nil = whole file
+	// drop marks a replica-retirement task: this pack is no longer in
+	// the file's storage-site list, and may discard its copy once every
+	// listed site holds the current version ("a move of an object is
+	// equivalent to an add followed by a delete of an object copy" —
+	// §2.2.1).
+	drop  bool
+	sites []SiteID
+}
+
+// Kernel is the filesystem half of one site's operating system.
+type Kernel struct {
+	site  SiteID
+	node  *netsim.Node
+	store *storage.Store
+	cfg   *Config
+
+	mu sync.Mutex
+	// partition is the sorted set of sites this kernel believes are in
+	// its partition (maintained by the reconfiguration layer).
+	partition []SiteID
+	// open state
+	ssState  map[storage.FileID]*ssServe
+	cssState map[storage.FileID]*cssEntry
+	// pendingProp marks files with propagations queued but not yet
+	// pulled in; pathname searching must not trust the local copy then.
+	pendingProp map[storage.FileID]*propTask
+	propQueue   []storage.FileID
+	// stalledProp holds pulls whose origin left the partition; they are
+	// requeued when a merge restores connectivity.
+	stalledProp []*propTask
+	// propStop terminates the background propagation daemon, when one
+	// is running.
+	propStop chan struct{}
+	// openFiles tracks US-side open handles for cleanup on partition
+	// change.
+	openFiles map[*File]bool
+
+	// mail delivers system notification mail (wired by the recon
+	// layer); nil-safe.
+	mail func(user, subject, body string)
+
+	// Ablation switches (benchmarks only; production behavior is both
+	// enabled, as in LOCUS).
+	noOpenOpt     bool // disable the §2.3.3 US-is-SS / CSS-is-SS shortcuts
+	noLocalSearch bool // disable the §2.3.4 local unsynchronized search
+	// pathShip enables the §2.3.4 "ship partial pathnames" strategy.
+	pathShip bool
+}
+
+// SetOpenOptimizations enables/disables the two §2.3.3 open-protocol
+// optimizations (ablation benchmarks; enabled by default).
+func (k *Kernel) SetOpenOptimizations(on bool) {
+	k.mu.Lock()
+	k.noOpenOpt = !on
+	k.mu.Unlock()
+}
+
+// SetLocalSearchFastPath enables/disables the zero-message local
+// directory search of §2.3.4 (ablation benchmarks; enabled by default).
+func (k *Kernel) SetLocalSearchFastPath(on bool) {
+	k.mu.Lock()
+	k.noLocalSearch = !on
+	k.mu.Unlock()
+}
+
+// NewKernel creates the filesystem kernel for one site and registers
+// its network handlers. The initial partition view is all sites of all
+// packs in the configuration (a fully-up network).
+func NewKernel(node *netsim.Node, store *storage.Store, cfg *Config) *Kernel {
+	k := &Kernel{
+		site:        node.ID(),
+		node:        node,
+		store:       store,
+		cfg:         cfg,
+		ssState:     make(map[storage.FileID]*ssServe),
+		cssState:    make(map[storage.FileID]*cssEntry),
+		pendingProp: make(map[storage.FileID]*propTask),
+		openFiles:   make(map[*File]bool),
+	}
+	seen := map[SiteID]bool{}
+	for _, d := range cfg.Filegroups {
+		for _, p := range d.Packs {
+			if !seen[p.Site] {
+				seen[p.Site] = true
+				k.partition = append(k.partition, p.Site)
+			}
+		}
+	}
+	if !seen[k.site] {
+		k.partition = append(k.partition, k.site)
+	}
+	sort.Slice(k.partition, func(i, j int) bool { return k.partition[i] < k.partition[j] })
+	k.registerHandlers()
+	node.OnCrash(k.crashLocal)
+	return k
+}
+
+// crashLocal discards all volatile kernel state when this site
+// crashes: in-core inodes, lock tables, open files, queued pulls. The
+// disk (storage.Store) survives, which is exactly the commit
+// mechanism's guarantee.
+func (k *Kernel) crashLocal() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for f := range k.openFiles {
+		f.stale = true
+		f.closed = true
+	}
+	k.openFiles = make(map[*File]bool)
+	k.ssState = make(map[storage.FileID]*ssServe)
+	k.cssState = make(map[storage.FileID]*cssEntry)
+	k.pendingProp = make(map[storage.FileID]*propTask)
+	k.propQueue = nil
+	k.stalledProp = nil
+	k.partition = []SiteID{k.site}
+	if k.propStop != nil {
+		close(k.propStop)
+		k.propStop = nil
+	}
+}
+
+// Site returns this kernel's site id.
+func (k *Kernel) Site() SiteID { return k.site }
+
+// Store exposes the site's storage (reconciliation reads through it).
+func (k *Kernel) Store() *storage.Store { return k.store }
+
+// Config returns the shared filesystem configuration.
+func (k *Kernel) Config() *Config { return k.cfg }
+
+// Node returns the site's network attachment.
+func (k *Kernel) Node() *netsim.Node { return k.node }
+
+// SetMailer installs the delivery function for system notification
+// mail (conflict reports). A nil mailer discards mail.
+func (k *Kernel) SetMailer(f func(user, subject, body string)) {
+	k.mu.Lock()
+	k.mail = f
+	k.mu.Unlock()
+}
+
+func (k *Kernel) sendMail(user, subject, body string) {
+	k.mu.Lock()
+	f := k.mail
+	k.mu.Unlock()
+	if f != nil {
+		f(user, subject, body)
+	}
+}
+
+// SetPartition installs a new partition view (sorted copy). The
+// reconfiguration layer calls this after the partition/merge protocols
+// agree on membership.
+func (k *Kernel) SetPartition(sites []SiteID) {
+	s := append([]SiteID(nil), sites...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	k.mu.Lock()
+	k.partition = s
+	k.mu.Unlock()
+}
+
+// Partition returns the kernel's current partition view (sorted copy).
+func (k *Kernel) Partition() []SiteID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]SiteID(nil), k.partition...)
+}
+
+func (k *Kernel) inPartition(s SiteID) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.inPartitionLocked(s)
+}
+
+func (k *Kernel) inPartitionLocked(s SiteID) bool {
+	for _, x := range k.partition {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// DebugLocks renders the kernel's serve/lock state (test diagnostics).
+func (k *Kernel) DebugLocks() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s := fmt.Sprintf("site %d:", k.site)
+	for id, sv := range k.ssState {
+		s += fmt.Sprintf(" ss[%v]{writer=%d readers=%v}", id, sv.writerUS, sv.readers)
+	}
+	for id, e := range k.cssState {
+		s += fmt.Sprintf(" css[%v]{writer=%d@%d readers=%v vv=%v}", id, e.writerUS, e.writerSS, e.readers, e.latestVV)
+	}
+	s += fmt.Sprintf(" open=%d", len(k.openFiles))
+	return s
+}
+
+// CSSOf returns the current synchronization site for a filegroup: the
+// lowest-numbered pack site present in this kernel's partition. Every
+// kernel in a partition computes the same answer from the same view,
+// which is how "there is only one CSS for any given filegroup in any
+// set of communicating sites" (§2.3.1) is maintained.
+func (k *Kernel) CSSOf(fg storage.FilegroupID) (SiteID, error) {
+	d, ok := k.cfg.FG(fg)
+	if !ok {
+		return 0, fmt.Errorf("fs: unknown filegroup %d", fg)
+	}
+	var best SiteID
+	for _, p := range d.Packs {
+		if k.inPartition(p.Site) && (best == 0 || p.Site < best) {
+			best = p.Site
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("%w: filegroup %d", ErrNoCSS, fg)
+	}
+	return best, nil
+}
+
+// packSitesInPartition returns the filegroup's pack sites that are in
+// the current partition, in pack declaration order.
+func (k *Kernel) packSitesInPartition(fg storage.FilegroupID) []SiteID {
+	d, ok := k.cfg.FG(fg)
+	if !ok {
+		return nil
+	}
+	var out []SiteID
+	for _, p := range d.Packs {
+		if k.inPartition(p.Site) {
+			out = append(out, p.Site)
+		}
+	}
+	return out
+}
+
+// container returns this site's container for fg, or nil.
+func (k *Kernel) container(fg storage.FilegroupID) *storage.Container {
+	return k.store.Container(fg)
+}
+
+// File is a US-side open file handle (the in-core inode plus open
+// bookkeeping). It is not safe for concurrent use by multiple
+// goroutines without external synchronization — matching a Unix file
+// descriptor, whose sharing semantics the process layer provides via
+// the token scheme (§3.2).
+type File struct {
+	k    *Kernel
+	id   storage.FileID
+	mode OpenMode
+	us   SiteID
+	ss   SiteID
+	css  SiteID
+	ino  *storage.Inode // in-core inode copy at the US
+	// dirty tracks logical pages modified through this handle.
+	dirty  map[storage.PageNo]bool
+	closed bool
+	// internal marks pathname-search opens (no CSS lock held).
+	internal bool
+	// stale is set when the handle's storage site was lost to a
+	// partition change and no substitute copy could be found; the
+	// paper's cleanup table calls this "set error in local file
+	// descriptor" (§5.6).
+	stale bool
+	// readahead enables the one-page sequential readahead of §2.3.3:
+	// the SS piggybacks the next page on each read response.
+	readahead bool
+	// raPage caches the readahead page.
+	raPage struct {
+		pn    storage.PageNo
+		data  []byte
+		size  int64
+		valid bool
+	}
+}
+
+// SetReadahead enables one-page sequential readahead for this handle
+// (off by default so message accounting stays exact).
+func (f *File) SetReadahead(on bool) {
+	f.readahead = on
+	if !on {
+		f.raPage.valid = false
+	}
+}
+
+// Stale reports whether the handle lost its storage site to a failure.
+func (f *File) Stale() bool { return f.stale }
+
+// ID returns the file's globally unique low-level name.
+func (f *File) ID() storage.FileID { return f.id }
+
+// Mode returns the open mode.
+func (f *File) Mode() OpenMode { return f.mode }
+
+// SS returns the storage site currently serving this open.
+func (f *File) SS() SiteID { return f.ss }
+
+// Size returns the file size seen by this handle.
+func (f *File) Size() int64 { return f.ino.Size }
+
+// Type returns the file type.
+func (f *File) Type() storage.FileType { return f.ino.Type }
+
+// Inode returns a snapshot of the handle's in-core inode.
+func (f *File) Inode() *storage.Inode { return f.ino.Clone() }

@@ -1,0 +1,553 @@
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// registerHandlers binds this kernel's network protocol handlers.
+func (k *Kernel) registerHandlers() {
+	k.node.Handle(mOpen, k.handleOpen)
+	k.node.Handle(mSSOpen, k.handleSSOpen)
+	k.node.Handle(mRead, k.handleRead)
+	k.node.Handle(mWrite, k.handleWrite)
+	k.node.Handle(mCommit, k.handleCommit)
+	k.node.Handle(mClose, k.handleClose)
+	k.node.Handle(mSSClose, k.handleSSClose)
+	k.node.Handle(mCreate, k.handleCreate)
+	k.node.Handle(mSSCreate, k.handleSSCreate)
+	k.node.Handle(mPropNotify, k.handlePropNotify)
+	k.node.Handle(mPullOpen, k.handlePullOpen)
+	k.node.Handle(mReadPhys, k.handleReadPhys)
+	k.node.Handle(mGetVV, k.handleGetVV)
+	k.node.Handle(mSetAttr, k.handleSetAttr)
+	k.node.Handle(mResolveShip, k.handleResolveShip)
+	k.registerReconHandlers()
+}
+
+// localGetVV reads the local committed copy's version information.
+func (k *Kernel) localGetVV(id storage.FileID) getVVResp {
+	c := k.container(id.FG)
+	if c == nil || !c.HasInode(id.Inode) {
+		return getVVResp{}
+	}
+	ino, err := c.GetInode(id.Inode)
+	if err != nil {
+		return getVVResp{}
+	}
+	return getVVResp{Has: true, VV: ino.VV, Deleted: ino.Deleted, Sites: ino.Sites, Type: ino.Type}
+}
+
+func (k *Kernel) handleGetVV(_ SiteID, p any) (any, error) {
+	req := p.(*getVVReq)
+	r := k.localGetVV(req.ID)
+	return &r, nil
+}
+
+// buildCSSEntry constructs the CSS lock-table entry for a file by
+// polling the filegroup's packs in this partition for their committed
+// version vectors — the "reconstruct the lock table ... from the
+// information remaining in the partition" step of §5.6, run lazily on
+// first use. Returns ErrConflict if the partition holds mutually
+// inconsistent copies (reconciliation must run first).
+func (k *Kernel) buildCSSEntry(id storage.FileID) (*cssEntry, error) {
+	var latest vclock.VV
+	var sites []SiteID
+	found := false
+	deleted := false
+	for _, s := range k.packSitesInPartition(id.FG) {
+		var r getVVResp
+		if s == k.site {
+			r = k.localGetVV(id)
+		} else {
+			resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: id})
+			if err != nil {
+				continue // unreachable pack: proceed with what we have
+			}
+			r = *resp.(*getVVResp)
+		}
+		if !r.Has {
+			continue
+		}
+		switch {
+		case !found:
+			latest, sites, deleted, found = r.VV.Copy(), r.Sites, r.Deleted, true
+		default:
+			switch r.VV.Compare(latest) {
+			case vclock.Dominates:
+				latest, sites, deleted = r.VV.Copy(), r.Sites, r.Deleted
+			case vclock.Concurrent:
+				return nil, fmt.Errorf("%w: %v", ErrConflict, id)
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	if deleted {
+		return nil, fmt.Errorf("%w: %v", ErrDeleted, id)
+	}
+	e := &cssEntry{
+		id:       id,
+		readers:  make(map[SiteID]int),
+		readerSS: make(map[SiteID]SiteID),
+		latestVV: latest,
+		sites:    sites,
+	}
+	k.mu.Lock()
+	if old := k.cssState[id]; old != nil {
+		e = old // raced with a concurrent build; keep the first
+	} else {
+		k.cssState[id] = e
+	}
+	k.mu.Unlock()
+	return e, nil
+}
+
+func (k *Kernel) cssEntryFor(id storage.FileID) (*cssEntry, error) {
+	k.mu.Lock()
+	e := k.cssState[id]
+	k.mu.Unlock()
+	if e != nil {
+		return e, nil
+	}
+	return k.buildCSSEntry(id)
+}
+
+// handleOpen is the CSS function of the open protocol (Figure 2). It
+// enforces the synchronization policy (a single simultaneous open for
+// modification), selects a storage site holding the latest version,
+// and records the open in the lock table.
+func (k *Kernel) handleOpen(_ SiteID, p any) (any, error) {
+	req := p.(*openReq)
+	e, err := k.cssEntryFor(req.ID)
+	if err != nil {
+		return nil, err
+	}
+
+	// Policy check + writer reservation.
+	k.mu.Lock()
+	if req.Mode == ModeModify {
+		if holder := e.writerUS; holder != vclock.NoSite {
+			k.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v open for modification at site %d", ErrBusy, req.ID, holder)
+		}
+		e.writerUS = req.US
+	}
+	latest := e.latestVV.Copy()
+	sites := append([]SiteID(nil), e.sites...)
+	k.mu.Unlock()
+
+	rollback := func() {
+		if req.Mode == ModeModify {
+			k.mu.Lock()
+			if e.writerUS == req.US {
+				e.writerUS = vclock.NoSite
+				e.writerSS = vclock.NoSite
+			}
+			k.mu.Unlock()
+		}
+	}
+
+	register := func(ss SiteID) {
+		if req.Mode == ModeInternal {
+			return // unsynchronized: no lock-table record
+		}
+		k.mu.Lock()
+		if req.Mode == ModeModify {
+			e.writerSS = ss
+		} else {
+			e.readers[req.US]++
+			e.readerSS[req.US] = ss
+		}
+		k.mu.Unlock()
+	}
+
+	k.mu.Lock()
+	noOpt := k.noOpenOpt
+	k.mu.Unlock()
+
+	// Optimization 1 (§2.3.3): the US's own copy is the latest — tell
+	// it to serve itself; no storage-site message needed.
+	if !noOpt && req.USVV != nil && req.USVV.DominatesOrEqual(latest) && containsSite(sites, req.US) {
+		register(req.US)
+		return &openResp{SS: req.US}, nil
+	}
+
+	// Optimization 2: the CSS itself stores the latest version.
+	if r := k.localGetVV(req.ID); !noOpt && r.Has && !r.Deleted && r.VV.DominatesOrEqual(latest) {
+		if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
+			rollback()
+			return nil, err
+		}
+		ino, err := k.container(req.ID.FG).GetInode(req.ID.Inode)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+		register(k.site)
+		return &openResp{SS: k.site, Ino: ino, ServeReady: true}, nil
+	}
+
+	// General case: poll potential storage sites (§2.3.3: "The
+	// potential sites are polled to see if they will act as storage
+	// sites").
+	for _, cand := range sites {
+		if !noOpt && (cand == k.site || cand == req.US) {
+			continue // both already ruled out above
+		}
+		if !k.inPartition(cand) {
+			continue // unreachable
+		}
+		if cand == k.site {
+			// Ablation path: CSS as SS through the local handler.
+			if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
+				continue
+			}
+			ino, err := k.container(req.ID.FG).GetInode(req.ID.Inode)
+			if err != nil {
+				continue
+			}
+			register(k.site)
+			return &openResp{SS: k.site, Ino: ino, ServeReady: true}, nil
+		}
+		resp, err := k.node.Call(cand, mSSOpen, &ssOpenReq{ID: req.ID, Mode: req.Mode, US: req.US, NeedVV: latest})
+		if err != nil {
+			continue
+		}
+		r := resp.(*ssOpenResp)
+		register(cand)
+		return &openResp{SS: cand, Ino: r.Ino, ServeReady: true}, nil
+	}
+	rollback()
+	return nil, fmt.Errorf("%w: %v (latest %v)", ErrNoStorageSite, req.ID, latest)
+}
+
+// handleSSOpen is the SS function: verify our copy is current, set up
+// serving state, and return the disk inode information.
+func (k *Kernel) handleSSOpen(_ SiteID, p any) (any, error) {
+	req := p.(*ssOpenReq)
+	c := k.container(req.ID.FG)
+	if c == nil || !c.HasInode(req.ID.Inode) {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, req.ID)
+	}
+	ino, err := c.GetInode(req.ID.Inode)
+	if err != nil {
+		return nil, err
+	}
+	if !ino.VV.DominatesOrEqual(req.NeedVV) {
+		// Our copy is out of date: refuse to act as storage site.
+		return nil, fmt.Errorf("%w: site %d stores %v, need %v", ErrNoStorageSite, k.site, ino.VV, req.NeedVV)
+	}
+	if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
+		return nil, err
+	}
+	return &ssOpenResp{Ino: ino}, nil
+}
+
+// setupServe installs SS-side serving state for an open. Internal
+// (unsynchronized) opens take no serving state.
+func (k *Kernel) setupServe(id storage.FileID, mode OpenMode, us SiteID) error {
+	if mode == ModeInternal {
+		return nil
+	}
+	c := k.container(id.FG)
+	if c == nil {
+		return fmt.Errorf("%w: site %d stores no pack of filegroup %d", ErrNoStorageSite, k.site, id.FG)
+	}
+	ino, err := c.GetInode(id.Inode)
+	if err != nil {
+		return err
+	}
+	if ino.Deleted {
+		return fmt.Errorf("%w: %v", ErrDeleted, id)
+	}
+	if ino.Conflict {
+		return fmt.Errorf("%w: %v", ErrConflict, id)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	sv := k.ssState[id]
+	if sv == nil {
+		sv = &ssServe{id: id, readers: make(map[SiteID]int)}
+		k.ssState[id] = sv
+	}
+	if mode == ModeModify {
+		if sv.writerUS != vclock.NoSite {
+			return fmt.Errorf("%w: %v already being modified", ErrBusy, id)
+		}
+		sv.writerUS = us
+		sv.incore = ino.Clone()
+		sv.committedPages = pageSet(ino.Pages)
+		sv.dirty = make(map[storage.PageNo]bool)
+	} else {
+		sv.readers[us]++
+	}
+	return nil
+}
+
+func pageSet(pages []storage.PhysPage) map[storage.PhysPage]bool {
+	s := make(map[storage.PhysPage]bool, len(pages))
+	for _, p := range pages {
+		if p != storage.PhysPageNil {
+			s[p] = true
+		}
+	}
+	return s
+}
+
+func containsSite(ss []SiteID, s SiteID) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// OpenID opens a file by its globally unique low-level name. Most
+// callers use Open (pathname) instead; benchmarks and pathname
+// searching use OpenID directly.
+func (k *Kernel) OpenID(id storage.FileID, mode OpenMode) (*File, error) {
+	// Internal unsynchronized read fast path (§2.3.4): a locally stored
+	// directory with no pending propagations is searched without
+	// informing the CSS.
+	if mode == ModeInternal {
+		k.mu.Lock()
+		noLocal := k.noLocalSearch
+		k.mu.Unlock()
+		if !noLocal {
+			if f := k.tryLocalInternal(id); f != nil {
+				return f, nil
+			}
+		}
+	}
+	css, err := k.CSSOf(id.FG)
+	if err != nil {
+		return nil, err
+	}
+	var usvv vclock.VV
+	if c := k.container(id.FG); c != nil {
+		if ino, err := c.GetInode(id.Inode); err == nil && !ino.Deleted && !ino.Conflict {
+			usvv = ino.VV
+		}
+	}
+	resp, err := k.node.Call(css, mOpen, &openReq{ID: id, Mode: mode, US: k.site, USVV: usvv})
+	if err != nil {
+		return nil, err
+	}
+	r := resp.(*openResp)
+	f := &File{
+		k: k, id: id, mode: mode, us: k.site, ss: r.SS, css: css,
+		dirty:    make(map[storage.PageNo]bool),
+		internal: mode == ModeInternal,
+	}
+	if r.SS == k.site {
+		// We are our own storage site. Unless the CSS already installed
+		// the serving state (it did when this site is also the CSS and
+		// selected itself), set it up now.
+		if !r.ServeReady {
+			if err := k.setupServe(id, mode, k.site); err != nil {
+				k.releaseCSSLock(css, id, mode)
+				return nil, err
+			}
+		}
+		ino, err := k.container(id.FG).GetInode(id.Inode)
+		if err != nil {
+			k.releaseCSSLock(css, id, mode)
+			return nil, err
+		}
+		f.ino = ino
+	} else {
+		f.ino = r.Ino.Clone()
+	}
+	k.mu.Lock()
+	k.openFiles[f] = true
+	k.mu.Unlock()
+	return f, nil
+}
+
+// releaseCSSLock undoes a CSS open registration after a local failure
+// to finish the open (so the lock table does not leak a phantom open).
+func (k *Kernel) releaseCSSLock(css SiteID, id storage.FileID, mode OpenMode) {
+	if mode == ModeInternal {
+		return
+	}
+	req := &ssCloseReq{ID: id, SS: k.site, US: k.site, Mode: mode}
+	if css == k.site {
+		k.handleSSClose(k.site, req) //nolint:errcheck // best-effort release
+		return
+	}
+	k.node.Call(css, mSSClose, req) //nolint:errcheck // best-effort release
+}
+
+// tryLocalInternal returns a zero-message internal handle when the
+// local committed copy is safe to use.
+func (k *Kernel) tryLocalInternal(id storage.FileID) *File {
+	c := k.container(id.FG)
+	if c == nil || !c.HasInode(id.Inode) {
+		return nil
+	}
+	k.mu.Lock()
+	_, pending := k.pendingProp[id]
+	k.mu.Unlock()
+	if pending {
+		return nil
+	}
+	ino, err := c.GetInode(id.Inode)
+	if err != nil || ino.Deleted || ino.Conflict {
+		return nil
+	}
+	f := &File{
+		k: k, id: id, mode: ModeInternal, us: k.site, ss: k.site,
+		ino: ino, dirty: make(map[storage.PageNo]bool), internal: true,
+	}
+	k.mu.Lock()
+	k.openFiles[f] = true
+	k.mu.Unlock()
+	return f
+}
+
+// handleCreate is the CSS side of file creation (§2.3.7): choose the
+// initial storage sites, have the birth pack allocate an inode from its
+// private pool, and register the creating US as the writer.
+func (k *Kernel) handleCreate(_ SiteID, p any) (any, error) {
+	req := p.(*createReq)
+	sites, birth, err := k.chooseStorageSites(req)
+	if err != nil {
+		return nil, err
+	}
+	var ino *storage.Inode
+	screq := &ssCreateReq{FG: req.FG, Type: req.Type, Owner: req.Owner, Mode: req.Mode, Sites: sites, US: req.US}
+	if birth == k.site {
+		r, err := k.handleSSCreate(k.site, screq)
+		if err != nil {
+			return nil, err
+		}
+		ino = r.(*ssCreateResp).Ino
+	} else {
+		r, err := k.node.Call(birth, mSSCreate, screq)
+		if err != nil {
+			return nil, err
+		}
+		ino = r.(*ssCreateResp).Ino
+	}
+	id := storage.FileID{FG: req.FG, Inode: ino.Num}
+	e := &cssEntry{
+		id:       id,
+		writerUS: req.US,
+		writerSS: birth,
+		readers:  make(map[SiteID]int),
+		readerSS: make(map[SiteID]SiteID),
+		latestVV: ino.VV.Copy(),
+		sites:    sites,
+	}
+	k.mu.Lock()
+	k.cssState[id] = e
+	k.mu.Unlock()
+	return &createResp{ID: id, SS: birth, Ino: ino}, nil
+}
+
+// chooseStorageSites applies the placement algorithm of §2.3.7:
+// (a) every storage site must store the parent directory;
+// (b) the creating process's local site is used first if possible;
+// (c) then the parent directory's site order, currently inaccessible
+// sites chosen last.
+func (k *Kernel) chooseStorageSites(req *createReq) (sites []SiteID, birth SiteID, err error) {
+	n := req.NCopies
+	if n < 1 {
+		n = 1
+	}
+	var order []SiteID
+	if containsSite(req.ParentSites, req.US) {
+		order = append(order, req.US)
+	}
+	var unreachable []SiteID
+	for _, s := range req.ParentSites {
+		if s == req.US {
+			continue
+		}
+		if k.inPartition(s) {
+			order = append(order, s)
+		} else {
+			unreachable = append(unreachable, s)
+		}
+	}
+	order = append(order, unreachable...)
+	if len(order) == 0 {
+		return nil, 0, fmt.Errorf("%w: no candidate storage sites", ErrNoStorageSite)
+	}
+	if n > len(order) {
+		n = len(order)
+	}
+	sites = order[:n]
+	for _, s := range sites {
+		if k.inPartition(s) {
+			return sites, s, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: no accessible birth site", ErrNoStorageSite)
+}
+
+// handleSSCreate allocates the inode at the birth pack and commits the
+// empty file so it is durable before any data is written.
+func (k *Kernel) handleSSCreate(_ SiteID, p any) (any, error) {
+	req := p.(*ssCreateReq)
+	c := k.container(req.FG)
+	if c == nil {
+		return nil, fmt.Errorf("%w: site %d has no pack of filegroup %d", ErrNoStorageSite, k.site, req.FG)
+	}
+	num, err := c.AllocInode()
+	if err != nil {
+		return nil, err
+	}
+	ino := &storage.Inode{
+		Num:   num,
+		Type:  req.Type,
+		Owner: req.Owner,
+		Mode:  req.Mode,
+		Nlink: 1,
+		Sites: req.Sites,
+		VV:    vclock.New().Bump(k.site),
+	}
+	if err := c.CommitInode(ino); err != nil {
+		return nil, err
+	}
+	id := storage.FileID{FG: req.FG, Inode: num}
+	if err := k.setupServe(id, ModeModify, req.US); err != nil {
+		return nil, err
+	}
+	// Announce the birth so the other chosen storage sites replicate
+	// the file even if it is never written (an empty directory, say).
+	k.notifyCommit(id, ino, nil)
+	return &ssCreateResp{Ino: ino.Clone()}, nil
+}
+
+// CreateID creates a new file in a filegroup (the caller links it into
+// a directory separately). ncopies is the effective replication factor
+// and parentSites the parent directory's storage sites.
+func (k *Kernel) CreateID(fg storage.FilegroupID, typ storage.FileType, cred *Cred,
+	mode uint16, ncopies int, parentSites []SiteID) (*File, error) {
+	css, err := k.CSSOf(fg)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := k.node.Call(css, mCreate, &createReq{
+		FG: fg, Type: typ, US: k.site, Owner: cred.User, Mode: mode,
+		NCopies: ncopies, ParentSites: parentSites,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := resp.(*createResp)
+	f := &File{
+		k: k, id: r.ID, mode: ModeModify, us: k.site, ss: r.SS, css: css,
+		ino: r.Ino.Clone(), dirty: make(map[storage.PageNo]bool),
+	}
+	k.mu.Lock()
+	k.openFiles[f] = true
+	k.mu.Unlock()
+	return f, nil
+}

@@ -1,0 +1,491 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// handlePropNotify receives the one-way commit notification (§2.3.6).
+func (k *Kernel) handlePropNotify(from SiteID, p any) (any, error) {
+	k.applyPropNotify(from, p.(*propNotify))
+	return nil, nil
+}
+
+// applyPropNotify updates CSS knowledge and queues a propagation pull
+// if this site stores (or should store) the file and its copy is out of
+// date.
+func (k *Kernel) applyPropNotify(_ SiteID, note *propNotify) {
+	// CSS bookkeeping: remember the most current version and storage
+	// sites.
+	if css, err := k.CSSOf(note.ID.FG); err == nil && css == k.site {
+		k.mu.Lock()
+		if e := k.cssState[note.ID]; e != nil {
+			if note.VV.Compare(e.latestVV) == vclock.Dominates {
+				e.latestVV = note.VV.Copy()
+				e.sites = append([]SiteID(nil), note.Sites...)
+			}
+		}
+		k.mu.Unlock()
+	}
+
+	c := k.container(note.ID.FG)
+	if c == nil {
+		return
+	}
+	stores := c.HasInode(note.ID.Inode)
+	should := containsSite(note.Sites, k.site)
+	if !stores && !should {
+		return
+	}
+	if stores && !should && len(note.Sites) > 0 {
+		// Replica retirement: discard our copy once the listed sites
+		// all hold the new version.
+		k.mu.Lock()
+		if k.pendingProp[note.ID] == nil {
+			k.pendingProp[note.ID] = &propTask{
+				id: note.ID, vv: note.VV.Copy(), origin: note.Origin,
+				drop: true, sites: append([]SiteID(nil), note.Sites...),
+			}
+			k.propQueue = append(k.propQueue, note.ID)
+		}
+		k.mu.Unlock()
+		return
+	}
+	if stores {
+		if ino, err := c.GetInode(note.ID.Inode); err == nil && ino.VV.DominatesOrEqual(note.VV) {
+			return // already current (or the origin itself)
+		}
+	}
+
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t := k.pendingProp[note.ID]
+	if t == nil {
+		t = &propTask{id: note.ID, vv: note.VV.Copy(), origin: note.Origin, pages: note.Pages}
+		k.pendingProp[note.ID] = t
+		k.propQueue = append(k.propQueue, note.ID)
+		return
+	}
+	// Fold the new notification into the existing task.
+	if t.drop {
+		// The site was re-added to the storage list: turn the
+		// retirement into an ordinary pull.
+		t.drop = false
+		t.sites = nil
+		t.vv = note.VV.Copy()
+		t.origin = note.Origin
+		t.pages = nil
+		return
+	}
+	if note.VV.Compare(t.vv) == vclock.Dominates {
+		t.vv = note.VV.Copy()
+		t.origin = note.Origin
+	}
+	if t.pages != nil {
+		if note.Pages == nil {
+			t.pages = nil // whole-file pull subsumes page list
+		} else {
+			t.pages = append(t.pages, note.Pages...)
+		}
+	}
+}
+
+// PendingPropagations reports how many files have queued pulls.
+func (k *Kernel) PendingPropagations() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.pendingProp)
+}
+
+// DrainPropagation runs the kernel propagation process until the queue
+// empties, pulling new versions from their origin sites. It returns
+// the number of files brought up to date. Pulls that fail (origin
+// unreachable, version raced ahead) stay queued for a later drain —
+// the local copy remains a coherent, complete, albeit old version
+// (§2.3.6).
+func (k *Kernel) DrainPropagation() int {
+	done := 0
+	k.mu.Lock()
+	budget := len(k.propQueue)
+	k.mu.Unlock()
+	// Items requeued during this drain (retries) wait for the next
+	// drain, so one call always terminates.
+	for i := 0; i < budget; i++ {
+		k.mu.Lock()
+		if len(k.propQueue) == 0 {
+			k.mu.Unlock()
+			return done
+		}
+		id := k.propQueue[0]
+		k.propQueue = k.propQueue[1:]
+		t := k.pendingProp[id]
+		var snap *propTask
+		if t != nil {
+			// Pull from a snapshot: a late notification may fold newer
+			// state into the queued task while the pull runs.
+			snap = &propTask{
+				id: t.id, vv: t.vv.Copy(), origin: t.origin,
+				pages: append([]storage.PageNo(nil), t.pages...),
+				drop:  t.drop, sites: append([]SiteID(nil), t.sites...),
+			}
+			if t.pages == nil {
+				snap.pages = nil
+			}
+		}
+		k.mu.Unlock()
+		if snap == nil {
+			continue
+		}
+		ok := k.pullFile(snap)
+		k.mu.Lock()
+		cur := k.pendingProp[id]
+		if cur == t {
+			evolved := !cur.vv.Equal(snap.vv) || cur.drop != snap.drop
+			switch {
+			case ok && !evolved:
+				delete(k.pendingProp, id)
+				done++
+			case !ok && !k.inPartitionLocked(snap.origin):
+				// Origin gone: keep the task but stop spinning; a merge
+				// or fresh notification requeues it.
+				delete(k.pendingProp, id)
+				k.stalledProp = append(k.stalledProp, t)
+			default:
+				k.propQueue = append(k.propQueue, id)
+			}
+		}
+		k.mu.Unlock()
+	}
+	return done
+}
+
+// DebugPendingPropagations describes the queued tasks (test diagnostics).
+func (k *Kernel) DebugPendingPropagations() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s := ""
+	for id, t := range k.pendingProp {
+		s += fmt.Sprintf("[site %d: %v vv=%v origin=%d drop=%v sites=%v] ", k.site, id, t.vv, t.origin, t.drop, t.sites)
+	}
+	return s
+}
+
+// StartPropagationDaemon launches the kernel propagation process
+// (§2.3.6: "A queue of propagation requests is kept by the kernel at
+// each site and a kernel process services the queue"), draining the
+// queue every interval until StopPropagationDaemon or site crash.
+// Deterministic tests and benchmarks use DrainPropagation directly
+// instead.
+func (k *Kernel) StartPropagationDaemon(interval time.Duration) {
+	k.mu.Lock()
+	if k.propStop != nil {
+		k.mu.Unlock()
+		return // already running
+	}
+	stop := make(chan struct{})
+	k.propStop = stop
+	k.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				k.DrainPropagation()
+			}
+		}
+	}()
+}
+
+// StopPropagationDaemon halts the background propagation process.
+func (k *Kernel) StopPropagationDaemon() {
+	k.mu.Lock()
+	stop := k.propStop
+	k.propStop = nil
+	k.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+}
+
+// RequeueStalledPropagations puts stalled pulls back on the queue
+// (called after a partition merge makes origins reachable again).
+func (k *Kernel) RequeueStalledPropagations() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, t := range k.stalledProp {
+		if k.pendingProp[t.id] == nil {
+			k.pendingProp[t.id] = t
+			k.propQueue = append(k.propQueue, t.id)
+		}
+	}
+	k.stalledProp = nil
+}
+
+// pullFile propagates one file in from its origin: an internal open of
+// the committed snapshot at the origin, standard reads of the missing
+// pages, and a normal local commit — so a failure mid-pull leaves the
+// old coherent copy (§2.3.6: "this propagation-in procedure uses the
+// standard commit mechanism").
+func (k *Kernel) pullFile(t *propTask) bool {
+	c := k.container(t.id.FG)
+	if c == nil {
+		return true // nothing to store into; drop the task
+	}
+	if t.drop {
+		return k.retireReplica(c, t)
+	}
+
+	resp, err := k.node.Call(t.origin, mPullOpen, &pullOpenReq{ID: t.id})
+	if err != nil {
+		if errors.Is(err, storage.ErrNoInode) || errors.Is(err, ErrNotFound) {
+			// The origin retired its replica before we pulled.
+			// Re-resolve: find the current dominant copy, or drop the
+			// task if the file is gone (or we are no longer a storage
+			// site and never stored it).
+			best, _, found := k.ProbeSummary(t.id)
+			if !found {
+				return true
+			}
+			if !containsSite(best.Sites, k.site) && !c.HasInode(t.id.Inode) {
+				return true
+			}
+			if best.Site != t.origin && best.Site != k.site {
+				// Point the live task (not just this attempt's snapshot)
+				// at the surviving copy for the retry.
+				old := t.origin
+				t.origin = best.Site
+				k.mu.Lock()
+				if live := k.pendingProp[t.id]; live != nil && live.origin == old {
+					live.origin = best.Site
+				}
+				k.mu.Unlock()
+			}
+		}
+		return false
+	}
+	src := resp.(*pullOpenResp).Ino
+	if src == nil {
+		return false
+	}
+
+	// Never install a replica at a site outside the file's storage-site
+	// list; if we hold a copy but fell off the list, retire instead.
+	if !containsSite(src.Sites, k.site) {
+		if !c.HasInode(t.id.Inode) {
+			return true
+		}
+		t.drop = true
+		t.sites = append([]SiteID(nil), src.Sites...)
+		t.vv = src.VV.Copy()
+		return k.retireReplica(c, t)
+	}
+
+	var local *storage.Inode
+	if c.HasInode(t.id.Inode) {
+		local, err = c.GetInode(t.id.Inode)
+		if err != nil {
+			return false
+		}
+		switch src.VV.Compare(local.VV) {
+		case vclock.Equal, vclock.Dominated:
+			return true // already current
+		case vclock.Concurrent:
+			// Divergent copies: this is a merge-time conflict; mark the
+			// local copy so normal opens fail and leave resolution to
+			// the reconciliation layer (§4.6).
+			local.Conflict = true
+			if err := c.CommitInode(local); err != nil {
+				return false
+			}
+			return true
+		}
+	}
+
+	// Deleted versions propagate as tombstones; pages are released.
+	if src.Deleted {
+		tomb := src.Clone()
+		tomb.Pages = nil
+		tomb.Size = 0
+		if err := c.CommitInode(tomb); err != nil {
+			return false
+		}
+		return true
+	}
+
+	// Build the new local page table. When the notification named the
+	// modified pages and we have a current base copy, only those pages
+	// are pulled; otherwise the whole file is.
+	pullAll := t.pages == nil || local == nil
+	need := make(map[storage.PageNo]bool)
+	if !pullAll {
+		for _, pn := range t.pages {
+			need[pn] = true
+		}
+	}
+	newIno := src.Clone()
+	newIno.Pages = make([]storage.PhysPage, len(src.Pages))
+	var newPages []storage.PhysPage
+	fail := func() bool {
+		c.FreePages(newPages...)
+		return false
+	}
+	for i := range src.Pages {
+		pn := storage.PageNo(i)
+		if src.Pages[i] == storage.PhysPageNil {
+			newIno.Pages[i] = storage.PhysPageNil
+			continue
+		}
+		if !pullAll && !need[pn] && local != nil && i < len(local.Pages) && local.Pages[i] != storage.PhysPageNil {
+			// Unchanged page: keep the local physical page.
+			newIno.Pages[i] = local.Pages[i]
+			continue
+		}
+		// Read the immutable physical page from the origin snapshot;
+		// "when each page arrives, the buffer that contains it is
+		// renamed and sent out to secondary storage" — our rename is a
+		// local WritePage.
+		r, err := k.node.Call(t.origin, mReadPhys, &readPhysReq{FG: t.id.FG, Phys: src.Pages[i]})
+		if err != nil {
+			return fail()
+		}
+		rp, ok := r.(*readResp)
+		if !ok || rp.Data == nil {
+			return fail()
+		}
+		pp, err := c.WritePage(rp.Data)
+		if err != nil {
+			return fail()
+		}
+		newPages = append(newPages, pp)
+		newIno.Pages[i] = pp
+	}
+	if err := c.CommitInode(newIno); err != nil {
+		return fail()
+	}
+	return true
+}
+
+// retireReplica drops this pack's copy of a file that moved away, but
+// only after confirming every site in the new storage list holds the
+// current version — the "delete" half of add-then-delete must never
+// destroy the last current copy.
+func (k *Kernel) retireReplica(c *storage.Container, t *propTask) bool {
+	if !c.HasInode(t.id.Inode) {
+		return true
+	}
+	// A file still being served from here must not vanish underneath
+	// its opens; retry later.
+	k.mu.Lock()
+	_, serving := k.ssState[t.id]
+	k.mu.Unlock()
+	if serving {
+		return false
+	}
+	for _, s := range t.sites {
+		if s == k.site {
+			return true // still listed after all: keep the copy
+		}
+		if !k.inPartition(s) {
+			return false
+		}
+		resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: t.id})
+		if err != nil {
+			return false
+		}
+		r := resp.(*getVVResp)
+		if !r.Has || !r.VV.DominatesOrEqual(t.vv) {
+			return false // that site hasn't pulled the version yet
+		}
+	}
+	c.DropInode(t.id.Inode)
+	return true
+}
+
+// handlePullOpen returns a committed snapshot of the file for a
+// propagation pull.
+func (k *Kernel) handlePullOpen(_ SiteID, p any) (any, error) {
+	req := p.(*pullOpenReq)
+	c := k.container(req.ID.FG)
+	if c == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, req.ID)
+	}
+	ino, err := c.GetInode(req.ID.Inode)
+	if err != nil {
+		return nil, err
+	}
+	return &pullOpenResp{Ino: ino}, nil
+}
+
+// handleReadPhys reads one immutable physical page for a pull.
+func (k *Kernel) handleReadPhys(_ SiteID, p any) (any, error) {
+	req := p.(*readPhysReq)
+	c := k.container(req.FG)
+	if c == nil {
+		return nil, fmt.Errorf("fs: site %d has no pack of filegroup %d", k.site, req.FG)
+	}
+	data, err := c.ReadPage(req.Phys)
+	if err != nil {
+		return nil, err
+	}
+	return &readResp{Data: data}, nil
+}
+
+// CollectGarbage reclaims delete tombstones whose deletion has been
+// seen by every configured storage site of the file ("When all the
+// storage sites have seen the delete, the inode can be reallocated by
+// the site which has control of that inode" — §2.3.7). Returns the
+// number of inodes reclaimed. Unreachable packs postpone collection.
+func (k *Kernel) CollectGarbage() int {
+	collected := 0
+	for _, fg := range k.store.Filegroups() {
+		c := k.container(fg)
+		for _, num := range c.ListInodes() {
+			if !c.Owns(num) {
+				continue // only the controlling pack reallocates
+			}
+			ino, err := c.GetInode(num)
+			if err != nil || !ino.Deleted {
+				continue
+			}
+			id := storage.FileID{FG: fg, Inode: num}
+			allSeen := true
+			for _, s := range ino.Sites {
+				if s == k.site {
+					continue
+				}
+				if !k.inPartition(s) {
+					allSeen = false
+					break
+				}
+				resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: id})
+				if err != nil {
+					allSeen = false
+					break
+				}
+				r := resp.(*getVVResp)
+				if r.Has && !r.Deleted {
+					// The pack missed the delete (it was partitioned
+					// away when the tombstone was committed): nudge it
+					// to pull the tombstone, collect next time.
+					if ino.VV.Compare(r.VV) == vclock.Dominates {
+						k.SchedulePullAt([]SiteID{s}, id, ino.VV, k.site)
+					}
+					allSeen = false
+					break
+				}
+			}
+			if allSeen {
+				c.DropInode(num)
+				collected++
+			}
+		}
+	}
+	return collected
+}

@@ -1,0 +1,248 @@
+package fs
+
+import (
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// Network method names. The protocols are the paper's specialized
+// kernel-to-kernel exchanges (§2.3.3–§2.3.7): no general-purpose RPC
+// layers, no extra acknowledgements.
+const (
+	// mOpen is US → CSS: the OPEN request of Figure 2.
+	mOpen = "fs.open"
+	// mSSOpen is CSS → SS: "request for storage site" of Figure 2.
+	mSSOpen = "fs.ssopen"
+	// mRead is US → SS: "request for page x of file y".
+	mRead = "fs.read"
+	// mWrite is US → SS (one-way): "Write logical page x in file y".
+	mWrite = "fs.write"
+	// mCommit is US → SS: commit or abort the in-core changes.
+	mCommit = "fs.commit"
+	// mClose is US → SS: first message of the 4-message close protocol.
+	mClose = "fs.close"
+	// mSSClose is SS → CSS: second message of the close protocol.
+	mSSClose = "fs.ssclose"
+	// mCreate is US → CSS: create a new file (placeholder for inode).
+	mCreate = "fs.create"
+	// mSSCreate is CSS → SS: allocate the inode at the birth pack.
+	mSSCreate = "fs.sscreate"
+	// mPropNotify is SS → {other packs, CSS} (one-way): a new version
+	// exists; bring your copy up to date by pulling.
+	mPropNotify = "fs.propnotify"
+	// mPullOpen is puller → origin: internal open returning a committed
+	// inode snapshot for propagation.
+	mPullOpen = "fs.pullopen"
+	// mReadPhys is puller → origin: read an immutable physical page of
+	// the snapshot (shadow paging makes this torn-write-free).
+	mReadPhys = "fs.readphys"
+	// mGetVV asks a pack for its committed version vector of a file
+	// (lock-table rebuild, garbage collection, reconciliation).
+	mGetVV = "fs.getvv"
+	// mSetAttr is US → SS (one-way): descriptive inode change.
+	mSetAttr = "fs.setattr"
+)
+
+type openReq struct {
+	ID   storage.FileID
+	Mode OpenMode
+	US   SiteID
+	// USVV is the version vector of the copy stored at the US, if any
+	// (the first optimization of §2.3.3: "in its message to the CSS,
+	// the US includes the version vector of the copy of the file it
+	// stores").
+	USVV vclock.VV
+}
+
+type openResp struct {
+	SS  SiteID
+	Ino *storage.Inode
+	// ServeReady reports that the serving state already exists at the
+	// SS (the CSS installed it, either at itself or via the SS poll);
+	// only when the CSS selects the US itself must the US install its
+	// own serving state.
+	ServeReady bool
+}
+
+type ssOpenReq struct {
+	ID   storage.FileID
+	Mode OpenMode
+	US   SiteID
+	// NeedVV is the latest version known to the CSS; the polled site
+	// refuses to serve if its copy is older (§2.3.3: "If they do not
+	// yet store the latest version, they refuse to act as a storage
+	// site").
+	NeedVV vclock.VV
+}
+
+type ssOpenResp struct {
+	Ino *storage.Inode
+}
+
+type readReq struct {
+	ID   storage.FileID
+	Page storage.PageNo
+	// Incore asks for the writer's in-core (shadowed) state; only the
+	// US holding the modify open sends this.
+	Incore bool
+	// Readahead asks the SS to piggyback the next logical page on the
+	// response ("readahead is useful in the case of sequential
+	// behavior, both at the SS, as well as across the network" —
+	// §2.3.3).
+	Readahead bool
+	// Hint is "a guess as to where the incore inode information is
+	// stored at the SS" (§2.3.3); the simulation keys by FileID, so the
+	// hint is carried for fidelity but not needed for correctness.
+	Hint int
+}
+
+type readResp struct {
+	Data []byte
+	Size int64 // current file size at the SS
+	EOF  bool  // page is beyond end of file
+	// Next carries logical page Page+1 when readahead was requested and
+	// the page exists.
+	Next []byte
+}
+
+// WireSize makes page transfers charge realistic byte counts.
+func (r *readResp) WireSize() int { return len(r.Data) + len(r.Next) + 32 }
+
+type writeReq struct {
+	ID   storage.FileID
+	Page storage.PageNo
+	Data []byte
+	// Size is the file size after this write as seen by the US.
+	Size int64
+}
+
+// WireSize charges the page payload.
+func (w *writeReq) WireSize() int { return len(w.Data) + 32 }
+
+type commitReq struct {
+	ID    storage.FileID
+	US    SiteID
+	Abort bool
+}
+
+type commitResp struct {
+	VV vclock.VV
+}
+
+type closeReq struct {
+	ID   storage.FileID
+	US   SiteID
+	Mode OpenMode
+}
+
+type ssCloseReq struct {
+	ID   storage.FileID
+	SS   SiteID
+	US   SiteID
+	Mode OpenMode
+	// VV is the SS's committed version vector at close time. Carrying
+	// it on the close protocol is what lets the CSS "alter state data
+	// which might affect its next synchronization policy decision"
+	// (§2.3.3) *before* the writer lock is released — otherwise a
+	// racing open could be granted against a stale latest-version
+	// record (the reopen race the paper's close-protocol footnote
+	// describes).
+	VV vclock.VV
+	// Sites is the storage-site list at close time (replication may
+	// have changed during the open).
+	Sites []SiteID
+}
+
+type createReq struct {
+	FG    storage.FilegroupID
+	Type  storage.FileType
+	US    SiteID
+	Owner string
+	Mode  uint16
+	// NCopies is the effective replication factor (already min'ed with
+	// the parent directory's factor by the US).
+	NCopies int
+	// ParentSites is the parent directory's storage-site list; initial
+	// placement is constrained to it (§2.3.7 rule a).
+	ParentSites []SiteID
+}
+
+type createResp struct {
+	ID  storage.FileID
+	SS  SiteID
+	Ino *storage.Inode
+}
+
+type ssCreateReq struct {
+	FG    storage.FilegroupID
+	Type  storage.FileType
+	Owner string
+	Mode  uint16
+	Sites []SiteID
+	US    SiteID
+}
+
+type ssCreateResp struct {
+	Ino *storage.Inode
+}
+
+type propNotify struct {
+	ID storage.FileID
+	VV vclock.VV
+	// Origin is the committing SS holding the new version.
+	Origin SiteID
+	// Pages lists the modified logical pages, or nil meaning the whole
+	// file (§2.3.6: the commit message "can indicate ... which explicit
+	// logical pages were modified").
+	Pages []storage.PageNo
+	// InodeOnly indicates only descriptive information changed
+	// (ownership, permissions), not data.
+	InodeOnly bool
+	// Sites is the file's storage-site list so packs that should hold
+	// a new replica know to pull it.
+	Sites []SiteID
+}
+
+type pullOpenReq struct {
+	ID storage.FileID
+}
+
+type pullOpenResp struct {
+	Ino *storage.Inode // committed snapshot, physical page table included
+}
+
+type readPhysReq struct {
+	FG   storage.FilegroupID
+	Phys storage.PhysPage
+}
+
+// setAttrReq updates descriptive inode information in the writer's
+// in-core inode (ownership, permissions, link count, deletion). It is
+// the "just inode information ... changed and no data" case of §2.3.6.
+type setAttrReq struct {
+	ID storage.FileID
+	// Nlink, Mode: negative means unchanged.
+	Nlink int
+	Mode  int32
+	// Owner: empty means unchanged.
+	Owner string
+	// SetDeleted marks the inode as a delete tombstone.
+	SetDeleted bool
+	// Sites: nil means unchanged (replication factor changes).
+	Sites []SiteID
+	// Annotations: nil means unchanged; entries merge into the inode's
+	// annotation map (device bindings, context labels).
+	Annotations map[string]string
+}
+
+type getVVReq struct {
+	ID storage.FileID
+}
+
+type getVVResp struct {
+	Has     bool
+	VV      vclock.VV
+	Deleted bool
+	Sites   []SiteID
+	Type    storage.FileType
+}

@@ -1,0 +1,300 @@
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// This file is the kernel interface used by the reconciliation layer
+// (internal/recon): enumeration of a pack's inodes, raw access to a
+// specific pack's copy of a file (normal opens refuse conflicted
+// copies; reconciliation must read them), and the privileged commit
+// that installs a merged result with an explicitly chosen version
+// vector.
+
+const (
+	mListInodes   = "fs.listinodes"
+	mMarkConflict = "fs.markconflict"
+)
+
+// InodeSummary describes one committed inode at one pack.
+type InodeSummary struct {
+	// Site is the pack site this summary came from (set by the probe
+	// helpers; zero when implicit from context).
+	Site     SiteID
+	Num      storage.InodeNum
+	Type     storage.FileType
+	VV       vclock.VV
+	Size     int64
+	Deleted  bool
+	Conflict bool
+	Nlink    int
+	Owner    string
+	Sites    []SiteID
+}
+
+type listInodesReq struct {
+	FG storage.FilegroupID
+}
+
+type listInodesResp struct {
+	Inodes []InodeSummary
+}
+
+type markConflictReq struct {
+	ID storage.FileID
+}
+
+func (k *Kernel) registerReconHandlers() {
+	k.node.Handle(mListInodes, k.handleListInodes)
+	k.node.Handle(mMarkConflict, k.handleMarkConflict)
+}
+
+// ListLocalInodes enumerates the committed inodes of this site's pack
+// for a filegroup.
+func (k *Kernel) ListLocalInodes(fg storage.FilegroupID) []InodeSummary {
+	c := k.container(fg)
+	if c == nil {
+		return nil
+	}
+	var out []InodeSummary
+	for _, num := range c.ListInodes() {
+		ino, err := c.GetInode(num)
+		if err != nil {
+			continue
+		}
+		out = append(out, InodeSummary{
+			Num: num, Type: ino.Type, VV: ino.VV, Size: ino.Size,
+			Deleted: ino.Deleted, Conflict: ino.Conflict,
+			Nlink: ino.Nlink, Owner: ino.Owner,
+			Sites: append([]SiteID(nil), ino.Sites...),
+		})
+	}
+	return out
+}
+
+func (k *Kernel) handleListInodes(_ SiteID, p any) (any, error) {
+	req := p.(*listInodesReq)
+	return &listInodesResp{Inodes: k.ListLocalInodes(req.FG)}, nil
+}
+
+// ListInodesAt enumerates a (possibly remote) pack's inodes.
+func (k *Kernel) ListInodesAt(site SiteID, fg storage.FilegroupID) ([]InodeSummary, error) {
+	if site == k.site {
+		return k.ListLocalInodes(fg), nil
+	}
+	resp, err := k.node.Call(site, mListInodes, &listInodesReq{FG: fg})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*listInodesResp).Inodes, nil
+}
+
+// FetchCopyFrom reads a specific pack's committed copy of a file — the
+// inode and full content — regardless of conflict markings. This is
+// the reconciliation read path (normal opens would refuse).
+func (k *Kernel) FetchCopyFrom(site SiteID, id storage.FileID) (*storage.Inode, []byte, error) {
+	var ino *storage.Inode
+	if site == k.site {
+		c := k.container(id.FG)
+		if c == nil {
+			return nil, nil, fmt.Errorf("%w: %v at %d", ErrNotFound, id, site)
+		}
+		var err error
+		ino, err = c.GetInode(id.Inode)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		resp, err := k.node.Call(site, mPullOpen, &pullOpenReq{ID: id})
+		if err != nil {
+			return nil, nil, err
+		}
+		ino = resp.(*pullOpenResp).Ino
+	}
+	if ino.Deleted {
+		return ino.Clone(), nil, nil
+	}
+	data := make([]byte, 0, ino.Size)
+	for _, pp := range ino.Pages {
+		var page []byte
+		if pp == storage.PhysPageNil {
+			page = make([]byte, storage.PageSize)
+		} else if site == k.site {
+			var err error
+			page, err = k.container(id.FG).ReadPage(pp)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			resp, err := k.node.Call(site, mReadPhys, &readPhysReq{FG: id.FG, Phys: pp})
+			if err != nil {
+				return nil, nil, err
+			}
+			page = resp.(*readResp).Data
+		}
+		data = append(data, page...)
+	}
+	if int64(len(data)) > ino.Size {
+		data = data[:ino.Size]
+	}
+	return ino.Clone(), data, nil
+}
+
+// ReconcileCommit installs a merged version of a file at this site's
+// pack with the given inode metadata (including the merged, bumped
+// version vector) and content, then notifies the file's other storage
+// sites so they pull the reconciled version through the ordinary
+// propagation path.
+func (k *Kernel) ReconcileCommit(id storage.FileID, ino *storage.Inode, content []byte) error {
+	c := k.container(id.FG)
+	if c == nil {
+		return fmt.Errorf("%w: site %d stores no pack of %d", ErrNoStorageSite, k.site, id.FG)
+	}
+	newIno := ino.Clone()
+	newIno.Num = id.Inode
+	newIno.Conflict = false
+	newIno.Pages = nil
+	if !newIno.Deleted {
+		newIno.Size = int64(len(content))
+		for off := 0; off < len(content); off += storage.PageSize {
+			end := off + storage.PageSize
+			if end > len(content) {
+				end = len(content)
+			}
+			pp, err := c.WritePage(content[off:end])
+			if err != nil {
+				return err
+			}
+			newIno.Pages = append(newIno.Pages, pp)
+		}
+	} else {
+		newIno.Size = 0
+	}
+	if err := c.CommitInode(newIno); err != nil {
+		return err
+	}
+	k.notifyCommit(id, newIno, nil)
+	return nil
+}
+
+// MarkConflict marks every reachable copy of a file as being in
+// unresolved version conflict, "so normal attempts to access them
+// fail" (§4.6). The marking preserves each copy's version vector.
+func (k *Kernel) MarkConflict(id storage.FileID, sites []SiteID) {
+	for _, s := range sites {
+		if s == k.site {
+			k.handleMarkConflict(k.site, &markConflictReq{ID: id}) //nolint:errcheck // local marking cannot fail usefully
+			continue
+		}
+		if k.inPartition(s) {
+			k.node.Cast(s, mMarkConflict, &markConflictReq{ID: id}) //nolint:errcheck // unreachable packs marked at next merge
+		}
+	}
+}
+
+func (k *Kernel) handleMarkConflict(_ SiteID, p any) (any, error) {
+	req := p.(*markConflictReq)
+	c := k.container(req.ID.FG)
+	if c == nil || !c.HasInode(req.ID.Inode) {
+		return nil, nil
+	}
+	ino, err := c.GetInode(req.ID.Inode)
+	if err != nil || ino.Conflict {
+		return nil, nil
+	}
+	ino.Conflict = true
+	return nil, c.CommitInode(ino)
+}
+
+// SchedulePullAt enqueues ordinary propagation pulls of a file at the
+// given sites, naming origin as the holder of the version vv. The
+// reconciliation layer uses this when version vectors show plain
+// staleness rather than conflict.
+func (k *Kernel) SchedulePullAt(sites []SiteID, id storage.FileID, vv vclock.VV, origin SiteID) {
+	note := &propNotify{ID: id, VV: vv.Copy(), Origin: origin, Sites: sites}
+	for _, s := range sites {
+		if s == origin {
+			continue
+		}
+		if s == k.site {
+			k.applyPropNotify(k.site, note)
+		} else if k.inPartition(s) {
+			k.node.Cast(s, mPropNotify, note) //nolint:errcheck // unreachable sites retry at next merge
+		}
+	}
+}
+
+// ProbeSummary polls the filegroup's packs in this partition for their
+// copies of a file and returns the dominant copy's summary (merging is
+// the caller's business if vectors conflict; the second return reports
+// whether any pair was concurrent).
+func (k *Kernel) ProbeSummary(id storage.FileID) (best InodeSummary, conflict, found bool) {
+	for _, s := range k.packSitesInPartition(id.FG) {
+		var r getVVResp
+		if s == k.site {
+			r = k.localGetVV(id)
+		} else {
+			resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: id})
+			if err != nil {
+				continue
+			}
+			r = *resp.(*getVVResp)
+		}
+		if !r.Has {
+			continue
+		}
+		cur := InodeSummary{Site: s, Num: id.Inode, Type: r.Type, VV: r.VV, Deleted: r.Deleted, Sites: r.Sites}
+		switch {
+		case !found:
+			best, found = cur, true
+		default:
+			switch cur.VV.Compare(best.VV) {
+			case vclock.Dominates:
+				best = cur
+			case vclock.Concurrent:
+				conflict = true
+			}
+		}
+	}
+	return best, conflict, found
+}
+
+// ProbeAll returns every reachable pack's copy summary for a file,
+// keyed by site.
+func (k *Kernel) ProbeAll(id storage.FileID) map[SiteID]InodeSummary {
+	out := make(map[SiteID]InodeSummary)
+	for _, s := range k.packSitesInPartition(id.FG) {
+		var r getVVResp
+		if s == k.site {
+			r = k.localGetVV(id)
+		} else {
+			resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: id})
+			if err != nil {
+				continue
+			}
+			r = *resp.(*getVVResp)
+		}
+		if r.Has {
+			out[s] = InodeSummary{Site: s, Num: id.Inode, Type: r.Type, VV: r.VV, Deleted: r.Deleted, Sites: r.Sites}
+		}
+	}
+	return out
+}
+
+// ClearConflict removes the conflict marking from the local copy (used
+// by the manual resolution tool after the user picks a version).
+func (k *Kernel) ClearConflict(id storage.FileID) error {
+	c := k.container(id.FG)
+	if c == nil {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	ino, err := c.GetInode(id.Inode)
+	if err != nil {
+		return err
+	}
+	ino.Conflict = false
+	return c.CommitInode(ino)
+}

@@ -1,0 +1,733 @@
+// Package netsim simulates the network substrate LOCUS ran on: a set of
+// sites connected by a fully-connected (within a partition) message
+// layer with virtual-circuit semantics.
+//
+// The LOCUS paper (§5.1) describes the low-level transport as a
+// collection of virtual circuits delivering messages between sites in
+// order; a lost message closes the circuit, and circuit failure removes
+// the peer from the local site's view of the partition. netsim
+// reproduces exactly those semantics in-process:
+//
+//   - Call implements the specialized request/response protocols of
+//     §2.3 ("There are no other messages involved; no acknowledgements,
+//     flow control or any other underlying mechanism"): one request
+//     message, one response message.
+//   - Cast implements one-way messages with low-level acknowledgement
+//     only (the write protocol of §2.3.5): one message on the wire.
+//   - Breaking a link (or crashing a site) aborts in-flight exchanges
+//     across it with ErrCircuitClosed and notifies both endpoints, which
+//     is what triggers the reconfiguration protocols of §5.
+//
+// All traffic is metered (message counts per method, bytes, simulated
+// CPU microseconds) so the benchmark harness can regenerate the paper's
+// protocol costs without real hardware.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// SiteID identifies a site. It aliases vclock.SiteID so version vectors
+// and the transport agree on site naming.
+type SiteID = vclock.SiteID
+
+// Errors returned by the transport.
+var (
+	// ErrUnreachable reports that no virtual circuit can be opened to
+	// the destination: it is down or in a different partition.
+	ErrUnreachable = errors.New("netsim: site unreachable")
+	// ErrCircuitClosed reports that the virtual circuit failed while an
+	// exchange was in flight; the caller cannot know whether the remote
+	// operation happened.
+	ErrCircuitClosed = errors.New("netsim: virtual circuit closed")
+	// ErrNoHandler reports that the destination has no handler bound
+	// for the requested method.
+	ErrNoHandler = errors.New("netsim: no handler for method")
+	// ErrSiteDown reports an operation on a crashed site.
+	ErrSiteDown = errors.New("netsim: site is down")
+)
+
+// Handler services one inbound message. from is the requesting site.
+// For Cast messages the returned value is discarded.
+type Handler func(from SiteID, payload any) (any, error)
+
+// Sizer lets a payload report its approximate wire size in bytes for
+// byte accounting. Payloads that do not implement Sizer are charged
+// defaultWireSize.
+type Sizer interface{ WireSize() int }
+
+const (
+	defaultWireSize = 200 // bytes charged for an unsized payload
+	headerWireSize  = 64  // bytes charged per message for headers
+)
+
+// CostModel assigns simulated CPU microseconds to primitive operations.
+// The defaults are calibrated so the headline ratios reported in the
+// paper hold (remote page access ≈ 2× the CPU of local access —
+// §2.2.1 footnote): a local page access costs PageCPU and a remote one
+// costs PageCPU at the storage site plus 2×MsgCPU of protocol work.
+type CostModel struct {
+	MsgCPU    int64 // CPU to build+send or receive+decode one message
+	PerKBCPU  int64 // additional CPU per KB of payload moved
+	LocalCall int64 // CPU of a purely local kernel procedure call
+	PageCPU   int64 // CPU of buffer management + copy for one page
+	DiskUs    int64 // latency of one disk page transfer
+}
+
+// DefaultCosts is the calibrated cost model used by the benchmarks.
+func DefaultCosts() CostModel {
+	return CostModel{
+		MsgCPU:    500,
+		PerKBCPU:  100,
+		LocalCall: 50,
+		PageCPU:   1000,
+		DiskUs:    15000,
+	}
+}
+
+// Stats accumulates network-wide traffic and simulated cost counters.
+type Stats struct {
+	mu      sync.Mutex
+	msgs    int64
+	bytes   int64
+	byMeth  map[string]int64
+	cpuUs   int64
+	diskUs  int64
+	casts   int64
+	calls   int64
+	dropped int64
+}
+
+// Snapshot is an immutable copy of the counters at a point in time.
+type Snapshot struct {
+	Msgs     int64
+	Bytes    int64
+	ByMethod map[string]int64
+	CPUUs    int64
+	DiskUs   int64
+	Casts    int64
+	Calls    int64
+	Dropped  int64
+}
+
+func (s *Stats) snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	by := make(map[string]int64, len(s.byMeth))
+	for k, v := range s.byMeth {
+		by[k] = v
+	}
+	return Snapshot{
+		Msgs: s.msgs, Bytes: s.bytes, ByMethod: by,
+		CPUUs: s.cpuUs, DiskUs: s.diskUs,
+		Casts: s.casts, Calls: s.calls, Dropped: s.dropped,
+	}
+}
+
+// addMsg records n wire messages for an exchange of the given method
+// (2 for a request/response Call, 1 for a one-way Cast).
+func (s *Stats) addMsg(method string, n, bytes int64) {
+	s.mu.Lock()
+	s.msgs += n
+	s.bytes += bytes
+	if s.byMeth == nil {
+		s.byMeth = make(map[string]int64)
+	}
+	s.byMeth[method] += n
+	s.mu.Unlock()
+}
+
+// AddCPU charges simulated CPU microseconds.
+func (s *Stats) AddCPU(us int64) { atomic_add(&s.mu, &s.cpuUs, us) }
+
+// AddDisk charges simulated disk microseconds.
+func (s *Stats) AddDisk(us int64) { atomic_add(&s.mu, &s.diskUs, us) }
+
+func atomic_add(mu *sync.Mutex, p *int64, d int64) {
+	mu.Lock()
+	*p += d
+	mu.Unlock()
+}
+
+// Sub returns the counter deltas between a later snapshot b and s.
+func (b Snapshot) Sub(a Snapshot) Snapshot {
+	by := make(map[string]int64)
+	for k, v := range b.ByMethod {
+		if d := v - a.ByMethod[k]; d != 0 {
+			by[k] = d
+		}
+	}
+	return Snapshot{
+		Msgs: b.Msgs - a.Msgs, Bytes: b.Bytes - a.Bytes, ByMethod: by,
+		CPUUs: b.CPUUs - a.CPUUs, DiskUs: b.DiskUs - a.DiskUs,
+		Casts: b.Casts - a.Casts, Calls: b.Calls - a.Calls,
+		Dropped: b.Dropped - a.Dropped,
+	}
+}
+
+// Network is the simulated internetwork: a set of sites and a symmetric
+// connectivity relation. The high-level LOCUS protocols assume the
+// network is transitively connected within a partition (§5.1); the
+// helpers PartitionGroups and HealAll maintain that invariant, while
+// SetLink allows deliberately non-transitive configurations for testing
+// the partition protocol.
+type Network struct {
+	mu    sync.Mutex
+	nodes map[SiteID]*Node
+	// link[a][b] reports a working circuit path between a and b.
+	link  map[SiteID]map[SiteID]bool
+	up    map[SiteID]bool
+	stats Stats
+	cost  CostModel
+
+	callSeq atomic.Int64
+	pending map[int64]*pendingCall
+	// active counts messages enqueued but not yet fully handled, for
+	// Quiesce.
+	active atomic.Int64
+}
+
+// New creates an empty network with the given cost model.
+func New(cost CostModel) *Network {
+	return &Network{
+		nodes:   make(map[SiteID]*Node),
+		link:    make(map[SiteID]map[SiteID]bool),
+		up:      make(map[SiteID]bool),
+		cost:    cost,
+		pending: make(map[int64]*pendingCall),
+	}
+}
+
+// Cost returns the network's cost model.
+func (nw *Network) Cost() CostModel { return nw.cost }
+
+// Stats returns a snapshot of the traffic counters.
+func (nw *Network) Stats() Snapshot { return nw.stats.snapshot() }
+
+// Meter charges CPU/disk cost directly (used by the storage layer).
+func (nw *Network) Meter() *Stats { return &nw.stats }
+
+// AddSite creates and starts a node for site id, fully connected to all
+// existing sites. Adding an existing id panics: site identity is
+// configuration, not runtime data.
+func (nw *Network) AddSite(id SiteID) *Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if _, dup := nw.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate site %d", id))
+	}
+	n := &Node{
+		id:       id,
+		nw:       nw,
+		handlers: make(map[string]Handler),
+		inbox:    make(chan *envelope, 1024),
+		quit:     make(chan struct{}),
+	}
+	nw.nodes[id] = n
+	nw.up[id] = true
+	nw.link[id] = make(map[SiteID]bool)
+	for other := range nw.nodes {
+		if other != id {
+			nw.link[id][other] = true
+			nw.link[other][id] = true
+		}
+	}
+	go n.dispatch()
+	return n
+}
+
+// Node returns the node for a site, or nil if it was never added.
+func (nw *Network) Node(id SiteID) *Node {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.nodes[id]
+}
+
+// Quiesce blocks until no message is queued or being handled anywhere
+// in the network. It lets deterministic tests and benchmarks wait out
+// the asynchronous one-way traffic (commit notifications, writes)
+// before asserting on state.
+func (nw *Network) Quiesce() {
+	for i := 0; ; i++ {
+		if nw.active.Load() == 0 {
+			return
+		}
+		if i < 100 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// Close stops all node dispatch loops. The network is unusable after.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for _, n := range nw.nodes {
+		select {
+		case <-n.quit:
+		default:
+			close(n.quit)
+		}
+	}
+}
+
+// Sites returns all site ids ever added, in unspecified order.
+func (nw *Network) Sites() []SiteID {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	out := make([]SiteID, 0, len(nw.nodes))
+	for id := range nw.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Connected reports whether a working circuit exists between a and b.
+// A site is always connected to itself while it is up.
+func (nw *Network) Connected(a, b SiteID) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.connectedLocked(a, b)
+}
+
+func (nw *Network) connectedLocked(a, b SiteID) bool {
+	if !nw.up[a] || !nw.up[b] {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	return nw.link[a][b]
+}
+
+// Up reports whether the site is running (not crashed).
+func (nw *Network) Up(id SiteID) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.up[id]
+}
+
+// SetLink sets the (symmetric) connectivity between two sites. Taking a
+// link down closes the virtual circuit: in-flight exchanges across it
+// fail and both endpoints' OnLinkDown callbacks fire.
+func (nw *Network) SetLink(a, b SiteID, up bool) {
+	nw.mu.Lock()
+	was := nw.link[a][b]
+	nw.link[a][b] = up
+	nw.link[b][a] = up
+	var fail []*pendingCall
+	if was && !up {
+		fail = nw.takePendingBetweenLocked(a, b)
+	}
+	na, nb := nw.nodes[a], nw.nodes[b]
+	nw.mu.Unlock()
+
+	for _, p := range fail {
+		p.fail(ErrCircuitClosed)
+	}
+	if was && !up {
+		if na != nil {
+			na.notifyLinkDown(b)
+		}
+		if nb != nil {
+			nb.notifyLinkDown(a)
+		}
+	}
+}
+
+// PartitionGroups reconfigures connectivity so each group is a fully
+// connected clique and no circuits cross groups. Sites not mentioned in
+// any group are isolated. Circuit-close notifications fire for every
+// severed pair.
+func (nw *Network) PartitionGroups(groups ...[]SiteID) {
+	group := make(map[SiteID]int)
+	for gi, g := range groups {
+		for _, s := range g {
+			group[s] = gi + 1
+		}
+	}
+	ids := nw.Sites()
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			ga, oka := group[a]
+			gb, okb := group[b]
+			nw.SetLink(a, b, oka && okb && ga == gb)
+		}
+	}
+}
+
+// HealAll restores full connectivity among all up sites.
+func (nw *Network) HealAll() {
+	ids := nw.Sites()
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			nw.SetLink(a, b, true)
+		}
+	}
+}
+
+// Crash takes a site down abruptly: every circuit to it closes and
+// in-flight exchanges fail, exactly as when "hosts crash" in §2.3.3.
+// The node's OnCrash callback runs so upper layers can discard in-core
+// state (incore inodes, process table, tokens).
+func (nw *Network) Crash(id SiteID) {
+	nw.mu.Lock()
+	if !nw.up[id] {
+		nw.mu.Unlock()
+		return
+	}
+	nw.up[id] = false
+	var fail []*pendingCall
+	for pid, p := range nw.pending {
+		if p.from == id || p.to == id {
+			fail = append(fail, p)
+			delete(nw.pending, pid)
+		}
+	}
+	n := nw.nodes[id]
+	var peers []SiteID
+	for other := range nw.nodes {
+		if other != id && nw.link[id][other] {
+			peers = append(peers, other)
+		}
+	}
+	nw.mu.Unlock()
+
+	for _, p := range fail {
+		p.fail(ErrCircuitClosed)
+	}
+	if n != nil {
+		n.runCrash()
+	}
+	for _, peer := range peers {
+		if pn := nw.Node(peer); pn != nil {
+			pn.notifyLinkDown(id)
+		}
+	}
+}
+
+// Restart brings a crashed site back up. Its physical links are as they
+// were configured before the crash (a rebooted machine rejoins the
+// wire); the merge protocol is responsible for re-admitting it to a
+// logical partition.
+func (nw *Network) Restart(id SiteID) {
+	nw.mu.Lock()
+	if nw.up[id] {
+		nw.mu.Unlock()
+		return
+	}
+	nw.up[id] = true
+	n := nw.nodes[id]
+	nw.mu.Unlock()
+	if n != nil {
+		n.runRestart()
+	}
+}
+
+func (nw *Network) takePendingBetweenLocked(a, b SiteID) []*pendingCall {
+	var fail []*pendingCall
+	for id, p := range nw.pending {
+		if (p.from == a && p.to == b) || (p.from == b && p.to == a) {
+			fail = append(fail, p)
+			delete(nw.pending, id)
+		}
+	}
+	return fail
+}
+
+func payloadBytes(p any) int64 {
+	if s, ok := p.(Sizer); ok {
+		return int64(s.WireSize()) + headerWireSize
+	}
+	return defaultWireSize + headerWireSize
+}
+
+type msgKind int
+
+const (
+	kindRequest msgKind = iota
+	kindOneWay
+)
+
+type envelope struct {
+	kind    msgKind
+	from    SiteID
+	method  string
+	payload any
+	callID  int64
+}
+
+type pendingCall struct {
+	from, to SiteID
+	once     sync.Once
+	done     chan callResult
+}
+
+type callResult struct {
+	value any
+	err   error
+}
+
+func (p *pendingCall) fail(err error) {
+	p.once.Do(func() { p.done <- callResult{err: err} })
+}
+
+func (p *pendingCall) succeed(v any, err error) {
+	p.once.Do(func() { p.done <- callResult{value: v, err: err} })
+}
+
+// Node is one site's attachment to the network. Upper layers register
+// handlers by method name and issue Calls and Casts; the paper's kernel
+// message analysis/dispatch loop (Figure 1) is the dispatch goroutine.
+type Node struct {
+	id SiteID
+	nw *Network
+
+	mu        sync.Mutex
+	handlers  map[string]Handler
+	onLink    func(peer SiteID)
+	onCrash   func()
+	onRestart func()
+
+	inbox chan *envelope
+	quit  chan struct{}
+}
+
+// ID returns the node's site id.
+func (n *Node) ID() SiteID { return n.id }
+
+// Network returns the network this node is attached to.
+func (n *Node) Network() *Network { return n.nw }
+
+// Handle binds a handler for a method name. Handlers may issue nested
+// Calls (the CSS does so to reach an SS during open).
+func (n *Node) Handle(method string, h Handler) {
+	n.mu.Lock()
+	n.handlers[method] = h
+	n.mu.Unlock()
+}
+
+// OnLinkDown registers a callback invoked (asynchronously) whenever the
+// virtual circuit to peer closes. The reconfiguration layer uses this
+// to trigger the partition protocol.
+func (n *Node) OnLinkDown(f func(peer SiteID)) {
+	n.mu.Lock()
+	n.onLink = f
+	n.mu.Unlock()
+}
+
+// OnCrash registers a callback run when this site crashes; upper layers
+// discard volatile state there.
+func (n *Node) OnCrash(f func()) {
+	n.mu.Lock()
+	n.onCrash = f
+	n.mu.Unlock()
+}
+
+// OnRestart registers a callback run when this site restarts.
+func (n *Node) OnRestart(f func()) {
+	n.mu.Lock()
+	n.onRestart = f
+	n.mu.Unlock()
+}
+
+func (n *Node) handler(method string) Handler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.handlers[method]
+}
+
+func (n *Node) notifyLinkDown(peer SiteID) {
+	n.mu.Lock()
+	f := n.onLink
+	n.mu.Unlock()
+	if f != nil {
+		n.nw.active.Add(1)
+		go func() {
+			defer n.nw.active.Add(-1)
+			f(peer)
+		}()
+	}
+}
+
+func (n *Node) runCrash() {
+	n.mu.Lock()
+	f := n.onCrash
+	n.mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+func (n *Node) runRestart() {
+	n.mu.Lock()
+	f := n.onRestart
+	n.mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+// Call performs a request/response exchange with site to: exactly two
+// messages on the wire (request, response), or zero when to == n.ID()
+// (a local procedure call, as when "the local site is the CSS, only a
+// procedure call is needed" — §2.3.3).
+func (n *Node) Call(to SiteID, method string, payload any) (any, error) {
+	if to == n.id {
+		if !n.nw.Up(n.id) {
+			return nil, ErrSiteDown
+		}
+		h := n.handler(method)
+		if h == nil {
+			return nil, fmt.Errorf("%w: %s at site %d", ErrNoHandler, method, to)
+		}
+		n.nw.stats.AddCPU(n.nw.cost.LocalCall)
+		return h(n.id, payload)
+	}
+
+	nw := n.nw
+	nw.mu.Lock()
+	if !nw.connectedLocked(n.id, to) {
+		nw.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+	}
+	dest := nw.nodes[to]
+	callID := nw.callSeq.Add(1)
+	p := &pendingCall{from: n.id, to: to, done: make(chan callResult, 1)}
+	nw.pending[callID] = p
+	// A Call is two wire messages: the request and the response.
+	bytes := payloadBytes(payload) + headerWireSize
+	nw.stats.addMsg(method, 2, bytes)
+	nw.stats.mu.Lock()
+	nw.stats.calls++
+	nw.stats.cpuUs += 2*nw.cost.MsgCPU + bytes*nw.cost.PerKBCPU/1024
+	nw.stats.mu.Unlock()
+	nw.mu.Unlock()
+
+	env := &envelope{kind: kindRequest, from: n.id, method: method, payload: payload, callID: callID}
+	select {
+	case dest.inbox <- env:
+	case <-dest.quit:
+		nw.dropPending(callID)
+		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+	}
+
+	res := <-p.done
+	return res.value, res.err
+}
+
+// Cast sends a one-way message: one message on the wire, delivered in
+// order with respect to other traffic from this node to the same peer,
+// with only a low-level acknowledgement (modeled as free, per the write
+// protocol footnote in §2.3.5). Delivery is not confirmed to the
+// caller beyond circuit liveness at send time.
+func (n *Node) Cast(to SiteID, method string, payload any) error {
+	if to == n.id {
+		h := n.handler(method)
+		if h == nil {
+			return fmt.Errorf("%w: %s at site %d", ErrNoHandler, method, to)
+		}
+		n.nw.stats.AddCPU(n.nw.cost.LocalCall)
+		_, err := h(n.id, payload)
+		return err
+	}
+	nw := n.nw
+	nw.mu.Lock()
+	if !nw.connectedLocked(n.id, to) {
+		nw.mu.Unlock()
+		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+	}
+	dest := nw.nodes[to]
+	bytes := payloadBytes(payload)
+	nw.stats.addMsg(method, 1, bytes)
+	nw.stats.mu.Lock()
+	nw.stats.casts++
+	nw.stats.cpuUs += nw.cost.MsgCPU + bytes*nw.cost.PerKBCPU/1024
+	nw.stats.mu.Unlock()
+	nw.mu.Unlock()
+
+	env := &envelope{kind: kindOneWay, from: n.id, method: method, payload: payload}
+	nw.active.Add(1)
+	select {
+	case dest.inbox <- env:
+	case <-dest.quit:
+		nw.active.Add(-1)
+		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+	}
+	return nil
+}
+
+func (nw *Network) dropPending(id int64) *pendingCall {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	p := nw.pending[id]
+	delete(nw.pending, id)
+	return p
+}
+
+// dispatch is the node's kernel network-message loop. One-way messages
+// are serviced inline (preserving circuit ordering relative to later
+// requests from the same peer); requests are serviced in their own
+// goroutine because servicing may require nested remote service.
+func (n *Node) dispatch() {
+	for {
+		select {
+		case <-n.quit:
+			return
+		case env := <-n.inbox:
+			if !n.nw.Connected(env.from, n.id) {
+				// The circuit closed while the message was queued:
+				// it is lost, and for a request the caller was
+				// already failed by the circuit teardown.
+				n.nw.stats.mu.Lock()
+				n.nw.stats.dropped++
+				n.nw.stats.mu.Unlock()
+				if env.kind == kindOneWay {
+					n.nw.active.Add(-1)
+				}
+				continue
+			}
+			switch env.kind {
+			case kindOneWay:
+				if h := n.handler(env.method); h != nil {
+					h(env.from, env.payload) //nolint:errcheck // one-way: no reply path
+				}
+				n.nw.active.Add(-1)
+			case kindRequest:
+				go n.serve(env)
+			}
+		}
+	}
+}
+
+func (n *Node) serve(env *envelope) {
+	h := n.handler(env.method)
+	var v any
+	var err error
+	if h == nil {
+		err = fmt.Errorf("%w: %s at site %d", ErrNoHandler, env.method, n.id)
+	} else {
+		v, err = h(env.from, env.payload)
+	}
+	// Deliver the response through the pending registry; if the circuit
+	// closed meanwhile the pending call was already failed and removed,
+	// so the response is dropped, as on a real circuit.
+	p := n.nw.dropPending(env.callID)
+	if p == nil {
+		return
+	}
+	if !n.nw.Connected(n.id, p.from) {
+		p.fail(ErrCircuitClosed)
+		return
+	}
+	p.succeed(v, err)
+}

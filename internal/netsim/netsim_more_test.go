@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuiesceWaitsForCasts(t *testing.T) {
+	nw, a, b := twoSites(t)
+	var mu sync.Mutex
+	handled := 0
+	b.Handle("slowcast", func(SiteID, any) (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		handled++
+		mu.Unlock()
+		return nil, nil
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := a.Cast(2, "slowcast", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if handled != n {
+		t.Fatalf("Quiesce returned with %d/%d casts handled", handled, n)
+	}
+}
+
+func TestCastToUnreachableFailsImmediately(t *testing.T) {
+	nw, a, _ := twoSites(t)
+	nw.SetLink(1, 2, false)
+	if err := a.Cast(2, "x", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallFromCrashedSiteFails(t *testing.T) {
+	nw, a, b := twoSites(t)
+	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
+	nw.Crash(1)
+	if _, err := a.Call(2, "op", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call from crashed site: %v", err)
+	}
+	// Even a self-call fails while down.
+	a.Handle("self", func(SiteID, any) (any, error) { return nil, nil })
+	if _, err := a.Call(1, "self", nil); !errors.Is(err, ErrSiteDown) {
+		t.Fatalf("self call while down: %v", err)
+	}
+}
+
+func TestHandlerErrorPropagatesToCaller(t *testing.T) {
+	sentinel := errors.New("application failure")
+	_, a, b := twoSites(t)
+	b.Handle("fail", func(SiteID, any) (any, error) { return nil, sentinel })
+	_, err := a.Call(2, "fail", nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the handler's error value", err)
+	}
+}
+
+func TestStatsByMethodAndBytes(t *testing.T) {
+	nw, a, b := twoSites(t)
+	b.Handle("m1", func(SiteID, any) (any, error) { return nil, nil })
+	b.Handle("m2", func(SiteID, any) (any, error) { return nil, nil })
+	before := nw.Stats()
+	for i := 0; i < 3; i++ {
+		if _, err := a.Call(2, "m1", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Cast(2, "m2", nil); err != nil {
+		t.Fatal(err)
+	}
+	nw.Quiesce()
+	d := nw.Stats().Sub(before)
+	if d.ByMethod["m1"] != 6 || d.ByMethod["m2"] != 1 {
+		t.Fatalf("ByMethod = %v", d.ByMethod)
+	}
+	if d.Calls != 3 || d.Casts != 1 {
+		t.Fatalf("calls=%d casts=%d", d.Calls, d.Casts)
+	}
+	if d.Bytes <= 0 || d.CPUUs <= 0 {
+		t.Fatalf("bytes=%d cpu=%d", d.Bytes, d.CPUUs)
+	}
+}
+
+func TestDroppedMessagesCounted(t *testing.T) {
+	nw, a, b := twoSites(t)
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	b.Handle("block", func(SiteID, any) (any, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil, nil
+	})
+	// Queue a cast behind a blocking request so it is still in the
+	// inbox when the circuit breaks.
+	go a.Call(2, "block", nil) //nolint:errcheck // will fail with circuit closed
+	<-started
+	if err := a.Cast(2, "late", nil); err != nil {
+		t.Fatal(err)
+	}
+	nw.SetLink(1, 2, false)
+	close(release)
+	nw.Quiesce()
+	if d := nw.Stats(); d.Dropped == 0 {
+		t.Fatalf("expected dropped messages, got %+v", d)
+	}
+}
+
+func TestRestartIdempotentAndCrashIdempotent(t *testing.T) {
+	nw, _, _ := twoSites(t)
+	nw.Crash(2)
+	nw.Crash(2) // no panic
+	nw.Restart(2)
+	nw.Restart(2) // no panic
+	if !nw.Up(2) {
+		t.Fatal("site 2 should be up")
+	}
+}
+
+func TestConnectedSemantics(t *testing.T) {
+	nw, _, _ := twoSites(t)
+	if !nw.Connected(1, 1) {
+		t.Fatal("self-connectivity while up")
+	}
+	nw.Crash(1)
+	if nw.Connected(1, 1) || nw.Connected(1, 2) {
+		t.Fatal("crashed site must not be connected to anything")
+	}
+}

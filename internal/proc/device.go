@@ -1,0 +1,166 @@
+package proc
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/fs"
+	"repro/internal/storage"
+)
+
+// Transparent remote devices (§2.4.2): "LOCUS provides for transparent
+// use of remote devices in most cases. This functionality is
+// exceedingly valuable." A device special file in the catalog names a
+// hosting site and a driver; opening it from any site yields a handle
+// whose reads and writes are serviced by the driver at the hosting
+// site. (The paper's one exception — raw non-character devices — is
+// an exception here too: only character-stream drivers exist.)
+
+// DeviceDriver is a site-local character device implementation.
+type DeviceDriver interface {
+	// DevRead returns up to max bytes from the device.
+	DevRead(max int) ([]byte, error)
+	// DevWrite consumes data, returning the count accepted.
+	DevWrite(data []byte) (int, error)
+}
+
+const (
+	mDevRead  = "proc.devread"
+	mDevWrite = "proc.devwrite"
+)
+
+type devReadReq struct {
+	Name string
+	Max  int
+}
+
+type devReadResp struct {
+	Data []byte
+}
+
+// WireSize charges the moved bytes.
+func (r *devReadResp) WireSize() int { return len(r.Data) + 16 }
+
+type devWriteReq struct {
+	Name string
+	Data []byte
+}
+
+// WireSize charges the moved bytes.
+func (r *devWriteReq) WireSize() int { return len(r.Data) + 16 }
+
+type devWriteResp struct {
+	N int
+}
+
+// RegisterDevice installs a driver at this site under a name referenced
+// by Mknod device files.
+func (m *Manager) RegisterDevice(name string, d DeviceDriver) {
+	m.devMu.Lock()
+	if m.devices == nil {
+		m.devices = make(map[string]DeviceDriver)
+	}
+	m.devices[name] = d
+	m.devMu.Unlock()
+}
+
+func (m *Manager) driver(name string) (DeviceDriver, bool) {
+	m.devMu.Lock()
+	defer m.devMu.Unlock()
+	d, ok := m.devices[name]
+	return d, ok
+}
+
+// DeviceHandle is a process's handle on a (possibly remote) device.
+type DeviceHandle struct {
+	m    *Manager
+	host SiteID
+	name string
+}
+
+// Host returns the device's hosting site.
+func (d *DeviceHandle) Host() SiteID { return d.host }
+
+// OpenDevice resolves a device special file and returns a handle
+// routing I/O to the hosting site's driver.
+func (m *Manager) OpenDevice(p *Process, path string) (*DeviceHandle, error) {
+	r, err := m.kernel.Resolve(p.cred, path)
+	if err != nil {
+		return nil, err
+	}
+	if r.Type != storage.TypeDevice {
+		return nil, fmt.Errorf("proc: %s is not a device", path)
+	}
+	f, err := m.kernel.OpenID(r.ID, fs.ModeInternal)
+	if err != nil {
+		return nil, err
+	}
+	ino := f.Inode()
+	f.Close() //nolint:errcheck // internal close
+	hostStr := ino.Annotations[fs.DevSiteAnnotation]
+	name := ino.Annotations[fs.DevNameAnnotation]
+	host, err := strconv.Atoi(hostStr)
+	if err != nil || name == "" {
+		return nil, fmt.Errorf("proc: %s has no device binding", path)
+	}
+	return &DeviceHandle{m: m, host: SiteID(host), name: name}, nil
+}
+
+// Read reads from the device; the request travels to the hosting site
+// if the device is remote, with identical semantics either way.
+func (d *DeviceHandle) Read(max int) ([]byte, error) {
+	req := &devReadReq{Name: d.name, Max: max}
+	var resp any
+	var err error
+	if d.host == d.m.site {
+		resp, err = d.m.handleDevRead(d.m.site, req)
+	} else {
+		resp, err = d.m.node.Call(d.host, mDevRead, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*devReadResp).Data, nil
+}
+
+// Write writes to the device.
+func (d *DeviceHandle) Write(data []byte) (int, error) {
+	req := &devWriteReq{Name: d.name, Data: append([]byte(nil), data...)}
+	var resp any
+	var err error
+	if d.host == d.m.site {
+		resp, err = d.m.handleDevWrite(d.m.site, req)
+	} else {
+		resp, err = d.m.node.Call(d.host, mDevWrite, req)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return resp.(*devWriteResp).N, nil
+}
+
+func (m *Manager) handleDevRead(_ SiteID, p any) (any, error) {
+	req := p.(*devReadReq)
+	d, ok := m.driver(req.Name)
+	if !ok {
+		return nil, fmt.Errorf("proc: no device %q at site %d", req.Name, m.site)
+	}
+	data, err := d.DevRead(req.Max)
+	if err != nil {
+		return nil, err
+	}
+	return &devReadResp{Data: data}, nil
+}
+
+func (m *Manager) handleDevWrite(_ SiteID, p any) (any, error) {
+	req := p.(*devWriteReq)
+	d, ok := m.driver(req.Name)
+	if !ok {
+		return nil, fmt.Errorf("proc: no device %q at site %d", req.Name, m.site)
+	}
+	n, err := d.DevWrite(req.Data)
+	if err != nil {
+		return nil, err
+	}
+	return &devWriteResp{N: n}, nil
+}

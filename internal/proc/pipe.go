@@ -1,0 +1,225 @@
+package proc
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/fs"
+	"repro/internal/storage"
+)
+
+// Named pipes with network-wide Unix semantics (§2.4.2): the pipe is
+// named in the catalog (a TypePipe file created with Mkfifo); its byte
+// stream lives at a server site — the lowest pack site of the pipe's
+// filegroup in the partition — and readers/writers anywhere in the
+// network exchange data through it with the same semantics as on a
+// single machine.
+
+// pipeState is the server-site buffer for one pipe.
+type pipeState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte
+	writers int
+	closed  bool
+}
+
+func newPipeState() *pipeState {
+	ps := &pipeState{}
+	ps.cond = sync.NewCond(&ps.mu)
+	return ps
+}
+
+// PipeEnd is a process's handle on a named pipe.
+type PipeEnd struct {
+	m      *Manager
+	id     storage.FileID
+	server SiteID
+	write  bool
+	closed bool
+}
+
+type pipeOpenMsg struct {
+	ID    storage.FileID
+	Write bool
+}
+
+type pipeReadReq struct {
+	ID  storage.FileID
+	Max int
+}
+
+type pipeReadResp struct {
+	Data []byte
+	EOF  bool
+}
+
+// WireSize charges the moved bytes.
+func (r *pipeReadResp) WireSize() int { return len(r.Data) + 16 }
+
+type pipeWriteReq struct {
+	ID   storage.FileID
+	Data []byte
+}
+
+// WireSize charges the moved bytes.
+func (r *pipeWriteReq) WireSize() int { return len(r.Data) + 16 }
+
+type pipeCloseReq struct {
+	ID    storage.FileID
+	Write bool
+}
+
+// OpenPipe opens a named pipe created with Kernel.Mkfifo for reading or
+// writing.
+func (m *Manager) OpenPipe(p *Process, path string, write bool) (*PipeEnd, error) {
+	r, err := m.kernel.Resolve(p.cred, path)
+	if err != nil {
+		return nil, err
+	}
+	if r.Type != storage.TypePipe {
+		return nil, fmt.Errorf("proc: %s is not a pipe", path)
+	}
+	server, err := m.kernel.CSSOf(r.ID.FG)
+	if err != nil {
+		return nil, err
+	}
+	pe := &PipeEnd{m: m, id: r.ID, server: server, write: write}
+	if write {
+		// A nil-data write registers the writer at the server so EOF is
+		// delivered only after the last writer closes.
+		if err := m.pipeCall(server, mPipeWrite, &pipeWriteReq{ID: r.ID, Data: nil}); err != nil {
+			return nil, err
+		}
+	}
+	return pe, nil
+}
+
+func (m *Manager) pipeCall(server SiteID, method string, req any) error {
+	if server == m.site {
+		var err error
+		switch method {
+		case mPipeWrite:
+			_, err = m.handlePipeWrite(m.site, req)
+		case mPipeClose:
+			_, err = m.handlePipeClose(m.site, req)
+		}
+		return err
+	}
+	_, err := m.node.Call(server, method, req)
+	return err
+}
+
+func (m *Manager) pipe(id storage.FileID) *pipeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps := m.pipes[id]
+	if ps == nil {
+		ps = newPipeState()
+		m.pipes[id] = ps
+	}
+	return ps
+}
+
+// Read blocks until data is available or every writer has closed (then
+// io.EOF), matching single-machine pipe semantics.
+func (pe *PipeEnd) Read(max int) ([]byte, error) {
+	if pe.closed {
+		return nil, fs.ErrClosed
+	}
+	if pe.write {
+		return nil, fmt.Errorf("proc: pipe opened for writing")
+	}
+	req := &pipeReadReq{ID: pe.id, Max: max}
+	var resp any
+	var err error
+	if pe.server == pe.m.site {
+		resp, err = pe.m.handlePipeRead(pe.m.site, req)
+	} else {
+		resp, err = pe.m.node.Call(pe.server, mPipeRead, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r := resp.(*pipeReadResp)
+	if r.EOF {
+		return nil, io.EOF
+	}
+	return r.Data, nil
+}
+
+// Write appends to the pipe stream.
+func (pe *PipeEnd) Write(data []byte) error {
+	if pe.closed {
+		return fs.ErrClosed
+	}
+	if !pe.write {
+		return fmt.Errorf("proc: pipe opened for reading")
+	}
+	return pe.m.pipeCall(pe.server, mPipeWrite, &pipeWriteReq{ID: pe.id, Data: append([]byte(nil), data...)})
+}
+
+// Close closes this end; the last writer's close delivers EOF to
+// blocked readers.
+func (pe *PipeEnd) Close() error {
+	if pe.closed {
+		return nil
+	}
+	pe.closed = true
+	if pe.write {
+		return pe.m.pipeCall(pe.server, mPipeClose, &pipeCloseReq{ID: pe.id, Write: true})
+	}
+	return nil
+}
+
+func (m *Manager) handlePipeRead(_ SiteID, p any) (any, error) {
+	req := p.(*pipeReadReq)
+	ps := m.pipe(req.ID)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for len(ps.buf) == 0 && !ps.closed {
+		ps.cond.Wait()
+	}
+	if len(ps.buf) == 0 && ps.closed {
+		return &pipeReadResp{EOF: true}, nil
+	}
+	n := req.Max
+	if n <= 0 || n > len(ps.buf) {
+		n = len(ps.buf)
+	}
+	out := append([]byte(nil), ps.buf[:n]...)
+	ps.buf = ps.buf[n:]
+	return &pipeReadResp{Data: out}, nil
+}
+
+func (m *Manager) handlePipeWrite(_ SiteID, p any) (any, error) {
+	req := p.(*pipeWriteReq)
+	ps := m.pipe(req.ID)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if req.Data == nil {
+		// Writer-open marker.
+		ps.writers++
+		ps.closed = false
+		return nil, nil
+	}
+	ps.buf = append(ps.buf, req.Data...)
+	ps.cond.Broadcast()
+	return nil, nil
+}
+
+func (m *Manager) handlePipeClose(_ SiteID, p any) (any, error) {
+	req := p.(*pipeCloseReq)
+	ps := m.pipe(req.ID)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if req.Write && ps.writers > 0 {
+		ps.writers--
+	}
+	if ps.writers == 0 {
+		ps.closed = true
+		ps.cond.Broadcast()
+	}
+	return nil, nil
+}

@@ -1,0 +1,583 @@
+// Package proc implements LOCUS transparent remote processes (§3 of
+// the paper): process creation on any site with the same semantics as
+// local creation (fork, exec, and the combined run call), network-wide
+// Unix IPC (signals and named pipes), shared open-file descriptors
+// maintained with a token scheme, and the error reflection rules for
+// site failures (§3.3, §5.6).
+//
+// Load modules are simulated: a program is a Go function registered by
+// name in each site's program registry (a site only registers the
+// programs its "machine type" can execute), and an executable file's
+// content is the interpreter line "go:<program-name>". Exec resolves
+// the pathname through the filesystem — including hidden directories,
+// so /bin/who transparently picks the right load module per machine
+// type (§2.4.1) — reads the module, and runs the registered function.
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/fs"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// SiteID aliases the shared site identifier.
+type SiteID = vclock.SiteID
+
+// Errors returned by process operations.
+var (
+	// ErrNoProgram: the load module names a program this site's
+	// machine type cannot execute.
+	ErrNoProgram = errors.New("proc: program not available on this machine type")
+	// ErrNoProcess: no such process.
+	ErrNoProcess = errors.New("proc: no such process")
+	// ErrSiteFailed: the remote site involved in fork/exec/run failed
+	// (§3.3: "the new error types primarily concern cases where either
+	// the calling or called machine fails").
+	ErrSiteFailed = errors.New("proc: remote site failed")
+	// ErrNotExecutable: the file is not a valid load module.
+	ErrNotExecutable = errors.New("proc: not an executable load module")
+)
+
+// Signal numbers (Unix-compatible subset).
+type Signal int
+
+// Signals supported across the network (§2.4.2: "Unix named pipes and
+// signals are supported across the network").
+const (
+	SIGHUP  Signal = 1
+	SIGINT  Signal = 2
+	SIGKILL Signal = 9
+	SIGUSR1 Signal = 10
+	SIGUSR2 Signal = 12
+	SIGTERM Signal = 15
+	// SIGCHILDERR is the LOCUS error signal delivered to a parent when
+	// the child's machine fails (§3.3).
+	SIGCHILDERR Signal = 33
+	// SIGPARENTERR notifies a child that its parent's machine failed.
+	SIGPARENTERR Signal = 34
+)
+
+// PID is a network-wide process identifier: creation site + local
+// number.
+type PID struct {
+	Site SiteID
+	Num  int
+}
+
+func (p PID) String() string { return fmt.Sprintf("%d.%d", p.Site, p.Num) }
+
+// ExitStatus is the result of a completed process.
+type ExitStatus struct {
+	Code int
+	// Err carries the failure when the process could not run or its
+	// site failed.
+	Err error
+}
+
+// Program is a simulated load module body. It runs with a process
+// context giving access to the filesystem and process services.
+type Program func(ctx *Ctx) int
+
+// Ctx is the execution context handed to a running program.
+type Ctx struct {
+	M    *Manager
+	Self *Process
+	Args []string
+	Env  map[string]string
+}
+
+// K returns the filesystem kernel of the executing site.
+func (c *Ctx) K() *fs.Kernel { return c.M.kernel }
+
+// Cred returns the process credential.
+func (c *Ctx) Cred() *fs.Cred { return c.Self.cred }
+
+// Signals returns the process's signal channel.
+func (c *Ctx) Signals() <-chan Signal { return c.Self.sigCh }
+
+// Process is one process table entry.
+type Process struct {
+	pid    PID
+	mgr    *Manager
+	cred   *fs.Cred
+	env    map[string]string
+	parent PID
+	// advice is the "structured advice list" controlling where new
+	// processes execute (§3.1); empty means local.
+	advice []SiteID
+
+	sigCh chan Signal
+	done  chan ExitStatus
+
+	mu sync.Mutex
+	// errInfo holds additional information about cross-machine errors,
+	// "deposited in the parent's process structure, which can be
+	// interrogated via a new system call" (§3.3).
+	errInfo string
+	fds     map[int]*FD
+	nextFD  int
+	exited  bool
+	// waitFor registers channels for exit notifications of remote
+	// children.
+	waitFor map[PID]chan ExitStatus
+}
+
+// PID returns the process id.
+func (p *Process) PID() PID { return p.pid }
+
+// ErrSignals exposes the process's signal channel to non-program
+// holders of the process (e.g. a shell object in tests and tools).
+func (p *Process) ErrSignals() <-chan Signal { return p.sigCh }
+
+// ErrInfo interrogates the deposited cross-machine error information.
+func (p *Process) ErrInfo() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.errInfo
+}
+
+// SetAdvice sets the execution-site advice list consulted by Fork,
+// Exec and Run ("That information, currently a structured advice list,
+// can be set dynamically" — §3.1).
+func (p *Process) SetAdvice(sites ...SiteID) {
+	p.mu.Lock()
+	p.advice = append([]SiteID(nil), sites...)
+	p.mu.Unlock()
+}
+
+func (p *Process) adviceSite() SiteID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.advice) == 0 {
+		return p.mgr.site
+	}
+	return p.advice[0]
+}
+
+// Manager is the process-management half of one site's kernel.
+type Manager struct {
+	site   SiteID
+	node   *netsim.Node
+	kernel *fs.Kernel
+
+	// machineType names this site's CPU type; it seeds the hidden
+	// directory context so heterogeneous load modules resolve
+	// transparently.
+	machineType string
+
+	mu       sync.Mutex
+	procs    map[int]*Process
+	nextPid  int
+	registry map[string]Program
+	pipes    map[storage.FileID]*pipeState
+	fdHomes  map[int]*fdHome
+	nextFDID int
+	// localFDStates indexes this site's shared-descriptor states for
+	// token yanks.
+	localFDStates []*fdState
+	// devices holds this site's character device drivers.
+	devMu   sync.Mutex
+	devices map[string]DeviceDriver
+}
+
+// Protocol method names.
+const (
+	mRun       = "proc.run"
+	mSignal    = "proc.signal"
+	mChildExit = "proc.childexit"
+	mFDToken   = "proc.fdtoken"
+	mFDYank    = "proc.fdyank"
+	mPipeRead  = "proc.piperead"
+	mPipeWrite = "proc.pipewrite"
+	mPipeClose = "proc.pipeclose"
+)
+
+// NewManager creates the process manager for a site.
+func NewManager(node *netsim.Node, kernel *fs.Kernel, machineType string) *Manager {
+	m := &Manager{
+		site:        node.ID(),
+		node:        node,
+		kernel:      kernel,
+		machineType: machineType,
+		procs:       make(map[int]*Process),
+		registry:    make(map[string]Program),
+		pipes:       make(map[storage.FileID]*pipeState),
+		fdHomes:     make(map[int]*fdHome),
+	}
+	node.Handle(mRun, m.handleRun)
+	node.Handle(mSignal, m.handleSignal)
+	node.Handle(mChildExit, m.handleChildExit)
+	node.Handle(mFDToken, m.handleFDToken)
+	node.Handle(mFDYank, m.handleFDYank)
+	node.Handle(mPipeRead, m.handlePipeRead)
+	node.Handle(mPipeWrite, m.handlePipeWrite)
+	node.Handle(mPipeClose, m.handlePipeClose)
+	node.Handle(mDevRead, m.handleDevRead)
+	node.Handle(mDevWrite, m.handleDevWrite)
+	return m
+}
+
+// Site returns the manager's site.
+func (m *Manager) Site() SiteID { return m.site }
+
+// Kernel returns the site's filesystem kernel.
+func (m *Manager) Kernel() *fs.Kernel { return m.kernel }
+
+// MachineType returns the site's CPU type name.
+func (m *Manager) MachineType() string { return m.machineType }
+
+// Register installs a program in this site's registry (the set of load
+// modules this machine type can run).
+func (m *Manager) Register(name string, prog Program) {
+	m.mu.Lock()
+	m.registry[name] = prog
+	m.mu.Unlock()
+}
+
+// InitProcess creates a root process (a login shell) at this site.
+func (m *Manager) InitProcess(cred *fs.Cred) *Process {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.newProcessLocked(cred, nil, PID{})
+}
+
+func (m *Manager) newProcessLocked(cred *fs.Cred, env map[string]string, parent PID) *Process {
+	m.nextPid++
+	c := *cred
+	if len(c.HiddenCtx) == 0 {
+		c.HiddenCtx = []string{m.machineType}
+	}
+	p := &Process{
+		pid:    PID{Site: m.site, Num: m.nextPid},
+		mgr:    m,
+		cred:   &c,
+		env:    copyEnv(env),
+		parent: parent,
+		sigCh:  make(chan Signal, 16),
+		done:   make(chan ExitStatus, 1),
+		fds:    make(map[int]*FD),
+	}
+	m.procs[p.pid.Num] = p
+	return p
+}
+
+func copyEnv(env map[string]string) map[string]string {
+	out := make(map[string]string, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// Process looks up a local process by number.
+func (m *Manager) Process(num int) (*Process, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.procs[num]
+	return p, ok
+}
+
+// runReq ships everything needed to initialize the new process's
+// environment at the destination (§3.1: "it is necessary to initialize
+// the new process' environment correctly").
+type runReq struct {
+	Parent PID
+	Cred   fs.Cred
+	Env    map[string]string
+	Path   string
+	Args   []string
+}
+
+type runResp struct {
+	PID PID
+}
+
+// Run implements the LOCUS run call: the effect of a fork followed by
+// an exec, without copying the parent image (§3.1). The execution site
+// comes from the process's advice list; run "is transparent as to
+// where it executes". It returns the child's network-wide PID.
+func (m *Manager) Run(parent *Process, path string, args []string) (PID, error) {
+	target := parent.adviceSite()
+	req := &runReq{Parent: parent.pid, Cred: *parent.cred, Env: parent.env, Path: path, Args: args}
+	if target == m.site {
+		r, err := m.handleRun(m.site, req)
+		if err != nil {
+			return PID{}, err
+		}
+		return r.(*runResp).PID, nil
+	}
+	resp, err := m.node.Call(target, mRun, req)
+	if err != nil {
+		// §5.6: "Remote Fork/Exec, remote site fails -> return error to
+		// caller". Application-level failures (no such program, no such
+		// file) pass through unchanged.
+		if errors.Is(err, netsim.ErrUnreachable) || errors.Is(err, netsim.ErrCircuitClosed) {
+			return PID{}, fmt.Errorf("%w: site %d: %v", ErrSiteFailed, target, err)
+		}
+		return PID{}, err
+	}
+	return resp.(*runResp).PID, nil
+}
+
+// handleRun allocates and starts the process at the destination site.
+func (m *Manager) handleRun(_ SiteID, p any) (any, error) {
+	req := p.(*runReq)
+	prog, args, err := m.loadModule(&req.Cred, req.Path, req.Args)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	child := m.newProcessLocked(&req.Cred, req.Env, req.Parent)
+	m.mu.Unlock()
+	m.start(child, prog, args)
+	return &runResp{PID: child.pid}, nil
+}
+
+// loadModule resolves a pathname to an executable load module and the
+// registered program it names. Hidden directories make the same
+// command name resolve to the right per-machine-type module.
+func (m *Manager) loadModule(cred *fs.Cred, path string, args []string) (Program, []string, error) {
+	// "To get the proper load modules executed when the user types a
+	// command ... requires using the context of which machine the user
+	// is executing on" (§2.4.1): hidden directories resolve with the
+	// executing site's machine type, whatever context the caller came
+	// with.
+	execCred := *cred
+	execCred.HiddenCtx = append([]string{m.machineType}, cred.HiddenCtx...)
+	f, err := m.kernel.Open(&execCred, path, fs.ModeRead)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	content, err := f.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	line := strings.TrimSpace(strings.SplitN(string(content), "\n", 2)[0])
+	if !strings.HasPrefix(line, "go:") {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotExecutable, path)
+	}
+	name := strings.TrimPrefix(line, "go:")
+	m.mu.Lock()
+	prog, ok := m.registry[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q at site %d (%s)", ErrNoProgram, name, m.site, m.machineType)
+	}
+	return prog, append([]string{path}, args...), nil
+}
+
+// start runs a program in the process.
+func (m *Manager) start(p *Process, prog Program, args []string) {
+	go func() {
+		code := prog(&Ctx{M: m, Self: p, Args: args, Env: p.env})
+		m.exit(p, ExitStatus{Code: code})
+	}()
+}
+
+// Exec replaces the process's program: resolve the load module (through
+// hidden directories) and run it to completion in the calling process.
+// Unlike Unix this simulation returns the program's exit status rather
+// than never returning.
+func (m *Manager) Exec(p *Process, path string, args []string) (int, error) {
+	prog, argv, err := m.loadModule(p.cred, path, args)
+	if err != nil {
+		return -1, err
+	}
+	code := prog(&Ctx{M: m, Self: p, Args: argv, Env: p.env})
+	return code, nil
+}
+
+// Fork creates a child process at the advice site. The child runs fn —
+// standing in for "continue from the fork point with a copy of the
+// parent image"; for a remote fork the relevant state (credentials,
+// environment, shared descriptors) is shipped, and fn must be a
+// registered program name on heterogeneous sites. Local forks may pass
+// any closure via RegisterLocal-style helpers.
+func (m *Manager) Fork(parent *Process, fn Program) (*Process, error) {
+	target := parent.adviceSite()
+	if target != m.site {
+		return nil, fmt.Errorf("proc: remote fork requires a registered program; use Run (site %d)", target)
+	}
+	m.mu.Lock()
+	child := m.newProcessLocked(parent.cred, parent.env, parent.pid)
+	// Unix fork shares open file descriptors with the parent (§3.1);
+	// the shared-offset token scheme keeps the file position
+	// consistent.
+	for n, fd := range parent.fds {
+		child.fds[n] = fd.share()
+	}
+	child.nextFD = parent.nextFD
+	m.mu.Unlock()
+	m.start(child, fn, nil)
+	return child, nil
+}
+
+// exit completes a process and notifies its parent.
+func (m *Manager) exit(p *Process, st ExitStatus) {
+	p.mu.Lock()
+	if p.exited {
+		p.mu.Unlock()
+		return
+	}
+	p.exited = true
+	fds := p.fds
+	p.fds = map[int]*FD{}
+	p.mu.Unlock()
+	for _, fd := range fds {
+		fd.Close() //nolint:errcheck // releasing on exit
+	}
+	// The process stays in the table as a zombie until reaped by Wait.
+	p.done <- st
+	// Notify the parent's site so Wait unblocks across machines; a
+	// remotely-parented process has no local waiter, so reap it here.
+	if p.parent != (PID{}) && p.parent.Site != m.site {
+		m.node.Cast(p.parent.Site, mChildExit, &childExitMsg{ //nolint:errcheck // parent site failure handled by its own cleanup
+			Child: p.pid, Parent: p.parent, Code: st.Code,
+		})
+		m.mu.Lock()
+		delete(m.procs, p.pid.Num)
+		m.mu.Unlock()
+	}
+}
+
+type childExitMsg struct {
+	Child  PID
+	Parent PID
+	Code   int
+}
+
+func (m *Manager) handleChildExit(_ SiteID, p any) (any, error) {
+	msg := p.(*childExitMsg)
+	m.mu.Lock()
+	parent := m.procs[msg.Parent.Num]
+	var ch chan ExitStatus
+	if parent != nil {
+		parent.mu.Lock()
+		ch = parent.waitFor[msg.Child]
+		delete(parent.waitFor, msg.Child)
+		parent.mu.Unlock()
+	}
+	m.mu.Unlock()
+	if ch != nil {
+		ch <- ExitStatus{Code: msg.Code}
+	}
+	return nil, nil
+}
+
+// Wait blocks until the identified child exits and returns its status.
+// For a local child it waits on the process directly; for a remote
+// child it registers for the exit notification message.
+func (m *Manager) Wait(parent *Process, child PID) ExitStatus {
+	if child.Site == m.site {
+		m.mu.Lock()
+		cp := m.procs[child.Num]
+		m.mu.Unlock()
+		if cp == nil {
+			return ExitStatus{Code: -1, Err: ErrNoProcess}
+		}
+		st := <-cp.done
+		m.mu.Lock()
+		delete(m.procs, child.Num) // reap the zombie
+		m.mu.Unlock()
+		return st
+	}
+	ch := make(chan ExitStatus, 1)
+	parent.mu.Lock()
+	if parent.waitFor == nil {
+		parent.waitFor = make(map[PID]chan ExitStatus)
+	}
+	parent.waitFor[child] = ch
+	parent.mu.Unlock()
+	return <-ch
+}
+
+type signalMsg struct {
+	Target PID
+	Sig    Signal
+	Info   string
+}
+
+// Signal delivers a signal to any process in the network; "process
+// interaction is the same, independent of location" (§1).
+func (m *Manager) Signal(target PID, sig Signal) error {
+	return m.signalInfo(target, sig, "")
+}
+
+func (m *Manager) signalInfo(target PID, sig Signal, info string) error {
+	msg := &signalMsg{Target: target, Sig: sig, Info: info}
+	if target.Site == m.site {
+		_, err := m.handleSignal(m.site, msg)
+		return err
+	}
+	_, err := m.node.Call(target.Site, mSignal, msg)
+	return err
+}
+
+func (m *Manager) handleSignal(_ SiteID, p any) (any, error) {
+	msg := p.(*signalMsg)
+	m.mu.Lock()
+	proc := m.procs[msg.Target.Num]
+	m.mu.Unlock()
+	if proc == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoProcess, msg.Target)
+	}
+	if msg.Info != "" {
+		proc.mu.Lock()
+		proc.errInfo = msg.Info
+		proc.mu.Unlock()
+	}
+	if msg.Sig == SIGKILL {
+		m.exit(proc, ExitStatus{Code: -int(SIGKILL)})
+		return nil, nil
+	}
+	select {
+	case proc.sigCh <- msg.Sig:
+	default: // queue full: drop, like Unix pending-signal collapse
+	}
+	return nil, nil
+}
+
+// CleanupAfterPartitionChange reflects site failures into process state
+// (§3.3, §5.6): parents waiting on children at lost sites receive the
+// error signal with information deposited in the process structure;
+// children whose parent site was lost are notified likewise.
+func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
+	in := make(map[SiteID]bool, len(newPartition))
+	for _, s := range newPartition {
+		in[s] = true
+	}
+	m.mu.Lock()
+	var procs []*Process
+	for _, p := range m.procs {
+		procs = append(procs, p)
+	}
+	m.mu.Unlock()
+	for _, p := range procs {
+		// Children at lost sites: fail pending waits and signal the
+		// parent.
+		p.mu.Lock()
+		var lostChildren []PID
+		for child, ch := range p.waitFor {
+			if !in[child.Site] {
+				ch <- ExitStatus{Code: -1, Err: fmt.Errorf("%w: child %v", ErrSiteFailed, child)}
+				delete(p.waitFor, child)
+				lostChildren = append(lostChildren, child)
+			}
+		}
+		parentLost := p.parent != (PID{}) && p.parent.Site != m.site && !in[p.parent.Site]
+		p.mu.Unlock()
+		for _, child := range lostChildren {
+			m.signalInfo(p.pid, SIGCHILDERR, fmt.Sprintf("child %v lost: site failed", child)) //nolint:errcheck // local delivery
+		}
+		if parentLost {
+			m.signalInfo(p.pid, SIGPARENTERR, fmt.Sprintf("parent %v lost: site failed", p.parent)) //nolint:errcheck // local delivery
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package recon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/format"
+	"repro/internal/fs"
+	"repro/internal/storage"
+)
+
+// Mail support: LOCUS notifies users of reconciliation actions "by
+// sending the user electronic mail" (§4.5), and mailboxes are
+// first-class typed files the recovery system merges automatically.
+// Mailboxes live at /var/mail/<user> in the default "multiple messages
+// in a single file" format.
+
+// MailboxPath returns the mailbox path for a user.
+func MailboxPath(user string) string { return "/var/mail/" + user }
+
+func (r *Reconciler) sysCred() *fs.Cred { return fs.DefaultCred("locus-recovery") }
+
+// EnsureMailbox creates /var, /var/mail and the user's mailbox file if
+// missing.
+func (r *Reconciler) EnsureMailbox(user string) error {
+	k := r.k
+	cred := r.sysCred()
+	for _, dir := range []string{"/var", "/var/mail"} {
+		if _, err := k.Stat(cred, dir); errors.Is(err, fs.ErrNotFound) {
+			if err := k.Mkdir(cred, dir, 0755); err != nil && !errors.Is(err, fs.ErrExists) {
+				return err
+			}
+		} else if err != nil {
+			return err
+		}
+	}
+	path := MailboxPath(user)
+	if _, err := k.Stat(cred, path); errors.Is(err, fs.ErrNotFound) {
+		f, err := k.Create(&fs.Cred{User: user}, path, storage.TypeMailbox, 0600)
+		if err != nil && !errors.Is(err, fs.ErrExists) {
+			return err
+		}
+		if err == nil {
+			return f.Close()
+		}
+	} else if err != nil {
+		return err
+	}
+	return nil
+}
+
+// DeliverMail appends a message to the user's mailbox. Message IDs are
+// "<site>-<seq>", globally unique, which is what makes mailbox merge
+// conflict-free (§4.5).
+func (r *Reconciler) DeliverMail(user, from, body string) error {
+	if err := r.EnsureMailbox(user); err != nil {
+		return err
+	}
+	k := r.k
+	f, err := k.Open(r.sysCred(), MailboxPath(user), fs.ModeModify)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // commit below is the durability point
+	raw, err := f.ReadAll()
+	if err != nil {
+		return err
+	}
+	mb, err := format.DecodeMailbox(raw)
+	if err != nil {
+		return err
+	}
+	mb.Deliver(format.Message{
+		ID:   fmt.Sprintf("%d-%d", k.Site(), r.mailSeq.Add(1)),
+		From: from,
+		Body: body,
+	})
+	if err := f.WriteAll(format.EncodeMailbox(mb)); err != nil {
+		return err
+	}
+	return f.Commit()
+}
+
+// DeleteMail tombstones a message in the user's mailbox.
+func (r *Reconciler) DeleteMail(user, id string) error {
+	k := r.k
+	f, err := k.Open(r.sysCred(), MailboxPath(user), fs.ModeModify)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // commit below
+	raw, err := f.ReadAll()
+	if err != nil {
+		return err
+	}
+	mb, err := format.DecodeMailbox(raw)
+	if err != nil {
+		return err
+	}
+	if !mb.Delete(id) {
+		return fmt.Errorf("recon: no live message %q in %s", id, MailboxPath(user))
+	}
+	if err := f.WriteAll(format.EncodeMailbox(mb)); err != nil {
+		return err
+	}
+	return f.Commit()
+}
+
+// ReadMail returns the live messages in the user's mailbox (empty if
+// the mailbox does not exist).
+func (r *Reconciler) ReadMail(user string) ([]format.Message, error) {
+	k := r.k
+	f, err := k.Open(r.sysCred(), MailboxPath(user), fs.ModeRead)
+	if errors.Is(err, fs.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	raw, err := f.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	mb, err := format.DecodeMailbox(raw)
+	if err != nil {
+		return nil, err
+	}
+	return mb.Live(), nil
+}

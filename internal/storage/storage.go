@@ -1,0 +1,485 @@
+// Package storage simulates the per-site disk substrate of LOCUS: the
+// physical containers (packs) that store subsets of a logical
+// filegroup's files, their disk inodes and data pages, and the
+// shadow-page mechanism that makes file commit atomic (§2.3.6 of the
+// paper).
+//
+// A container is deliberately dumb: it knows nothing about the network,
+// replication, or synchronization. Those live in internal/fs. What the
+// container guarantees is exactly what the paper's commit mechanism
+// needs:
+//
+//   - data pages are immutable once written (writes allocate new
+//     physical pages — shadow pages);
+//   - the only mutation of durable state is CommitInode, which
+//     atomically replaces a file's disk inode (and releases any pages
+//     no longer referenced);
+//   - a crash loses nothing that was committed and everything that was
+//     not.
+//
+// The inode number space of a filegroup is partitioned across its
+// containers so every pack can allocate inodes while partitioned
+// (§2.3.7: "the entire inode space of a filegroup is partitioned so
+// that each physical container for the filegroup has a collection of
+// inode numbers that it can allocate").
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// FilegroupID names a logical filegroup (the paper's term for a Unix
+// filesystem).
+type FilegroupID int
+
+// InodeNum is a file descriptor (inode) number within a filegroup. The
+// pair <FilegroupID, InodeNum> is a file's globally unique low-level
+// name (§2.2.2).
+type InodeNum int64
+
+// PageNo is a logical page index within a file.
+type PageNo int32
+
+// PhysPage is a physical page id within one container.
+type PhysPage int64
+
+// PageSize is the size of one data page in bytes (VAX-era 4 KB).
+const PageSize = 4096
+
+// FileID is the globally unique low-level name of a file:
+// <logical filegroup number, inode number>.
+type FileID struct {
+	FG    FilegroupID
+	Inode InodeNum
+}
+
+func (f FileID) String() string { return fmt.Sprintf("<%d,%d>", f.FG, f.Inode) }
+
+// FileType tags every file; the recovery software uses the type to pick
+// a merge strategy (§4.3).
+type FileType int
+
+const (
+	// TypeRegular is an untyped data file: conflicts are reported to
+	// the owner, not auto-merged.
+	TypeRegular FileType = iota
+	// TypeDirectory is a naming-catalog directory: auto-merged.
+	TypeDirectory
+	// TypeMailbox is a user mailbox: auto-merged after directories.
+	TypeMailbox
+	// TypeDatabase is a database file: conflicts are reported up to a
+	// recovery/merge manager rather than to the user.
+	TypeDatabase
+	// TypeHiddenDir is a hidden directory used for context-sensitive
+	// (per machine type) naming (§2.4.1).
+	TypeHiddenDir
+	// TypeDevice is a device special file.
+	TypeDevice
+	// TypePipe is a named pipe (FIFO).
+	TypePipe
+)
+
+// String returns the type name used in listings and conflict mail.
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "regular"
+	case TypeDirectory:
+		return "directory"
+	case TypeMailbox:
+		return "mailbox"
+	case TypeDatabase:
+		return "database"
+	case TypeHiddenDir:
+		return "hidden-directory"
+	case TypeDevice:
+		return "device"
+	case TypePipe:
+		return "pipe"
+	default:
+		return fmt.Sprintf("FileType(%d)", int(t))
+	}
+}
+
+// Errors returned by the container.
+var (
+	ErrNoInode      = errors.New("storage: no such inode")
+	ErrNoPage       = errors.New("storage: no such page")
+	ErrInodeSpace   = errors.New("storage: inode allocation space exhausted")
+	ErrInodeExists  = errors.New("storage: inode already exists")
+	ErrOutOfRange   = errors.New("storage: inode outside this container's allocation range")
+	ErrFileDeleted  = errors.New("storage: file is deleted")
+	ErrBadPageIndex = errors.New("storage: logical page index out of range")
+)
+
+// Inode is a file descriptor. The container hands out deep copies; the
+// filesystem layer keeps an in-core copy that accumulates shadow pages
+// and is installed atomically by CommitInode.
+type Inode struct {
+	Num   InodeNum
+	Type  FileType
+	Size  int64
+	Pages []PhysPage // logical page -> physical page, PhysPageNil if hole
+	// VV is the copy's version vector; bumped on every commit at the
+	// committing site.
+	VV vclock.VV
+	// Owner is the file owner (conflict mail recipient).
+	Owner string
+	// Mode holds Unix permission bits.
+	Mode uint16
+	// Nlink counts directory links to the file.
+	Nlink int
+	// Sites lists the packs intended to store a copy of this file (the
+	// CSS "has a list of packs which store the file" — §2.3.3). It is
+	// part of the disk inode and travels with every copy.
+	Sites []vclock.SiteID
+	// Deleted marks a delete tombstone: the inode is retained until
+	// every pack storing the file has seen the delete (§2.3.7).
+	Deleted bool
+	// Conflict marks the copy as in unresolved version conflict;
+	// normal opens fail until reconciliation or manual resolution
+	// (§4.6).
+	Conflict bool
+	// Annotations carries small typed metadata (e.g. hidden-directory
+	// context names, device ids). Kept string->string to stay simple.
+	Annotations map[string]string
+}
+
+// PhysPageNil marks a hole (unallocated logical page).
+const PhysPageNil PhysPage = 0
+
+// NPages returns the number of logical pages the file occupies.
+func (ino *Inode) NPages() int { return len(ino.Pages) }
+
+// Clone returns a deep copy of the inode.
+func (ino *Inode) Clone() *Inode {
+	c := *ino
+	c.Pages = append([]PhysPage(nil), ino.Pages...)
+	c.Sites = append([]vclock.SiteID(nil), ino.Sites...)
+	c.VV = ino.VV.Copy()
+	if ino.Annotations != nil {
+		c.Annotations = make(map[string]string, len(ino.Annotations))
+		for k, v := range ino.Annotations {
+			c.Annotations[k] = v
+		}
+	}
+	return &c
+}
+
+// Meter abstracts the simulated cost accounting so storage can charge
+// disk and CPU time without importing the network package's concrete
+// types. A nil meter is valid and charges nothing.
+type Meter interface {
+	AddCPU(us int64)
+	AddDisk(us int64)
+}
+
+// Costs are the simulated costs of container primitives.
+type Costs struct {
+	DiskUs  int64 // one page transfer to/from the storage medium
+	PageCPU int64 // buffer management + copy CPU for one page
+}
+
+// Container is one physical container of a logical filegroup stored at
+// one site. It stores a subset of the filegroup's files (§2.2.2: "any
+// physical container is incomplete; it stores only a subset of the
+// files in the subtree to which it corresponds").
+type Container struct {
+	mu sync.Mutex
+
+	fg   FilegroupID
+	site vclock.SiteID
+
+	inodes map[InodeNum]*Inode
+	pages  map[PhysPage][]byte
+	// reserved tracks numbers handed out by AllocInode but not yet
+	// committed, so reallocation never double-issues a live number.
+	reserved map[InodeNum]bool
+
+	nextPage PhysPage
+
+	// Partitioned inode allocation range [lo, hi], inclusive.
+	lo, hi, next InodeNum
+
+	meter Meter
+	costs Costs
+}
+
+// NewContainer creates a container for filegroup fg at the given site
+// with the inode allocation range [lo, hi].
+func NewContainer(fg FilegroupID, site vclock.SiteID, lo, hi InodeNum, meter Meter, costs Costs) *Container {
+	if lo <= 0 || hi < lo {
+		panic(fmt.Sprintf("storage: bad inode range [%d,%d]", lo, hi))
+	}
+	return &Container{
+		fg:       fg,
+		site:     site,
+		inodes:   make(map[InodeNum]*Inode),
+		pages:    make(map[PhysPage][]byte),
+		reserved: make(map[InodeNum]bool),
+		// PhysPage 0 is PhysPageNil; start allocation at 1.
+		nextPage: 1,
+		lo:       lo, hi: hi, next: lo,
+		meter: meter,
+		costs: costs,
+	}
+}
+
+// FG returns the filegroup this container belongs to.
+func (c *Container) FG() FilegroupID { return c.fg }
+
+// Site returns the site storing this container.
+func (c *Container) Site() vclock.SiteID { return c.site }
+
+// InodeRange returns the container's private inode allocation range.
+func (c *Container) InodeRange() (lo, hi InodeNum) { return c.lo, c.hi }
+
+func (c *Container) chargeDisk() {
+	if c.meter != nil {
+		c.meter.AddDisk(c.costs.DiskUs)
+		c.meter.AddCPU(c.costs.PageCPU)
+	}
+}
+
+// AllocInode allocates a fresh inode number from this container's
+// private range, reusing numbers whose files were dropped ("the inode
+// can be reallocated by the site which has control of that inode" —
+// §2.3.7). The inode is not durable until CommitInode.
+func (c *Container) AllocInode() (InodeNum, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	span := int64(c.hi - c.lo + 1)
+	for i := int64(0); i < span; i++ {
+		n := c.lo + InodeNum((int64(c.next-c.lo)+i)%span)
+		_, used := c.inodes[n]
+		if !used && !c.reserved[n] {
+			c.reserved[n] = true
+			c.next = n + 1
+			if c.next > c.hi {
+				c.next = c.lo
+			}
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: filegroup %d site %d", ErrInodeSpace, c.fg, c.site)
+}
+
+// Owns reports whether the inode number lies in this container's
+// allocation range, i.e. whether this pack is "the site which has
+// control of that inode" for reallocation purposes (§2.3.7).
+func (c *Container) Owns(n InodeNum) bool { return n >= c.lo && n <= c.hi }
+
+// HasInode reports whether the container stores a copy of the file
+// (including delete tombstones).
+func (c *Container) HasInode(n InodeNum) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.inodes[n]
+	return ok
+}
+
+// GetInode returns a deep copy of the file's disk inode.
+func (c *Container) GetInode(n InodeNum) (*Inode, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ino, ok := c.inodes[n]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d in filegroup %d at site %d", ErrNoInode, n, c.fg, c.site)
+	}
+	return ino.Clone(), nil
+}
+
+// ListInodes returns the numbers of all stored inodes, ascending.
+func (c *Container) ListInodes() []InodeNum {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]InodeNum, 0, len(c.inodes))
+	for n := range c.inodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadPage returns the contents of a physical page. The returned slice
+// is a copy (pages on disk are immutable).
+func (c *Container) ReadPage(p PhysPage) ([]byte, error) {
+	c.mu.Lock()
+	data, ok := c.pages[p]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d at site %d", ErrNoPage, p, c.site)
+	}
+	c.chargeDisk()
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// ReadLogicalPage reads logical page pn of the committed file ino.
+// Holes read as zero pages.
+func (c *Container) ReadLogicalPage(n InodeNum, pn PageNo) ([]byte, error) {
+	c.mu.Lock()
+	ino, ok := c.inodes[n]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrNoInode, n)
+	}
+	if int(pn) < 0 || int(pn) >= len(ino.Pages) {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: page %d of %d-page file %d", ErrBadPageIndex, pn, len(ino.Pages), n)
+	}
+	pp := ino.Pages[pn]
+	c.mu.Unlock()
+	if pp == PhysPageNil {
+		c.chargeDisk()
+		return make([]byte, PageSize), nil
+	}
+	return c.ReadPage(pp)
+}
+
+// WritePage writes data to a freshly allocated shadow page and returns
+// its physical page id. The page becomes reachable (and protected from
+// reclamation) only when an inode referencing it is committed; until
+// then it can be released with FreePages on abort.
+func (c *Container) WritePage(data []byte) (PhysPage, error) {
+	if len(data) > PageSize {
+		return 0, fmt.Errorf("storage: page data %d bytes exceeds page size %d", len(data), PageSize)
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, data)
+	c.mu.Lock()
+	p := c.nextPage
+	c.nextPage++
+	c.pages[p] = buf
+	c.mu.Unlock()
+	c.chargeDisk()
+	return p, nil
+}
+
+// FreePages releases physical pages (used on abort for shadow pages and
+// by CommitInode for superseded pages). Freeing PhysPageNil or an
+// already-free page is a no-op.
+func (c *Container) FreePages(pp ...PhysPage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range pp {
+		if p != PhysPageNil {
+			delete(c.pages, p)
+		}
+	}
+}
+
+// CommitInode atomically installs the in-core inode as the file's disk
+// inode: "The atomic commit operation consists merely of moving the
+// incore inode information to the disk inode" (§2.3.6). Pages
+// referenced by the previous disk inode but not by the new one are
+// released. The container stores a deep copy, so the caller may keep
+// mutating its in-core inode afterwards.
+// Ownership (Owns) governs only allocation, not storage: a replica of a
+// file created at another pack is committed here with the same inode
+// number, so CommitInode accepts any inode number.
+func (c *Container) CommitInode(ino *Inode) error {
+	clone := ino.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.inodes[ino.Num]
+	c.inodes[ino.Num] = clone
+	delete(c.reserved, ino.Num)
+	if old != nil {
+		kept := make(map[PhysPage]bool, len(clone.Pages))
+		for _, p := range clone.Pages {
+			kept[p] = true
+		}
+		for _, p := range old.Pages {
+			if p != PhysPageNil && !kept[p] {
+				delete(c.pages, p)
+			}
+		}
+	}
+	if c.meter != nil {
+		// One disk write for the inode itself.
+		c.meter.AddDisk(c.costs.DiskUs)
+		c.meter.AddCPU(c.costs.PageCPU / 4)
+	}
+	return nil
+}
+
+// DropInode removes an inode and all its pages entirely (used when a
+// delete tombstone has been seen by all packs and the inode number is
+// reallocated, and by tests).
+func (c *Container) DropInode(n InodeNum) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ino, ok := c.inodes[n]
+	if !ok {
+		return
+	}
+	for _, p := range ino.Pages {
+		if p != PhysPageNil {
+			delete(c.pages, p)
+		}
+	}
+	delete(c.inodes, n)
+	delete(c.reserved, n)
+}
+
+// PageCount returns the number of allocated physical pages (for leak
+// checks in tests).
+func (c *Container) PageCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}
+
+// Store is all the containers a single site hosts, keyed by filegroup.
+type Store struct {
+	mu         sync.Mutex
+	site       vclock.SiteID
+	containers map[FilegroupID]*Container
+}
+
+// NewStore creates an empty store for a site.
+func NewStore(site vclock.SiteID) *Store {
+	return &Store{site: site, containers: make(map[FilegroupID]*Container)}
+}
+
+// Site returns the owning site.
+func (s *Store) Site() vclock.SiteID { return s.site }
+
+// AddContainer registers a container for a filegroup. One container per
+// filegroup per site, as in LOCUS packs.
+func (s *Store) AddContainer(c *Container) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.containers[c.fg]; dup {
+		panic(fmt.Sprintf("storage: site %d already has a container for filegroup %d", s.site, c.fg))
+	}
+	s.containers[c.fg] = c
+}
+
+// Container returns the site's container for a filegroup, or nil if
+// this site stores no pack of that filegroup.
+func (s *Store) Container(fg FilegroupID) *Container {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.containers[fg]
+}
+
+// Filegroups lists the filegroups this site stores packs for,
+// ascending.
+func (s *Store) Filegroups() []FilegroupID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]FilegroupID, 0, len(s.containers))
+	for fg := range s.containers {
+		out = append(out, fg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,336 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+)
+
+func newTestContainer() *Container {
+	return NewContainer(1, 1, 1, 1000, nil, Costs{})
+}
+
+func TestAllocInodeSequentialAndBounded(t *testing.T) {
+	c := NewContainer(1, 1, 10, 12, nil, Costs{})
+	for want := InodeNum(10); want <= 12; want++ {
+		n, err := c.AllocInode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("AllocInode = %d, want %d", n, want)
+		}
+	}
+	if _, err := c.AllocInode(); !errors.Is(err, ErrInodeSpace) {
+		t.Fatalf("err = %v, want ErrInodeSpace", err)
+	}
+}
+
+func TestOwns(t *testing.T) {
+	c := NewContainer(1, 1, 100, 199, nil, Costs{})
+	if !c.Owns(100) || !c.Owns(199) {
+		t.Fatal("range endpoints must be owned")
+	}
+	if c.Owns(99) || c.Owns(200) {
+		t.Fatal("out-of-range inodes must not be owned")
+	}
+}
+
+func TestCommitThenGetRoundTrip(t *testing.T) {
+	c := newTestContainer()
+	n, _ := c.AllocInode()
+	p, err := c.WritePage([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ino := &Inode{Num: n, Type: TypeRegular, Size: 5, Pages: []PhysPage{p},
+		VV: vclock.New().Bump(1), Owner: "alice", Mode: 0644, Nlink: 1}
+	if err := c.CommitInode(ino); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetInode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 5 || got.Owner != "alice" || got.Type != TypeRegular {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	data, err := c.ReadLogicalPage(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data[:5], []byte("hello")) {
+		t.Fatalf("page data = %q", data[:5])
+	}
+}
+
+func TestGetInodeReturnsCopy(t *testing.T) {
+	c := newTestContainer()
+	n, _ := c.AllocInode()
+	ino := &Inode{Num: n, VV: vclock.New()}
+	if err := c.CommitInode(ino); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.GetInode(n)
+	got.Size = 999
+	got.VV.Bump(3)
+	again, _ := c.GetInode(n)
+	if again.Size != 0 || again.VV.Get(3) != 0 {
+		t.Fatal("GetInode must return an independent copy")
+	}
+}
+
+func TestShadowPagesOldDataIntactUntilCommit(t *testing.T) {
+	// §2.3.6: modifying a page allocates a new physical page; the old
+	// information stays intact until commit.
+	c := newTestContainer()
+	n, _ := c.AllocInode()
+	p0, _ := c.WritePage([]byte("version-1"))
+	committed := &Inode{Num: n, Size: 9, Pages: []PhysPage{p0}, VV: vclock.New()}
+	if err := c.CommitInode(committed); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-core modification: shadow page for logical page 0.
+	incore := committed.Clone()
+	shadow, _ := c.WritePage([]byte("version-2"))
+	incore.Pages[0] = shadow
+
+	// Old data still readable through the committed inode.
+	data, _ := c.ReadLogicalPage(n, 0)
+	if !bytes.Equal(data[:9], []byte("version-1")) {
+		t.Fatalf("committed data changed before commit: %q", data[:9])
+	}
+
+	// Abort: free the shadow page; committed state untouched.
+	c.FreePages(shadow)
+	data, _ = c.ReadLogicalPage(n, 0)
+	if !bytes.Equal(data[:9], []byte("version-1")) {
+		t.Fatalf("abort damaged committed data: %q", data[:9])
+	}
+	if _, err := c.ReadPage(shadow); !errors.Is(err, ErrNoPage) {
+		t.Fatalf("shadow page not freed: %v", err)
+	}
+}
+
+func TestCommitReleasesSupersededPages(t *testing.T) {
+	c := newTestContainer()
+	n, _ := c.AllocInode()
+	p0, _ := c.WritePage([]byte("old"))
+	if err := c.CommitInode(&Inode{Num: n, Size: 3, Pages: []PhysPage{p0}, VV: vclock.New()}); err != nil {
+		t.Fatal(err)
+	}
+	shadow, _ := c.WritePage([]byte("new"))
+	if err := c.CommitInode(&Inode{Num: n, Size: 3, Pages: []PhysPage{shadow}, VV: vclock.New()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadPage(p0); !errors.Is(err, ErrNoPage) {
+		t.Fatalf("superseded page not released: %v", err)
+	}
+	data, _ := c.ReadLogicalPage(n, 0)
+	if !bytes.Equal(data[:3], []byte("new")) {
+		t.Fatalf("data = %q", data[:3])
+	}
+	if got := c.PageCount(); got != 1 {
+		t.Fatalf("PageCount = %d, want 1", got)
+	}
+}
+
+func TestHolesReadAsZeros(t *testing.T) {
+	c := newTestContainer()
+	n, _ := c.AllocInode()
+	p1, _ := c.WritePage([]byte("x"))
+	ino := &Inode{Num: n, Size: PageSize + 1, Pages: []PhysPage{PhysPageNil, p1}, VV: vclock.New()}
+	if err := c.CommitInode(ino); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.ReadLogicalPage(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("hole must read as zeros")
+		}
+	}
+}
+
+func TestReadLogicalPageOutOfRange(t *testing.T) {
+	c := newTestContainer()
+	n, _ := c.AllocInode()
+	if err := c.CommitInode(&Inode{Num: n, VV: vclock.New()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadLogicalPage(n, 0); !errors.Is(err, ErrBadPageIndex) {
+		t.Fatalf("err = %v, want ErrBadPageIndex", err)
+	}
+	if _, err := c.ReadLogicalPage(n, -1); !errors.Is(err, ErrBadPageIndex) {
+		t.Fatalf("err = %v, want ErrBadPageIndex", err)
+	}
+}
+
+func TestWritePageTooLarge(t *testing.T) {
+	c := newTestContainer()
+	if _, err := c.WritePage(make([]byte, PageSize+1)); err == nil {
+		t.Fatal("expected error for oversized page")
+	}
+}
+
+func TestDropInodeFreesEverything(t *testing.T) {
+	c := newTestContainer()
+	n, _ := c.AllocInode()
+	p, _ := c.WritePage([]byte("data"))
+	if err := c.CommitInode(&Inode{Num: n, Size: 4, Pages: []PhysPage{p}, VV: vclock.New()}); err != nil {
+		t.Fatal(err)
+	}
+	c.DropInode(n)
+	if _, err := c.GetInode(n); !errors.Is(err, ErrNoInode) {
+		t.Fatalf("err = %v, want ErrNoInode", err)
+	}
+	if c.PageCount() != 0 {
+		t.Fatalf("PageCount = %d, want 0", c.PageCount())
+	}
+}
+
+func TestListInodesSorted(t *testing.T) {
+	c := newTestContainer()
+	for i := 0; i < 5; i++ {
+		n, _ := c.AllocInode()
+		if err := c.CommitInode(&Inode{Num: n, VV: vclock.New()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.ListInodes()
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestStoreContainerLookup(t *testing.T) {
+	s := NewStore(3)
+	c1 := NewContainer(1, 3, 1, 10, nil, Costs{})
+	c2 := NewContainer(2, 3, 1, 10, nil, Costs{})
+	s.AddContainer(c1)
+	s.AddContainer(c2)
+	if s.Container(1) != c1 || s.Container(2) != c2 {
+		t.Fatal("container lookup failed")
+	}
+	if s.Container(9) != nil {
+		t.Fatal("missing filegroup must return nil")
+	}
+	fgs := s.Filegroups()
+	if len(fgs) != 2 || fgs[0] != 1 || fgs[1] != 2 {
+		t.Fatalf("Filegroups = %v", fgs)
+	}
+}
+
+func TestStoreDuplicateContainerPanics(t *testing.T) {
+	s := NewStore(3)
+	s.AddContainer(NewContainer(1, 3, 1, 10, nil, Costs{}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.AddContainer(NewContainer(1, 3, 11, 20, nil, Costs{}))
+}
+
+func TestInodeCloneIndependence(t *testing.T) {
+	ino := &Inode{Num: 1, Pages: []PhysPage{1, 2}, VV: vclock.New().Bump(1),
+		Annotations: map[string]string{"k": "v"}}
+	c := ino.Clone()
+	c.Pages[0] = 99
+	c.VV.Bump(2)
+	c.Annotations["k"] = "w"
+	if ino.Pages[0] != 1 || ino.VV.Get(2) != 0 || ino.Annotations["k"] != "v" {
+		t.Fatal("Clone must be deep")
+	}
+}
+
+// Property: partitioned inode ranges at different packs never collide.
+func TestPropertyInodeRangesDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nPacks := 2 + r.Intn(4)
+		const span = 100
+		var containers []*Container
+		for i := 0; i < nPacks; i++ {
+			lo := InodeNum(i*span + 1)
+			containers = append(containers, NewContainer(1, vclock.SiteID(i+1), lo, lo+span-1, nil, Costs{}))
+		}
+		seen := make(map[InodeNum]bool)
+		for _, c := range containers {
+			for j := 0; j < 1+r.Intn(20); j++ {
+				n, err := c.AllocInode()
+				if err != nil {
+					return false
+				}
+				if seen[n] {
+					return false // collision across packs
+				}
+				seen[n] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: commit/abort never corrupts committed data (crash-consistency
+// invariant behind §2.3.6: "one is always left with either the original
+// file or a completely changed file but never with a partially made
+// change").
+func TestPropertyCommitAbortAtomicity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := newTestContainer()
+		n, _ := c.AllocInode()
+		content := byte('a')
+		page := bytes.Repeat([]byte{content}, 64)
+		p, _ := c.WritePage(page)
+		if err := c.CommitInode(&Inode{Num: n, Size: 64, Pages: []PhysPage{p}, VV: vclock.New()}); err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			next := byte('a' + 1 + r.Intn(20))
+			shadow, _ := c.WritePage(bytes.Repeat([]byte{next}, 64))
+			if r.Intn(2) == 0 {
+				// Commit: new content becomes visible.
+				if err := c.CommitInode(&Inode{Num: n, Size: 64, Pages: []PhysPage{shadow}, VV: vclock.New()}); err != nil {
+					return false
+				}
+				content = next
+			} else {
+				// Abort: shadow freed, old content intact.
+				c.FreePages(shadow)
+			}
+			got, err := c.ReadLogicalPage(n, 0)
+			if err != nil {
+				return false
+			}
+			for _, b := range got[:64] {
+				if b != content {
+					return false
+				}
+			}
+			if c.PageCount() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package vclock implements the version vectors LOCUS uses to detect
+// mutual inconsistency among replicated file copies, following Parker,
+// Popek et al., "Detection of Mutual Inconsistency in Distributed
+// Systems" (IEEE TSE, 1983), cited as [PARK83] in the LOCUS paper.
+//
+// Each copy of a replicated object carries a vector counting, per
+// originating site, how many updates that copy reflects. Comparing two
+// vectors classifies the copies as identical, ancestor/descendant
+// (one dominates), or in conflict (concurrent).
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SiteID identifies a site (node) in the network. Site numbering starts
+// at 1; 0 is reserved as "no site".
+type SiteID int
+
+// NoSite is the zero SiteID, used where a site is not applicable.
+const NoSite SiteID = 0
+
+// Ordering is the result of comparing two version vectors.
+type Ordering int
+
+const (
+	// Equal means the two vectors are identical: the copies reflect
+	// exactly the same set of updates.
+	Equal Ordering = iota
+	// Dominates means the receiver reflects a superset of the updates
+	// in the argument; the receiver's copy is strictly newer.
+	Dominates
+	// Dominated means the argument reflects a superset of the updates
+	// in the receiver; the receiver's copy is strictly older.
+	Dominated
+	// Concurrent means each vector has updates the other lacks: the
+	// copies were modified in different partitions and are in conflict.
+	Concurrent
+)
+
+// String returns a short human-readable name for the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Dominates:
+		return "dominates"
+	case Dominated:
+		return "dominated"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// VV is a version vector: a map from site to the count of updates
+// originated at that site which this copy reflects. A nil VV is a valid
+// empty vector (no updates anywhere).
+type VV map[SiteID]uint64
+
+// New returns an empty version vector.
+func New() VV { return VV{} }
+
+// Copy returns an independent deep copy of v.
+func (v VV) Copy() VV {
+	c := make(VV, len(v))
+	for s, n := range v {
+		c[s] = n
+	}
+	return c
+}
+
+// Get returns the update count recorded for site s (zero if absent).
+func (v VV) Get(s SiteID) uint64 { return v[s] }
+
+// Bump records one more update originated at site s and returns v for
+// chaining. Bump mutates the receiver; callers sharing a vector must
+// Copy first.
+func (v VV) Bump(s SiteID) VV {
+	v[s]++
+	return v
+}
+
+// Compare classifies the relationship between v and o.
+func (v VV) Compare(o VV) Ordering {
+	greater, less := false, false
+	for s, n := range v {
+		m := o[s]
+		if n > m {
+			greater = true
+		} else if n < m {
+			less = true
+		}
+	}
+	for s, m := range o {
+		if _, ok := v[s]; !ok && m > 0 {
+			less = true
+		}
+	}
+	switch {
+	case greater && less:
+		return Concurrent
+	case greater:
+		return Dominates
+	case less:
+		return Dominated
+	default:
+		return Equal
+	}
+}
+
+// Equal reports whether v and o record identical update histories.
+func (v VV) Equal(o VV) bool { return v.Compare(o) == Equal }
+
+// DominatesOrEqual reports whether v reflects every update o does.
+// This is the "is at least as new" test used when a site offers to act
+// as storage site for an open: it may serve only if its copy's vector
+// dominates or equals the latest known vector.
+func (v VV) DominatesOrEqual(o VV) bool {
+	c := v.Compare(o)
+	return c == Equal || c == Dominates
+}
+
+// Concurrent reports whether v and o are in conflict.
+func (v VV) Concurrent(o VV) bool { return v.Compare(o) == Concurrent }
+
+// Merge returns the least upper bound of v and o: the element-wise
+// maximum. The result is a fresh vector; neither input is mutated.
+// Reconciliation stamps the surviving copy with the merge of the
+// conflicting vectors (optionally bumped at the reconciling site) so
+// that the conflict is not re-detected.
+func (v VV) Merge(o VV) VV {
+	m := v.Copy()
+	for s, n := range o {
+		if n > m[s] {
+			m[s] = n
+		}
+	}
+	return m
+}
+
+// Sites returns the sites with a nonzero entry, in ascending order.
+func (v VV) Sites() []SiteID {
+	out := make([]SiteID, 0, len(v))
+	for s, n := range v {
+		if n > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Total returns the total number of updates recorded across all sites.
+func (v VV) Total() uint64 {
+	var t uint64
+	for _, n := range v {
+		t += n
+	}
+	return t
+}
+
+// String renders the vector as "{s1:n1 s2:n2}" with sites ascending.
+func (v VV) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range v.Sites() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", s, v[s])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyVectorsEqual(t *testing.T) {
+	a, b := New(), New()
+	if got := a.Compare(b); got != Equal {
+		t.Fatalf("Compare(empty, empty) = %v, want Equal", got)
+	}
+	var nilVV VV
+	if got := nilVV.Compare(b); got != Equal {
+		t.Fatalf("Compare(nil, empty) = %v, want Equal", got)
+	}
+}
+
+func TestBumpDominates(t *testing.T) {
+	a := New()
+	b := a.Copy().Bump(1)
+	if got := b.Compare(a); got != Dominates {
+		t.Fatalf("bumped.Compare(orig) = %v, want Dominates", got)
+	}
+	if got := a.Compare(b); got != Dominated {
+		t.Fatalf("orig.Compare(bumped) = %v, want Dominated", got)
+	}
+}
+
+func TestConcurrentDetection(t *testing.T) {
+	// The paper's scenario (§4.2): f replicated at S1 and S2, partition,
+	// each modifies its copy -> conflict at merge.
+	base := New().Bump(1)
+	f1 := base.Copy().Bump(1) // modified at S1 during partition
+	f2 := base.Copy().Bump(2) // modified at S2 during partition
+	if !f1.Concurrent(f2) {
+		t.Fatalf("f1=%v f2=%v: want concurrent", f1, f2)
+	}
+	// One-sided modification is NOT a conflict, just staleness.
+	if got := f1.Compare(base); got != Dominates {
+		t.Fatalf("f1 vs base = %v, want Dominates", got)
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	mk := func(pairs ...uint64) VV {
+		v := New()
+		for i := 0; i+1 < len(pairs); i += 2 {
+			if pairs[i+1] > 0 {
+				v[SiteID(pairs[i])] = pairs[i+1]
+			}
+		}
+		return v
+	}
+	cases := []struct {
+		name string
+		a, b VV
+		want Ordering
+	}{
+		{"identical", mk(1, 2, 2, 3), mk(1, 2, 2, 3), Equal},
+		{"superset-count", mk(1, 3, 2, 3), mk(1, 2, 2, 3), Dominates},
+		{"subset-count", mk(1, 2), mk(1, 5), Dominated},
+		{"extra-site", mk(1, 1, 2, 1), mk(1, 1), Dominates},
+		{"missing-site", mk(1, 1), mk(1, 1, 3, 4), Dominated},
+		{"cross", mk(1, 2, 2, 1), mk(1, 1, 2, 2), Concurrent},
+		{"disjoint-sites", mk(1, 1), mk(2, 1), Concurrent},
+		{"zero-entries-ignored", VV{1: 1, 2: 0}, mk(1, 1), Equal},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Compare(c.b); got != c.want {
+				t.Errorf("%v.Compare(%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestMergeUpperBound(t *testing.T) {
+	a := VV{1: 3, 2: 1}
+	b := VV{2: 4, 3: 2}
+	m := a.Merge(b)
+	want := VV{1: 3, 2: 4, 3: 2}
+	if !m.Equal(want) {
+		t.Fatalf("Merge = %v, want %v", m, want)
+	}
+	if !m.DominatesOrEqual(a) || !m.DominatesOrEqual(b) {
+		t.Fatalf("merge %v must dominate both inputs %v %v", m, a, b)
+	}
+	// Inputs unchanged.
+	if a[3] != 0 || b[1] != 0 {
+		t.Fatalf("Merge mutated inputs: a=%v b=%v", a, b)
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := VV{1: 1}
+	b := a.Copy()
+	b.Bump(1)
+	if a[1] != 1 {
+		t.Fatalf("Copy not independent: a=%v after bumping copy", a)
+	}
+}
+
+func TestSitesAndTotalAndString(t *testing.T) {
+	v := VV{3: 2, 1: 1, 7: 5}
+	sites := v.Sites()
+	if len(sites) != 3 || sites[0] != 1 || sites[1] != 3 || sites[2] != 7 {
+		t.Fatalf("Sites = %v, want [1 3 7]", sites)
+	}
+	if v.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", v.Total())
+	}
+	if got, want := v.String(), "{1:1 3:2 7:5}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// randomVV builds a bounded random vector for property tests.
+func randomVV(r *rand.Rand) VV {
+	v := New()
+	n := r.Intn(5)
+	for i := 0; i < n; i++ {
+		v[SiteID(1+r.Intn(4))] = uint64(r.Intn(4))
+	}
+	return v
+}
+
+func TestPropertyMergeIsLUB(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVV(r), randomVV(r)
+		m := a.Merge(b)
+		if !m.DominatesOrEqual(a) || !m.DominatesOrEqual(b) {
+			return false
+		}
+		// Least: any vector dominating both must dominate the merge.
+		c := a.Merge(b).Merge(randomVV(r))
+		return c.DominatesOrEqual(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMergeCommutativeAssociativeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomVV(r), randomVV(r), randomVV(r)
+		if !a.Merge(b).Equal(b.Merge(a)) {
+			return false
+		}
+		if !a.Merge(b).Merge(c).Equal(a.Merge(b.Merge(c))) {
+			return false
+		}
+		return a.Merge(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCompareAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVV(r), randomVV(r)
+		switch a.Compare(b) {
+		case Equal:
+			return b.Compare(a) == Equal
+		case Dominates:
+			return b.Compare(a) == Dominated
+		case Dominated:
+			return b.Compare(a) == Dominates
+		case Concurrent:
+			return b.Compare(a) == Concurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDominancePartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomVV(r), randomVV(r), randomVV(r)
+		// Reflexive.
+		if !a.DominatesOrEqual(a) {
+			return false
+		}
+		// Transitive.
+		if a.DominatesOrEqual(b) && b.DominatesOrEqual(c) && !a.DominatesOrEqual(c) {
+			return false
+		}
+		// Antisymmetric.
+		if a.DominatesOrEqual(b) && b.DominatesOrEqual(a) && !a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBumpStrictlyIncreases(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomVV(r)
+		b := a.Copy().Bump(SiteID(1 + r.Intn(4)))
+		return b.Compare(a) == Dominates
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

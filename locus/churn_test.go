@@ -1,0 +1,111 @@
+package locus_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/locus"
+)
+
+// TestLongChurn runs the whole system through repeated partition /
+// divergent-work / merge cycles with a mixed workload and verifies the
+// single-system-image invariants at every convergence point:
+// every non-conflicted file reads identically from every site, and the
+// namespace is identical everywhere.
+func TestLongChurn(t *testing.T) {
+	c, err := locus.Simple(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sess := map[locus.SiteID]*locus.Session{}
+	for _, s := range c.Sites() {
+		sess[s] = c.Site(s).Login("churn")
+	}
+	if err := sess[1].Mkdir("/work"); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle()
+
+	splits := [][2][]locus.SiteID{
+		{{1, 2}, {3, 4}},
+		{{1, 3}, {2, 4}},
+		{{1}, {2, 3, 4}},
+		{{1, 2, 3}, {4}},
+	}
+	revision := map[string]string{}
+
+	for cycle, split := range splits {
+		c.Partition(split[0], split[1])
+
+		// Each half does non-conflicting work: per-half file names.
+		for half, group := range split {
+			writer := sess[group[0]]
+			for i := 0; i < 3; i++ {
+				name := fmt.Sprintf("/work/c%d-h%d-f%d", cycle, half, i)
+				content := fmt.Sprintf("cycle %d half %d item %d", cycle, half, i)
+				if err := writer.WriteFile(name, []byte(content)); err != nil {
+					t.Fatalf("cycle %d: %v", cycle, err)
+				}
+				revision[name] = content
+			}
+			// And updates an older file it owns (same half pattern ->
+			// never concurrent across halves).
+			if cycle > 0 {
+				name := fmt.Sprintf("/work/c%d-h%d-f0", cycle-1, half)
+				if _, ok := revision[name]; ok {
+					content := fmt.Sprintf("updated in cycle %d", cycle)
+					if err := writer.WriteFile(name, []byte(content)); err != nil {
+						// The file's storage sites may all be in the
+						// other half: acceptable unavailability.
+						if !errors.Is(err, locus.ErrNoCSS) && !errors.Is(err, locus.ErrNotFound) &&
+							!errors.Is(err, locus.ErrNoStorageSite) && !errors.Is(err, locus.ErrStale) {
+							t.Fatalf("cycle %d update %s: %v", cycle, name, err)
+						}
+					} else {
+						revision[name] = content
+					}
+				}
+			}
+		}
+
+		rep, err := c.Merge()
+		if err != nil {
+			t.Fatalf("cycle %d merge: %v", cycle, err)
+		}
+		if rep.ConflictsReported != 0 {
+			t.Fatalf("cycle %d: unexpected conflicts: %+v", cycle, rep)
+		}
+
+		// Convergence check from every site.
+		var refNames string
+		for _, s := range c.Sites() {
+			ents, err := sess[s].ReadDir("/work")
+			if err != nil {
+				t.Fatalf("cycle %d site %d readdir: %v", cycle, s, err)
+			}
+			names := ""
+			for _, e := range ents {
+				names += e.Name + ";"
+			}
+			if refNames == "" {
+				refNames = names
+			} else if names != refNames {
+				t.Fatalf("cycle %d: namespace diverges at site %d:\n%s\nvs\n%s", cycle, s, names, refNames)
+			}
+		}
+		for name, want := range revision {
+			for _, s := range c.Sites() {
+				got, err := sess[s].ReadFile(name)
+				if err != nil {
+					t.Fatalf("cycle %d site %d read %s: %v", cycle, s, name, err)
+				}
+				if string(got) != want {
+					t.Fatalf("cycle %d site %d %s = %q, want %q", cycle, s, name, got, want)
+				}
+			}
+		}
+	}
+}

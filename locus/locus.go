@@ -1,0 +1,341 @@
+// Package locus is the public API of this reproduction of the LOCUS
+// distributed operating system (Walker, Popek, English, Kline, Thiel —
+// SOSP 1983).
+//
+// A Cluster is a simulated network of sites, each running the full
+// LOCUS kernel stack: the network-transparent distributed filesystem
+// with replication and atomic commit, transparent remote processes
+// with network-wide Unix IPC, nested transactions, the dynamic
+// reconfiguration protocols, and automatic reconciliation of
+// replicated directories and mailboxes after partitions heal.
+//
+// Quickstart:
+//
+//	c, _ := locus.NewCluster(locus.ClusterSpec{
+//		Sites: []locus.SiteSpec{{ID: 1}, {ID: 2}, {ID: 3}},
+//		Filegroups: []locus.FilegroupSpec{
+//			{ID: 1, MountPath: "/", Replicas: []locus.SiteID{1, 2, 3}},
+//		},
+//	})
+//	defer c.Close()
+//	s := c.Site(1).Login("alice")
+//	_ = s.WriteFile("/hello", []byte("transparent!"))
+//	c.Settle() // let replication propagate
+//	data, _ := c.Site(3).Login("bob").ReadFile("/hello")
+package locus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/fs"
+	"repro/internal/netsim"
+	"repro/internal/proc"
+	"repro/internal/recon"
+	"repro/internal/storage"
+	"repro/internal/topology"
+	"repro/internal/txn"
+	"repro/internal/vclock"
+)
+
+// SiteID identifies a site in the network.
+type SiteID = vclock.SiteID
+
+// FileID is a file's globally unique low-level name
+// (<filegroup, inode>).
+type FileID = storage.FileID
+
+// Re-exported file types for creation calls.
+const (
+	TypeRegular  = storage.TypeRegular
+	TypeDatabase = storage.TypeDatabase
+	TypeMailbox  = storage.TypeMailbox
+)
+
+// Open modes.
+const (
+	Read   = fs.ModeRead
+	Modify = fs.ModeModify
+)
+
+// Common errors, re-exported from the kernel layers.
+var (
+	ErrNotFound      = fs.ErrNotFound
+	ErrExists        = fs.ErrExists
+	ErrBusy          = fs.ErrBusy
+	ErrConflict      = fs.ErrConflict
+	ErrStale         = fs.ErrStale
+	ErrNoCSS         = fs.ErrNoCSS
+	ErrNoStorageSite = fs.ErrNoStorageSite
+)
+
+// SiteSpec describes one site.
+type SiteSpec struct {
+	ID SiteID
+	// MachineType names the CPU type for heterogeneous-load-module
+	// resolution (defaults to "vax").
+	MachineType string
+}
+
+// FilegroupSpec describes one logical filegroup and its replication.
+type FilegroupSpec struct {
+	ID storage.FilegroupID
+	// MountPath is "/" for the root filegroup.
+	MountPath string
+	// Replicas lists the sites holding physical containers (packs).
+	Replicas []SiteID
+}
+
+// ClusterSpec configures a cluster.
+type ClusterSpec struct {
+	Sites      []SiteSpec
+	Filegroups []FilegroupSpec
+	// Costs optionally overrides the simulated cost model.
+	Costs *netsim.CostModel
+}
+
+// Cluster is a running LOCUS network.
+type Cluster struct {
+	net   *netsim.Network
+	cfg   *fs.Config
+	sites map[SiteID]*Site
+	order []SiteID
+}
+
+// Site is one machine running the LOCUS kernel stack.
+type Site struct {
+	id      SiteID
+	cluster *Cluster
+
+	// FS is the distributed filesystem kernel.
+	FS *fs.Kernel
+	// Proc is the process manager.
+	Proc *proc.Manager
+	// Txn is the nested-transaction manager.
+	Txn *txn.Manager
+	// Recon is the reconciliation driver.
+	Recon *recon.Reconciler
+	// Topo runs the reconfiguration protocols.
+	Topo *topology.Manager
+}
+
+// ID returns the site id.
+func (s *Site) ID() SiteID { return s.id }
+
+// NewCluster builds, boots, and formats a cluster.
+func NewCluster(spec ClusterSpec) (*Cluster, error) {
+	if len(spec.Sites) == 0 {
+		return nil, errors.New("locus: no sites")
+	}
+	var fgs []fs.FilegroupDesc
+	for _, f := range spec.Filegroups {
+		var packs []fs.PackDesc
+		for i, s := range f.Replicas {
+			packs = append(packs, fs.PackDesc{
+				Site: s,
+				Lo:   storage.InodeNum(i*1_000_000 + 1),
+				Hi:   storage.InodeNum((i + 1) * 1_000_000),
+			})
+		}
+		fgs = append(fgs, fs.FilegroupDesc{FG: f.ID, MountPath: f.MountPath, Packs: packs})
+	}
+	cfg, err := fs.NewConfig(fgs)
+	if err != nil {
+		return nil, err
+	}
+	costs := netsim.DefaultCosts()
+	if spec.Costs != nil {
+		costs = *spec.Costs
+	}
+	nw := netsim.New(costs)
+	c := &Cluster{net: nw, cfg: cfg, sites: make(map[SiteID]*Site)}
+
+	var allSites []SiteID
+	for _, ss := range spec.Sites {
+		allSites = append(allSites, ss.ID)
+	}
+	sort.Slice(allSites, func(i, j int) bool { return allSites[i] < allSites[j] })
+
+	kernels := make(map[SiteID]*fs.Kernel)
+	for _, ss := range spec.Sites {
+		node := nw.AddSite(ss.ID)
+		k := fs.BootSite(node, cfg, nw.Meter(), storage.Costs{DiskUs: costs.DiskUs, PageCPU: costs.PageCPU})
+		mt := ss.MachineType
+		if mt == "" {
+			mt = "vax"
+		}
+		site := &Site{
+			id:      ss.ID,
+			cluster: c,
+			FS:      k,
+			Proc:    proc.NewManager(node, k, mt),
+			Txn:     txn.NewManager(k),
+			Recon:   recon.New(k),
+			Topo:    topology.New(node, allSites),
+		}
+		// Membership changes drive the §5.6 cleanup procedure in every
+		// kernel layer.
+		site.Topo.OnChange(func(p []SiteID) {
+			site.FS.CleanupAfterPartitionChange(p)
+			site.Proc.CleanupAfterPartitionChange(p)
+			site.Txn.CleanupAfterPartitionChange(p)
+			site.FS.RequeueStalledPropagations()
+		})
+		kernels[ss.ID] = k
+		c.sites[ss.ID] = site
+		c.order = append(c.order, ss.ID)
+	}
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	if err := fs.Format(kernels, cfg); err != nil {
+		nw.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Simple builds an n-site cluster (ids 1..n) with one filegroup
+// replicated everywhere and mounted at "/".
+func Simple(n int) (*Cluster, error) {
+	var sites []SiteSpec
+	var reps []SiteID
+	for i := 1; i <= n; i++ {
+		sites = append(sites, SiteSpec{ID: SiteID(i)})
+		reps = append(reps, SiteID(i))
+	}
+	return NewCluster(ClusterSpec{
+		Sites:      sites,
+		Filegroups: []FilegroupSpec{{ID: 1, MountPath: "/", Replicas: reps}},
+	})
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() { c.net.Close() }
+
+// Site returns a site by id (nil if unknown).
+func (c *Cluster) Site(id SiteID) *Site { return c.sites[id] }
+
+// Sites returns all site ids, ascending.
+func (c *Cluster) Sites() []SiteID { return append([]SiteID(nil), c.order...) }
+
+// Network exposes the underlying simulated network (for tests,
+// benchmarks, and fault injection).
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Stats returns a snapshot of network traffic and simulated costs.
+func (c *Cluster) Stats() netsim.Snapshot { return c.net.Stats() }
+
+// Settle drains all background propagation until quiescent, returning
+// the number of pulls completed.
+func (c *Cluster) Settle() int {
+	total := 0
+	for pass := 0; pass < 100; pass++ {
+		c.net.Quiesce()
+		n := 0
+		for _, id := range c.order {
+			n += c.sites[id].FS.DrainPropagation()
+		}
+		total += n
+		if n == 0 {
+			c.net.Quiesce()
+			pending := 0
+			for _, id := range c.order {
+				pending += c.sites[id].FS.PendingPropagations()
+			}
+			if pending == 0 {
+				return total
+			}
+		}
+	}
+	return total
+}
+
+// Partition severs the network into the given groups and runs the
+// partition protocol in each; every site's kernel runs the cleanup
+// procedure via the topology callback.
+func (c *Cluster) Partition(groups ...[]SiteID) {
+	c.net.PartitionGroups(groups...)
+	c.net.Quiesce()
+	for _, g := range groups {
+		if len(g) > 0 {
+			c.sites[g[0]].Topo.RunPartitionProtocol()
+		}
+	}
+	c.net.Quiesce()
+}
+
+// Merge heals the physical network, runs the merge protocol from the
+// lowest up site, reconciles every filegroup, and settles propagation.
+// It returns the combined reconciliation report.
+func (c *Cluster) Merge() (recon.Report, error) {
+	c.net.HealAll()
+	var initiator *Site
+	for _, id := range c.order {
+		if c.net.Up(id) {
+			initiator = c.sites[id]
+			break
+		}
+	}
+	var rep recon.Report
+	if initiator == nil {
+		return rep, errors.New("locus: no site up")
+	}
+	if _, err := initiator.Topo.RunMergeProtocol(); err != nil {
+		return rep, err
+	}
+	c.net.Quiesce()
+	c.Settle()
+	// Reconciliation runs at every site; each file is merged once (by
+	// its lowest storing site). Two passes let directory merges expose
+	// files that then propagate.
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range c.order {
+			if !c.net.Up(id) {
+				continue
+			}
+			r, err := c.sites[id].Recon.ReconcileAll()
+			rep = addReports(rep, r)
+			if err != nil {
+				return rep, err
+			}
+		}
+		c.Settle()
+	}
+	return rep, nil
+}
+
+func addReports(a, b recon.Report) recon.Report {
+	a.DirsMerged += b.DirsMerged
+	a.MailboxesMerged += b.MailboxesMerged
+	a.ManagerMerged += b.ManagerMerged
+	a.ConflictsReported += b.ConflictsReported
+	a.Propagated += b.Propagated
+	a.NameConflicts += b.NameConflicts
+	a.DeletesUndone += b.DeletesUndone
+	return a
+}
+
+// Crash abruptly takes a site down (volatile state lost, disk kept);
+// the survivors run the partition protocol.
+func (c *Cluster) Crash(id SiteID) {
+	c.net.Crash(id)
+	c.net.Quiesce()
+	for _, sid := range c.order {
+		if c.net.Up(sid) {
+			c.sites[sid].Topo.RunPartitionProtocol()
+			break
+		}
+	}
+	c.net.Quiesce()
+}
+
+// Restart brings a crashed site back and merges it into the partition.
+func (c *Cluster) Restart(id SiteID) (recon.Report, error) {
+	c.net.Restart(id)
+	return c.Merge()
+}
+
+// String describes the cluster.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("locus.Cluster{%d sites, %d filegroups}", len(c.sites), len(c.cfg.Filegroups))
+}
