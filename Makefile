@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet locusvet test race invariants bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# locus-vet is this repository's own analyzer suite (cmd/locus-vet):
+# simclock, uncheckedcall, lockorder, panicdiscipline.
+locusvet:
+	$(GO) run ./cmd/locus-vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# invariants runs the suite with the runtime assertion layer compiled
+# in (internal/lint/invariant): version-vector dominance on propagation
+# and shadow-page commit/free checks in storage.
+invariants:
+	$(GO) test -tags locusinvariants ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: build vet locusvet test race invariants

@@ -369,7 +369,7 @@ func BenchmarkE10_LocalOverhead(b *testing.B) {
 		b.ReportMetric(float64(c.Stats().CPUUs-startCPU)/float64(b.N), "simCPUus/op")
 	})
 	b.Run("bare-local-fs", func(b *testing.B) {
-		cont := storage.NewContainer(1, 1, 1, 1000, nil, storage.Costs{})
+		cont := storage.MustContainer(1, 1, 1, 1000, nil, storage.Costs{})
 		num, _ := cont.AllocInode()
 		pp, _ := cont.WritePage(pageOf('x'))
 		if err := cont.CommitInode(&storage.Inode{Num: num, Size: storage.PageSize,

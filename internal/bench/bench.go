@@ -75,10 +75,20 @@ func (t *Table) Fprint(w io.Writer) {
 
 func cell(format string, args ...any) string { return fmt.Sprintf(format, args...) }
 
+// must aborts the experiment on a setup/workload error. Benchmarks have
+// no recovery story: a failed step invalidates the whole table, so the
+// harness's failure mode is a panic (sanctioned by panicdiscipline's
+// must-helper rule).
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func mustCluster(n int) *locus.Cluster {
 	c, err := locus.Simple(n)
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	return c
 }
@@ -106,7 +116,7 @@ func E1() *Table {
 	s2 := c.Site(2).Login("u")
 	mustWrite(u1, "/f", page('x'))
 	if err := c.Site(1).FS.SetReplication(u1.Cred(), "/f", []SiteID{1}); err != nil {
-		panic(err)
+		must(err)
 	}
 	c.Settle()
 
@@ -118,7 +128,7 @@ func E1() *Table {
 	}
 	r, err := c.Site(2).FS.Resolve(s2.Cred(), "/f")
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	base := c.Stats()
 	add := func(stage, site string) {
@@ -128,16 +138,16 @@ func E1() *Table {
 	add("initial system call processing", "requesting")
 	f, err := c.Site(2).FS.OpenID(r.ID, fs.ModeRead)
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	add("open: message setup + remote service + return", "requesting+serving")
 	buf := make([]byte, 100)
 	if _, err := f.ReadAt(buf, 0); err != nil {
-		panic(err)
+		must(err)
 	}
 	add("read page: request/response exchange", "requesting+serving")
 	if err := f.Close(); err != nil {
-		panic(err)
+		must(err)
 	}
 	add("close: 4-message teardown", "requesting+serving")
 	return t
@@ -153,12 +163,12 @@ func E2() *Table {
 	// fileA stored only at site 3 (CSS=1 stores nothing): general case.
 	mustWrite(u1, "/a", page('a'))
 	if err := c.Site(1).FS.SetReplication(u1.Cred(), "/a", []SiteID{3}); err != nil {
-		panic(err)
+		must(err)
 	}
 	// fileB stored at 1 and 3.
 	mustWrite(u1, "/b", page('b'))
 	if err := c.Site(1).FS.SetReplication(u1.Cred(), "/b", []SiteID{1, 3}); err != nil {
-		panic(err)
+		must(err)
 	}
 	c.Settle()
 	ra, _ := c.Site(1).FS.Resolve(u1.Cred(), "/a")
@@ -181,19 +191,19 @@ func E2() *Table {
 		var err error
 		f, err = c.Site(2).FS.OpenID(ra.ID, fs.ModeRead)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 	})), "4"})
 	rd := count(func() {
 		buf := make([]byte, storage.PageSize)
 		if _, err := f.ReadAt(buf, 0); err != nil {
-			panic(err)
+			must(err)
 		}
 	})
 	t.Rows = append(t.Rows, []string{"read page", "US=2 SS=3", cell("%d", rd), "2"})
 	cl := count(func() {
 		if err := f.Close(); err != nil {
-			panic(err)
+			must(err)
 		}
 	})
 	t.Rows = append(t.Rows, []string{"close(read)", "US=2 SS=3 CSS=1", cell("%d", cl), "4"})
@@ -204,7 +214,7 @@ func E2() *Table {
 			var err error
 			h, err = c.Site(us).FS.OpenID(id, fs.ModeRead)
 			if err != nil {
-				panic(err)
+				must(err)
 			}
 		})
 		t.Rows = append(t.Rows, []string{"open(read)", roles, cell("%d", msgs), want})
@@ -217,17 +227,17 @@ func E2() *Table {
 	// Write: one message per full-page write (US=2, SS=3 via fileA).
 	w, err := c.Site(2).FS.OpenID(ra.ID, fs.ModeModify)
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	wr := count(func() {
 		if _, err := w.WriteAt(page('z'), 0); err != nil {
-			panic(err)
+			must(err)
 		}
 	})
 	t.Rows = append(t.Rows, []string{"write page", "US=2 SS=3", cell("%d", wr), "1"})
 	cm := count(func() {
 		if err := w.Commit(); err != nil {
-			panic(err)
+			must(err)
 		}
 	})
 	t.Rows = append(t.Rows, []string{"commit", "US=2 SS=3 (+notify)", cell("%d", cm), "2 + 1/replica"})
@@ -245,7 +255,7 @@ func E3() *Table {
 	u1 := c.Site(1).Login("u")
 	mustWrite(u1, "/local", page('l'))
 	if err := c.Site(1).FS.SetReplication(u1.Cred(), "/local", []SiteID{1}); err != nil {
-		panic(err)
+		must(err)
 	}
 	c.Settle()
 	rl, _ := c.Site(1).FS.Resolve(u1.Cred(), "/local")
@@ -256,7 +266,7 @@ func E3() *Table {
 		// Warm CSS state.
 		f, err := k.OpenID(rl.ID, fs.ModeRead)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		f.Close() //nolint:errcheck
 		before := c.Stats()
@@ -264,7 +274,7 @@ func E3() *Table {
 		for i := 0; i < iters; i++ {
 			h, err := k.OpenID(rl.ID, fs.ModeRead)
 			if err != nil {
-				panic(err)
+				must(err)
 			}
 			handles[i] = h
 		}
@@ -273,7 +283,7 @@ func E3() *Table {
 		buf := make([]byte, storage.PageSize)
 		for i := 0; i < iters; i++ {
 			if _, err := handles[i].ReadAt(buf, 0); err != nil {
-				panic(err)
+				must(err)
 			}
 		}
 		pageCPU = c.Stats().Sub(before).CPUUs / iters
@@ -313,15 +323,15 @@ func E4() *Table {
 		u1 := c.Site(1).Login("u")
 		mustWrite(u1, "/f", []byte("v1"))
 		if err := c.Site(1).FS.SetReplication(u1.Cred(), "/f", []SiteID{3}); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Settle()
 		w, err := c.Site(2).FS.Open(c.Site(2).Login("u").Cred(), "/f", fs.ModeModify)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		if err := w.WriteAll([]byte("doomed")); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Partition([]SiteID{1, 2}, []SiteID{3})
 		obs := "no action"
@@ -340,7 +350,7 @@ func E4() *Table {
 		c.Settle()
 		r, err := c.Site(2).FS.Open(c.Site(2).Login("u").Cred(), "/f", fs.ModeRead)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		lost := r.SS()
 		if lost == 2 {
@@ -392,7 +402,7 @@ func E4() *Table {
 		sess := c.Site(1).Login("u")
 		sess.SetExecSite(2)
 		if _, err := sess.Run("/svc"); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Partition([]SiteID{1}, []SiteID{2})
 		obs := "no signal"
@@ -417,13 +427,13 @@ func E4() *Table {
 		u1 := c.Site(1).Login("u")
 		mustWrite(u1, "/t", []byte("base"))
 		if err := c.Site(1).FS.SetReplication(u1.Cred(), "/t", []SiteID{3}); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Settle()
 		m := c.Site(2).Txn
 		tx := m.Begin(c.Site(2).Login("u").Cred())
 		if err := tx.WriteFile("/t", []byte("doomed")); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Partition([]SiteID{1, 2}, []SiteID{3})
 		obs := "still active"
@@ -467,7 +477,7 @@ func E5() *Table {
 		c.Network().Quiesce()
 		before = c.Stats()
 		if _, err := c.Site(a[0]).Topo.RunMergeProtocol(); err != nil {
-			panic(err)
+			must(err)
 		}
 		mergeMsgs := c.Stats().Sub(before).Msgs
 
@@ -537,7 +547,7 @@ func E6() *Table {
 	run("independent inserts ×20", 20, nil, nil, "all propagate (rule a)")
 	run("delete in one partition", 0, func(a, b *locus.Session) {
 		if err := a.Unlink("/seed"); err != nil {
-			panic(err)
+			must(err)
 		}
 	}, func(a *locus.Session) string {
 		if _, err := a.ReadFile("/seed"); err != nil {
@@ -547,7 +557,7 @@ func E6() *Table {
 	}, "delete propagates (rule b)")
 	run("delete vs modify race", 0, func(a, b *locus.Session) {
 		if err := a.Unlink("/seed"); err != nil {
-			panic(err)
+			must(err)
 		}
 		mustWrite(b, "/seed", []byte("modified"))
 	}, func(a *locus.Session) string {
@@ -594,7 +604,7 @@ func E7() *Table {
 		}
 		mustWrite(u1, "/f", page('r'))
 		if err := c.Site(1).FS.SetReplication(u1.Cred(), "/f", sites); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Settle()
 		rid, _ := c.Site(1).FS.Resolve(u1.Cred(), "/f")
@@ -604,11 +614,11 @@ func E7() *Table {
 		for s := 1; s <= n; s++ {
 			f, err := c.Site(SiteID(s)).FS.OpenID(rid.ID, fs.ModeRead)
 			if err != nil {
-				panic(err)
+				must(err)
 			}
 			buf := make([]byte, storage.PageSize)
 			if _, err := f.ReadAt(buf, 0); err != nil {
-				panic(err)
+				must(err)
 			}
 			f.Close() //nolint:errcheck
 		}
@@ -618,13 +628,13 @@ func E7() *Table {
 		before = c.Stats()
 		w, err := c.Site(1).FS.OpenID(rid.ID, fs.ModeModify)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		if _, err := w.WriteAt(page('w'), 0); err != nil {
-			panic(err)
+			must(err)
 		}
 		if err := w.Close(); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Settle()
 		updMsgs := c.Stats().Sub(before).Msgs
@@ -669,12 +679,12 @@ func E8() *Table {
 	p2 := c.Site(2).Proc.InitProcess(c.Site(2).Login("u").Cred())
 	fd1, _, err := c.Site(1).Proc.OpenShared(p1, "/log", fs.ModeRead)
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	home, id := fd1.HomeID()
 	fd2, _, err := c.Site(2).Proc.AttachShared(p2, home, id, "/log", fs.ModeRead)
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 
 	const ops = 128
@@ -683,10 +693,10 @@ func E8() *Table {
 	before := c.Stats()
 	for i := 0; i < ops; i++ {
 		if _, err := fd1.Read(buf); err != nil {
-			panic(err)
+			must(err)
 		}
 		if _, err := fd2.Read(buf); err != nil {
-			panic(err)
+			must(err)
 		}
 	}
 	d := c.Stats().Sub(before)
@@ -696,12 +706,12 @@ func E8() *Table {
 	before = c.Stats()
 	for i := 0; i < ops; i++ {
 		if _, err := fd1.Read(buf); err != nil {
-			panic(err)
+			must(err)
 		}
 	}
 	for i := 0; i < ops; i++ {
 		if _, err := fd2.Read(buf); err != nil {
-			panic(err)
+			must(err)
 		}
 	}
 	d = c.Stats().Sub(before)
@@ -743,7 +753,7 @@ func E9() *Table {
 		ra := recon.New(c.Site(1).FS)
 		rb := recon.New(c.Site(2).FS)
 		if err := ra.DeliverMail("bob", "pre", "hello"); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Settle()
 		pre, _ := ra.ReadMail("bob")
@@ -773,7 +783,7 @@ func E9() *Table {
 		a := c.Site(1).Login("u")
 		b := c.Site(2).Login("u")
 		if err := a.Mkdir("/mh"); err != nil {
-			panic(err)
+			must(err)
 		}
 		c.Settle()
 		c.Partition([]SiteID{1}, []SiteID{2})
@@ -783,7 +793,7 @@ func E9() *Table {
 		}
 		rep, err := c.Merge()
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		ents, _ := a.ReadDir("/mh")
 		t.Rows = append(t.Rows, []string{"message-per-file (mh)", "5/5", "0", cell("%d files (dirs merged: %d)", len(ents), rep.DirsMerged), "10"})
@@ -808,10 +818,10 @@ func E10() *Table {
 	for i := 0; i < iters; i++ {
 		f, err := c.Site(1).FS.OpenID(rid.ID, fs.ModeRead)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		if _, err := f.ReadAt(buf, 0); err != nil {
-			panic(err)
+			must(err)
 		}
 		f.Close() //nolint:errcheck
 	}
@@ -821,22 +831,22 @@ func E10() *Table {
 
 	// Baseline: the raw container (conventional Unix-like local FS).
 	meter := &localMeter{}
-	cont := storage.NewContainer(1, 1, 1, 1000, meter, storage.Costs{
+	cont := storage.MustContainer(1, 1, 1, 1000, meter, storage.Costs{
 		DiskUs: netsim.DefaultCosts().DiskUs, PageCPU: netsim.DefaultCosts().PageCPU,
 	})
 	num, _ := cont.AllocInode()
 	pp, _ := cont.WritePage(page('x'))
 	if err := cont.CommitInode(&storage.Inode{Num: num, Size: storage.PageSize, Pages: []storage.PhysPage{pp}, VV: vclock.New()}); err != nil {
-		panic(err)
+		must(err)
 	}
 	meter.cpu = 0
 	for i := 0; i < iters; i++ {
 		ino, err := cont.GetInode(num) // "open"
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		if _, err := cont.ReadLogicalPage(num, 0); err != nil {
-			panic(err)
+			must(err)
 		}
 		_ = ino
 	}

@@ -45,6 +45,8 @@ func SimpleConfig(nSites int) *fs.Config {
 	}
 	cfg, err := fs.NewConfig([]fs.FilegroupDesc{{FG: 1, MountPath: "/", Packs: packs}})
 	if err != nil {
+		// invariant: a generated single-filegroup config is valid by
+		// construction; NewConfig rejecting it is a programming error.
 		panic(err)
 	}
 	return cfg
@@ -71,10 +73,15 @@ func New(cfg *fs.Config, opts Options) (*Cluster, error) {
 	}
 	for _, s := range cl.sites {
 		node := nw.AddSite(s)
-		cl.Kernels[s] = fs.BootSite(node, cfg, nw.Meter(), storage.Costs{
+		k, err := fs.BootSite(node, cfg, nw.Meter(), storage.Costs{
 			DiskUs:  costs.DiskUs,
 			PageCPU: costs.PageCPU,
 		})
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		cl.Kernels[s] = k
 	}
 	if err := fs.Format(cl.Kernels, cfg); err != nil {
 		nw.Close()

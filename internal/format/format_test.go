@@ -11,6 +11,7 @@ import (
 )
 
 func TestDirInsertLookupRemove(t *testing.T) {
+	t.Parallel()
 	d := &Directory{}
 	d.Insert("bin", 2)
 	d.Insert("etc", 3)
@@ -50,6 +51,7 @@ func TestDirInsertLookupRemove(t *testing.T) {
 }
 
 func TestDirInsertOverTombstoneResurrects(t *testing.T) {
+	t.Parallel()
 	d := &Directory{}
 	d.Insert("f", 7)
 	d.Remove("f", vclock.New())
@@ -61,6 +63,7 @@ func TestDirInsertOverTombstoneResurrects(t *testing.T) {
 }
 
 func TestDirInsertReplaces(t *testing.T) {
+	t.Parallel()
 	d := &Directory{}
 	d.Insert("f", 7)
 	d.Insert("f", 8)
@@ -70,6 +73,7 @@ func TestDirInsertReplaces(t *testing.T) {
 }
 
 func TestDirEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	d := &Directory{}
 	d.Insert("usr", 5)
 	d.Insert("bin", 2)
@@ -86,6 +90,7 @@ func TestDirEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeDirEmpty(t *testing.T) {
+	t.Parallel()
 	d, err := DecodeDir(nil)
 	if err != nil || len(d.Entries) != 0 {
 		t.Fatalf("empty decode: %v %v", d, err)
@@ -93,6 +98,7 @@ func TestDecodeDirEmpty(t *testing.T) {
 }
 
 func TestDecodeDirCorrupt(t *testing.T) {
+	t.Parallel()
 	for _, b := range [][]byte{{0xff}, {0x44}, []byte("garbage data here")} {
 		if _, err := DecodeDir(b); err == nil {
 			t.Fatalf("DecodeDir(%v) should fail", b)
@@ -108,6 +114,7 @@ func TestDecodeDirCorrupt(t *testing.T) {
 }
 
 func TestMailboxDeliverDeleteRoundTrip(t *testing.T) {
+	t.Parallel()
 	m := &Mailbox{}
 	m.Deliver(Message{ID: "s2-1", From: "bob", Body: "hello"})
 	m.Deliver(Message{ID: "s1-1", From: "alice", Body: "hi"})
@@ -142,6 +149,7 @@ func TestMailboxDeliverDeleteRoundTrip(t *testing.T) {
 }
 
 func TestDecodeMailboxEmptyAndCorrupt(t *testing.T) {
+	t.Parallel()
 	m, err := DecodeMailbox(nil)
 	if err != nil || len(m.Messages) != 0 {
 		t.Fatalf("empty decode: %v %v", m, err)
@@ -152,6 +160,7 @@ func TestDecodeMailboxEmptyAndCorrupt(t *testing.T) {
 }
 
 func TestValidName(t *testing.T) {
+	t.Parallel()
 	valid := []string{"a", "file.txt", "with space", "vax", "11-45"}
 	invalid := []string{"", ".", "..", "a/b", "/"}
 	for _, n := range valid {
@@ -187,6 +196,7 @@ func randomDir(r *rand.Rand) *Directory {
 func randInode(r *rand.Rand) storage.InodeNum { return storage.InodeNum(r.Intn(1000)) }
 
 func TestPropertyDirRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		d := randomDir(r)
@@ -202,6 +212,7 @@ func TestPropertyDirRoundTrip(t *testing.T) {
 }
 
 func TestPropertyDirEntriesAlwaysSorted(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		d := randomDir(r)
@@ -218,6 +229,7 @@ func TestPropertyDirEntriesAlwaysSorted(t *testing.T) {
 }
 
 func TestPropertyMailboxRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		m := &Mailbox{}

@@ -12,16 +12,25 @@ import (
 
 // BootSite builds the storage for one site per the configuration and
 // returns its filesystem kernel attached to the node. meter may be nil.
-func BootSite(node *netsim.Node, cfg *Config, meter storage.Meter, costs storage.Costs) *Kernel {
+// A misconfigured pack (bad inode range, duplicate filegroup) is a
+// configuration error, not a crash.
+func BootSite(node *netsim.Node, cfg *Config, meter storage.Meter, costs storage.Costs) (*Kernel, error) {
 	store := storage.NewStore(node.ID())
 	for _, d := range cfg.Filegroups {
 		for _, p := range d.Packs {
-			if p.Site == node.ID() {
-				store.AddContainer(storage.NewContainer(d.FG, p.Site, p.Lo, p.Hi, meter, costs))
+			if p.Site != node.ID() {
+				continue
+			}
+			c, err := storage.NewContainer(d.FG, p.Site, p.Lo, p.Hi, meter, costs)
+			if err != nil {
+				return nil, fmt.Errorf("fs: booting site %d: %w", node.ID(), err)
+			}
+			if err := store.AddContainer(c); err != nil {
+				return nil, fmt.Errorf("fs: booting site %d: %w", node.ID(), err)
 			}
 		}
 	}
-	return NewKernel(node, store, cfg)
+	return NewKernel(node, store, cfg), nil
 }
 
 // Format initializes a freshly booted set of kernels: it writes each

@@ -3,8 +3,6 @@ package fs
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"time"
 
 	"repro/internal/format"
 	"repro/internal/storage"
@@ -80,8 +78,11 @@ func (k *Kernel) updateDir(id storage.FileID, mutate func(*format.Directory) err
 }
 
 // openDirForUpdate opens a directory for modification, retrying while
-// another updater briefly holds the writer lock.
+// another updater briefly holds the writer lock. The wait goes through
+// the simulated clock's backoff so the kernel never consults the wall
+// clock (the simclock analyzer enforces this).
 func (k *Kernel) openDirForUpdate(id storage.FileID) (*File, error) {
+	clock := k.node.Network().Clock()
 	var err error
 	for attempt := 0; attempt < 4000; attempt++ {
 		var f *File
@@ -92,11 +93,7 @@ func (k *Kernel) openDirForUpdate(id storage.FileID) (*File, error) {
 		if !errors.Is(err, ErrBusy) {
 			return nil, err
 		}
-		if attempt < 100 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(100 * time.Microsecond)
-		}
+		clock.Backoff(attempt)
 	}
 	return nil, err
 }

@@ -33,6 +33,15 @@ func newCluster(t *testing.T, nSites int) *testCluster {
 	return newClusterCfg(t, cfg)
 }
 
+func mustBoot(t *testing.T, node *netsim.Node, cfg *fs.Config, meter storage.Meter) *fs.Kernel {
+	t.Helper()
+	k, err := fs.BootSite(node, cfg, meter, storage.Costs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
 func newClusterCfg(t *testing.T, cfg *fs.Config) *testCluster {
 	t.Helper()
 	nw := netsim.New(netsim.DefaultCosts())
@@ -43,7 +52,7 @@ func newClusterCfg(t *testing.T, cfg *fs.Config) *testCluster {
 		for _, p := range d.Packs {
 			if !seen[p.Site] {
 				seen[p.Site] = true
-				c.kernels[p.Site] = fs.BootSite(nw.AddSite(p.Site), cfg, nw.Meter(), storage.Costs{})
+				c.kernels[p.Site] = mustBoot(t, nw.AddSite(p.Site), cfg, nw.Meter())
 			}
 		}
 	}
@@ -888,11 +897,11 @@ func TestNoCSSWhenNoPackInPartition(t *testing.T) {
 	nw := netsim.New(netsim.DefaultCosts())
 	t.Cleanup(nw.Close)
 	kernels := map[fs.SiteID]*fs.Kernel{
-		1: fs.BootSite(nw.AddSite(1), cfg, nil, storage.Costs{}),
-		2: fs.BootSite(nw.AddSite(2), cfg, nil, storage.Costs{}),
+		1: mustBoot(t, nw.AddSite(1), cfg, nil),
+		2: mustBoot(t, nw.AddSite(2), cfg, nil),
 	}
 	// Site 3 stores no pack at all.
-	k3 := fs.BootSite(nw.AddSite(3), cfg, nil, storage.Costs{})
+	k3 := mustBoot(t, nw.AddSite(3), cfg, nil)
 	if err := fs.Format(kernels, cfg); err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 
+	"repro/internal/lint/invariant"
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
@@ -445,6 +446,16 @@ func (k *Kernel) handleCommit(from SiteID, p any) (any, error) {
 	sv.truncated = false
 	k.mu.Unlock()
 
+	if invariant.Enabled {
+		// A commit must install a version that strictly dominates the
+		// committed one it replaces: the in-core inode started from the
+		// committed image and was just bumped at this site (§2.3.6), and
+		// the single-writer lock excludes concurrent committers.
+		if prev, err := c.GetInode(req.ID.Inode); err == nil {
+			invariant.Assertf(ino.VV.Compare(prev.VV) == vclock.Dominates,
+				"fs: commit of %v would install %v over non-dominated committed %v", req.ID, ino.VV, prev.VV)
+		}
+	}
 	if err := c.CommitInode(ino); err != nil {
 		return nil, err
 	}

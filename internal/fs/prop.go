@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/lint/invariant"
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
@@ -307,6 +308,13 @@ func (k *Kernel) pullFile(t *propTask) bool {
 			return true
 		}
 	}
+
+	// From here on the pull installs src over the local copy, so src
+	// must strictly dominate it: propagation only ever moves a replica
+	// forward in version-vector order (§4.2). The concurrent and
+	// dominated cases were dispatched above.
+	invariant.Assertf(local == nil || src.VV.Compare(local.VV) == vclock.Dominates,
+		"fs: pull of %v would install %v over non-dominated local %v", t.id, src.VV, local)
 
 	// Deleted versions propagate as tombstones; pages are released.
 	if src.Deleted {

@@ -1,0 +1,6 @@
+//go:build !locusinvariants
+
+package invariant
+
+// Enabled reports whether runtime invariant assertions are compiled in.
+const Enabled = false

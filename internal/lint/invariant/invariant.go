@@ -1,0 +1,39 @@
+// Package invariant is the build-tag-gated runtime assertion layer for
+// the LOCUS simulation substrate.
+//
+// The protocol packages rest on invariants the paper states but the
+// code can only enforce by convention: version vectors only move
+// forward along propagation (§4.2), a commit installs a version that
+// strictly dominates the one it replaces (§2.3.6), a committed inode
+// references only allocated pages, and a shadow page is never freed
+// while a committed inode still points at it. Violations of these are
+// bugs, not environmental failures — so they are asserted, not
+// returned as errors.
+//
+// Assertions compile to nothing by default. Building with
+//
+//	go build -tags locusinvariants ./...
+//	go test  -tags locusinvariants ./...
+//
+// turns them on: Enabled becomes true and Assertf panics on a violated
+// condition. Expensive checks (anything that scans a table) must be
+// guarded by `if invariant.Enabled { ... }` at the call site so the
+// compiler removes them entirely from untagged builds.
+//
+// This package is the one place in the repository where the
+// panicdiscipline analyzer (internal/lint) permits unconditional
+// panics: an assertion failure means in-memory state no longer
+// satisfies the protocol's correctness conditions, and continuing
+// would corrupt durable state.
+package invariant
+
+import "fmt"
+
+// Assertf panics with a formatted message if cond is false and the
+// locusinvariants build tag is set. Without the tag it compiles to a
+// no-op (Enabled is a false constant, so the branch is eliminated).
+func Assertf(cond bool, format string, args ...any) {
+	if Enabled && !cond {
+		panic("invariant violation: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,22 @@
+package invariant
+
+import "testing"
+
+// TestAssertf exercises both build flavors: with the locusinvariants
+// tag a violated assertion must panic; without it Assertf must be a
+// no-op even for false conditions.
+func TestAssertf(t *testing.T) {
+	t.Parallel()
+	Assertf(true, "true condition must never fire (enabled=%v)", Enabled)
+
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatalf("assertions enabled but violated Assertf did not panic")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("assertions disabled but Assertf panicked: %v", r)
+		}
+	}()
+	Assertf(false, "seeded violation %d", 42)
+}

@@ -1,0 +1,279 @@
+// Package lint is locus-vet: a repo-specific static analyzer for the
+// LOCUS simulation substrate, built only on the standard library's
+// go/ast, go/parser, and go/types.
+//
+// General-purpose linters cannot know this repository's protocol
+// contracts; these analyzers encode them:
+//
+//   - simclock: protocol packages must use the simulated clock
+//     (internal/simclock), never the wall clock. Wall-clock reads make
+//     the deterministic partition/merge tests flaky and decouple
+//     benchmark output from the counted cost model.
+//   - uncheckedcall: an ignored error from a netsim exchange or a
+//     storage commit/abort silently drops a protocol transition — the
+//     failure modes (§2.3.6, §5) the paper's recovery machinery exists
+//     to handle.
+//   - lockorder: mutex acquisitions must follow the declared hierarchy
+//     (cluster → fs kernel → storage → netsim); an inversion is a
+//     latent deadlock that only manifests under partition churn.
+//   - panicdiscipline: library code must fail through typed errors or
+//     the internal/lint/invariant assertion layer; a bare panic in a
+//     protocol path takes down the whole simulated network.
+//
+// Findings are suppressed line-by-line with a trailing
+// `//locusvet:allow <analyzer>` comment (uncheckedcall also honors the
+// pre-existing `//nolint:errcheck` convention). Every suppression
+// should carry a justification after the directive.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnosis.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a loaded Program.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, cfg *Config) []Finding
+}
+
+// MethodSpec names a method whose error return must not be discarded.
+type MethodSpec struct {
+	// PkgSuffix matches the defining package by import-path suffix.
+	PkgSuffix string
+	// Recv is the receiver type name ("" for package-level functions).
+	Recv string
+	// Name is the method or function name.
+	Name string
+}
+
+// LockClass names a mutex-owning struct participating in the declared
+// lock hierarchy.
+type LockClass struct {
+	// PkgSuffix matches the defining package by import-path suffix.
+	PkgSuffix string
+	// Type is the struct type whose mutex fields this class covers.
+	Type string
+}
+
+func (c LockClass) String() string { return c.PkgSuffix + "." + c.Type }
+
+// Config parameterizes the analyzers. Production runs use
+// DefaultConfig; fixture tests substitute fixture packages and types.
+type Config struct {
+	// ProtocolPackages are import-path suffixes of packages that must
+	// use the simulated clock (simclock analyzer).
+	ProtocolPackages []string
+	// MustCheck lists calls whose error results must be consumed
+	// (uncheckedcall analyzer).
+	MustCheck []MethodSpec
+	// LockHierarchy is the declared lock order, outermost first
+	// (lockorder analyzer). Acquiring an earlier class while holding a
+	// later one is an inversion.
+	LockHierarchy []LockClass
+	// InvariantPackages are import-path suffixes of packages whose
+	// entire purpose is assertion (panic there is the mechanism, not a
+	// violation).
+	InvariantPackages []string
+}
+
+// DefaultConfig is the production configuration for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		ProtocolPackages: []string{
+			"internal/netsim",
+			"internal/fs",
+			"internal/storage",
+			"internal/txn",
+			"internal/recon",
+			"internal/topology",
+		},
+		MustCheck: []MethodSpec{
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Call"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Cast"},
+			{PkgSuffix: "internal/storage", Recv: "Container", Name: "CommitInode"},
+			{PkgSuffix: "internal/fs", Recv: "File", Name: "Commit"},
+			{PkgSuffix: "internal/fs", Recv: "File", Name: "Abort"},
+			{PkgSuffix: "internal/fs", Recv: "File", Name: "Close"},
+		},
+		// The declared lock hierarchy, outermost to innermost. See
+		// DESIGN.md "Correctness tooling".
+		LockHierarchy: []LockClass{
+			{PkgSuffix: "internal/cluster", Type: "Cluster"},
+			{PkgSuffix: "internal/fs", Type: "Kernel"},
+			{PkgSuffix: "internal/storage", Type: "Store"},
+			{PkgSuffix: "internal/storage", Type: "Container"},
+			{PkgSuffix: "internal/netsim", Type: "Network"},
+			{PkgSuffix: "internal/netsim", Type: "Node"},
+			{PkgSuffix: "internal/netsim", Type: "Stats"},
+		},
+		InvariantPackages: []string{"internal/lint/invariant"},
+	}
+}
+
+// Analyzers returns all locus-vet analyzers.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SimClockAnalyzer(),
+		UncheckedCallAnalyzer(),
+		LockOrderAnalyzer(),
+		PanicDisciplineAnalyzer(),
+	}
+}
+
+// Run executes the given analyzers and returns all findings sorted by
+// position.
+func Run(prog *Program, cfg *Config, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, a.Run(prog, cfg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// hasPathSuffix reports whether import path p ends in suffix at a path
+// boundary ("internal/fs" matches "repro/internal/fs" but not
+// "repro/internal/fsx").
+func hasPathSuffix(p, suffix string) bool {
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// suppressions indexes `//locusvet:allow` (and `//nolint:`) comments by
+// file and line.
+type suppressions struct {
+	// byLine maps filename -> line -> set of allowed analyzer names.
+	byLine map[string]map[int]map[string]bool
+}
+
+// suppressionsFor scans a package's comments once.
+func suppressionsFor(prog *Program, pkg *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := directiveNames(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				lineMap := s.byLine[pos.Filename]
+				if lineMap == nil {
+					lineMap = make(map[int]map[string]bool)
+					s.byLine[pos.Filename] = lineMap
+				}
+				set := lineMap[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lineMap[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// directiveNames extracts analyzer names from a suppression comment.
+// `//nolint:errcheck` is treated as allowing uncheckedcall, matching
+// the convention already used in this repository.
+func directiveNames(text string) []string {
+	var names []string
+	if i := strings.Index(text, "locusvet:allow"); i >= 0 {
+		rest := text[i+len("locusvet:allow"):]
+		// The directive's argument list ends at the first space;
+		// anything after is justification prose.
+		rest = strings.TrimLeft(rest, " \t")
+		if j := strings.IndexAny(rest, " \t"); j >= 0 {
+			rest = rest[:j]
+		}
+		for _, n := range strings.Split(rest, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if strings.Contains(text, "nolint:errcheck") {
+		names = append(names, "uncheckedcall")
+	}
+	return names
+}
+
+// allowed reports whether a finding by analyzer at pos is suppressed.
+func (s *suppressions) allowed(pos token.Position, analyzer string) bool {
+	set := s.byLine[pos.Filename][pos.Line]
+	return set[analyzer] || set["all"]
+}
+
+// namedOrNil unwraps pointers and returns the named type, or nil.
+func namedOrNil(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// typeMatches reports whether t (possibly behind pointers) is the named
+// type `name` defined in a package matching pkgSuffix.
+func typeMatches(t types.Type, pkgSuffix, name string) bool {
+	n := namedOrNil(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && hasPathSuffix(n.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// funcFor resolves the called function object for a call expression, if
+// it is a static function or method call.
+func funcFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Func).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture packages under testdata/src seed one deliberate violation
+// per `// want "regexp"` comment. They are loaded as extra targets on
+// top of the real module so analyzer behavior is tested against the
+// same whole-program view locus-vet uses.
+var fixtureLeaves = []string{"simclock_f", "unchecked_f", "lockorder_f", "panic_f"}
+
+var (
+	progOnce sync.Once
+	prog     *Program
+	progErr  error
+)
+
+// sharedProgram loads the module plus all fixtures exactly once; the
+// source type-check is the expensive part of every test here.
+func sharedProgram(t *testing.T) *Program {
+	t.Helper()
+	progOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			progErr = err
+			return
+		}
+		module, err := modulePath(root)
+		if err != nil {
+			progErr = err
+			return
+		}
+		var extras []string
+		for _, leaf := range fixtureLeaves {
+			extras = append(extras, module+"/internal/lint/testdata/src/"+leaf)
+		}
+		prog, progErr = LoadAll(root, extras)
+	})
+	if progErr != nil {
+		t.Fatalf("loading program: %v", progErr)
+	}
+	return prog
+}
+
+func fixturePkg(t *testing.T, p *Program, leaf string) *Package {
+	t.Helper()
+	for path, pkg := range p.ByPath {
+		if strings.HasSuffix(path, "/testdata/src/"+leaf) {
+			return pkg
+		}
+	}
+	t.Fatalf("fixture package %s not loaded", leaf)
+	return nil
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want "([^"]+)"`)
+
+// wantsIn collects the `// want` expectations of a fixture package.
+func wantsIn(t *testing.T, p *Program, pkg *Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := p.Fset.Position(c.Pos())
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture runs one analyzer with a fixture config and diffs its
+// findings in the fixture package against the `// want` expectations.
+func checkFixture(t *testing.T, analyzer *Analyzer, cfg *Config, leaf string) {
+	t.Helper()
+	p := sharedProgram(t)
+	pkg := fixturePkg(t, p, leaf)
+	wants := wantsIn(t, p, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", leaf)
+	}
+	for _, f := range analyzer.Run(p, cfg) {
+		if filepath.Dir(f.Pos.Filename) != pkg.Dir {
+			continue // findings outside the fixture are other tests' business
+		}
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestSimClockFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{ProtocolPackages: []string{"simclock_f"}}
+	checkFixture(t, SimClockAnalyzer(), cfg, "simclock_f")
+}
+
+func TestUncheckedCallFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{MustCheck: []MethodSpec{
+		{PkgSuffix: "unchecked_f", Recv: "Conn", Name: "Call"},
+		{PkgSuffix: "unchecked_f", Recv: "Conn", Name: "Cast"},
+	}}
+	checkFixture(t, UncheckedCallAnalyzer(), cfg, "unchecked_f")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{LockHierarchy: []LockClass{
+		{PkgSuffix: "lockorder_f", Type: "Outer"},
+		{PkgSuffix: "lockorder_f", Type: "Middle"},
+		{PkgSuffix: "lockorder_f", Type: "Inner"},
+	}}
+	checkFixture(t, LockOrderAnalyzer(), cfg, "lockorder_f")
+}
+
+func TestPanicDisciplineFixture(t *testing.T) {
+	t.Parallel()
+	checkFixture(t, PanicDisciplineAnalyzer(), DefaultConfig(), "panic_f")
+}
+
+// TestRepositoryIsClean is the lint gate inside the test suite: the
+// production configuration must report nothing on the real module, so
+// `go test ./...` alone catches regressions even when locus-vet is not
+// run directly.
+func TestRepositoryIsClean(t *testing.T) {
+	t.Parallel()
+	p := sharedProgram(t)
+	testdata := string(filepath.Separator) + "testdata" + string(filepath.Separator)
+	for _, f := range Run(p, DefaultConfig(), Analyzers()) {
+		if strings.Contains(f.Pos.Filename, testdata) {
+			continue
+		}
+		t.Errorf("repository not lint-clean: %s", f)
+	}
+}
+
+func TestLoadAllCoversModule(t *testing.T) {
+	t.Parallel()
+	p := sharedProgram(t)
+	for _, pkgPath := range []string{"internal/netsim", "internal/fs", "internal/storage"} {
+		found := false
+		for _, tgt := range p.Targets {
+			if hasPathSuffix(tgt.Path, pkgPath) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected %s among analysis targets", pkgPath)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Files are the package's non-test source files, in file-name order,
+	// after build-constraint filtering.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's per-node results for Files.
+	Info *types.Info
+}
+
+// Program is a loaded module: every analysis-target package plus any
+// module-internal dependencies, all sharing one FileSet.
+type Program struct {
+	Fset   *token.FileSet
+	Module string
+	Root   string
+	// Targets are the packages analyzers report findings in, in import
+	// path order.
+	Targets []*Package
+	// ByPath indexes every loaded module package (targets and
+	// dependencies) by import path.
+	ByPath map[string]*Package
+}
+
+// loader resolves imports: module-local packages are parsed and
+// type-checked from source (recursively), everything else is delegated
+// to the stdlib source importer. It implements types.Importer.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	module  string
+	std     types.Importer
+	tags    map[string]bool
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// LoadAll loads every package of the module rooted at root (skipping
+// testdata and hidden directories), plus the extra import paths given
+// (fixture packages under testdata name themselves this way). The
+// walked packages and the extras all become analysis targets.
+func LoadAll(root string, extra []string) (*Program, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		// Build-constraint evaluation: the host platform's tags hold;
+		// optional feature tags (locusinvariants) are off, matching the
+		// default build the analyzers gate.
+		tags:    map[string]bool{runtime.GOOS: true, runtime.GOARCH: true, "gc": true},
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	paths, err := walkPackages(root, module)
+	if err != nil {
+		return nil, err
+	}
+	paths = append(paths, extra...)
+	prog := &Program{Fset: fset, Module: module, Root: root, ByPath: l.pkgs}
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		pkg, err := l.Import(p)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", p, err)
+		}
+		prog.Targets = append(prog.Targets, l.pkgs[pkg.Path()])
+	}
+	sort.Slice(prog.Targets, func(i, j int) bool { return prog.Targets[i].Path < prog.Targets[j].Path })
+	return prog, nil
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// walkPackages lists the import paths of all package directories under
+// root, skipping testdata, hidden, and VCS directories.
+func walkPackages(root, module string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					out = append(out, module)
+				} else {
+					out = append(out, module+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Import implements types.Importer: module-local paths load from
+// source, everything else goes to the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if path != l.module && !strings.HasPrefix(path, l.module+"/") {
+		return l.std.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")))
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	return tpkg, nil
+}
+
+// parseDir parses the non-test .go files of dir that survive build
+// constraint evaluation, in file-name order.
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if l.includeFile(f) {
+			files = append(files, f)
+		}
+	}
+	return files, nil
+}
+
+// includeFile evaluates a file's //go:build constraint (if any) against
+// the loader's tag set.
+func (l *loader) includeFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed constraint: let the real build complain
+			}
+			return expr.Eval(func(tag string) bool { return l.tags[tag] })
+		}
+	}
+	return true
+}

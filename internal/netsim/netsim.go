@@ -26,11 +26,11 @@ package netsim
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"repro/internal/lint/invariant"
+	"repro/internal/simclock"
 	"repro/internal/vclock"
 )
 
@@ -93,8 +93,11 @@ func DefaultCosts() CostModel {
 }
 
 // Stats accumulates network-wide traffic and simulated cost counters.
+// Charging cost also advances the network's simulated clock, so virtual
+// time moves exactly as fast as simulated work is done.
 type Stats struct {
 	mu      sync.Mutex
+	clock   *simclock.Clock
 	msgs    int64
 	bytes   int64
 	byMeth  map[string]int64
@@ -144,16 +147,53 @@ func (s *Stats) addMsg(method string, n, bytes int64) {
 	s.mu.Unlock()
 }
 
-// AddCPU charges simulated CPU microseconds.
-func (s *Stats) AddCPU(us int64) { atomic_add(&s.mu, &s.cpuUs, us) }
+// AddCPU charges simulated CPU microseconds and advances virtual time.
+func (s *Stats) AddCPU(us int64) {
+	s.mu.Lock()
+	s.cpuUs += us
+	s.mu.Unlock()
+	s.tick(us)
+}
 
-// AddDisk charges simulated disk microseconds.
-func (s *Stats) AddDisk(us int64) { atomic_add(&s.mu, &s.diskUs, us) }
+// AddDisk charges simulated disk microseconds and advances virtual
+// time.
+func (s *Stats) AddDisk(us int64) {
+	s.mu.Lock()
+	s.diskUs += us
+	s.mu.Unlock()
+	s.tick(us)
+}
 
-func atomic_add(mu *sync.Mutex, p *int64, d int64) {
-	mu.Lock()
-	*p += d
-	mu.Unlock()
+// chargeCall records one request/response exchange's CPU cost.
+func (s *Stats) chargeCall(cpu int64) {
+	s.mu.Lock()
+	s.calls++
+	s.cpuUs += cpu
+	s.mu.Unlock()
+	s.tick(cpu)
+}
+
+// chargeCast records one one-way message's CPU cost.
+func (s *Stats) chargeCast(cpu int64) {
+	s.mu.Lock()
+	s.casts++
+	s.cpuUs += cpu
+	s.mu.Unlock()
+	s.tick(cpu)
+}
+
+// addDropped counts a message lost to a closed circuit.
+func (s *Stats) addDropped() {
+	s.mu.Lock()
+	s.dropped++
+	s.mu.Unlock()
+}
+
+// tick advances the simulated clock, when one is attached.
+func (s *Stats) tick(us int64) {
+	if s.clock != nil {
+		s.clock.Advance(us)
+	}
 }
 
 // Sub returns the counter deltas between a later snapshot b and s.
@@ -185,6 +225,7 @@ type Network struct {
 	link  map[SiteID]map[SiteID]bool
 	up    map[SiteID]bool
 	stats Stats
+	clock *simclock.Clock
 	cost  CostModel
 
 	callSeq atomic.Int64
@@ -196,17 +237,25 @@ type Network struct {
 
 // New creates an empty network with the given cost model.
 func New(cost CostModel) *Network {
-	return &Network{
+	nw := &Network{
 		nodes:   make(map[SiteID]*Node),
 		link:    make(map[SiteID]map[SiteID]bool),
 		up:      make(map[SiteID]bool),
+		clock:   simclock.New(),
 		cost:    cost,
 		pending: make(map[int64]*pendingCall),
 	}
+	nw.stats.clock = nw.clock
+	return nw
 }
 
 // Cost returns the network's cost model.
 func (nw *Network) Cost() CostModel { return nw.cost }
+
+// Clock returns the network's simulated clock. It advances as simulated
+// cost (CPU, disk, messages) is charged; protocol layers use it instead
+// of the wall clock for timestamps and backoff waits.
+func (nw *Network) Clock() *simclock.Clock { return nw.clock }
 
 // Stats returns a snapshot of the traffic counters.
 func (nw *Network) Stats() Snapshot { return nw.stats.snapshot() }
@@ -221,6 +270,8 @@ func (nw *Network) AddSite(id SiteID) *Node {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if _, dup := nw.nodes[id]; dup {
+		// invariant: site identity is configuration, not runtime data;
+		// a duplicate id is a programming error, not a recoverable state.
 		panic(fmt.Sprintf("netsim: duplicate site %d", id))
 	}
 	n := &Node{
@@ -256,14 +307,12 @@ func (nw *Network) Node(id SiteID) *Node {
 // before asserting on state.
 func (nw *Network) Quiesce() {
 	for i := 0; ; i++ {
-		if nw.active.Load() == 0 {
+		active := nw.active.Load()
+		invariant.Assertf(active >= 0, "netsim: active message count %d < 0", active)
+		if active == 0 {
 			return
 		}
-		if i < 100 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(100 * time.Microsecond)
-		}
+		nw.clock.Backoff(i)
 	}
 }
 
@@ -607,10 +656,7 @@ func (n *Node) Call(to SiteID, method string, payload any) (any, error) {
 	// A Call is two wire messages: the request and the response.
 	bytes := payloadBytes(payload) + headerWireSize
 	nw.stats.addMsg(method, 2, bytes)
-	nw.stats.mu.Lock()
-	nw.stats.calls++
-	nw.stats.cpuUs += 2*nw.cost.MsgCPU + bytes*nw.cost.PerKBCPU/1024
-	nw.stats.mu.Unlock()
+	nw.stats.chargeCall(2*nw.cost.MsgCPU + bytes*nw.cost.PerKBCPU/1024)
 	nw.mu.Unlock()
 
 	env := &envelope{kind: kindRequest, from: n.id, method: method, payload: payload, callID: callID}
@@ -649,10 +695,7 @@ func (n *Node) Cast(to SiteID, method string, payload any) error {
 	dest := nw.nodes[to]
 	bytes := payloadBytes(payload)
 	nw.stats.addMsg(method, 1, bytes)
-	nw.stats.mu.Lock()
-	nw.stats.casts++
-	nw.stats.cpuUs += nw.cost.MsgCPU + bytes*nw.cost.PerKBCPU/1024
-	nw.stats.mu.Unlock()
+	nw.stats.chargeCast(nw.cost.MsgCPU + bytes*nw.cost.PerKBCPU/1024)
 	nw.mu.Unlock()
 
 	env := &envelope{kind: kindOneWay, from: n.id, method: method, payload: payload}
@@ -688,9 +731,7 @@ func (n *Node) dispatch() {
 				// The circuit closed while the message was queued:
 				// it is lost, and for a request the caller was
 				// already failed by the circuit teardown.
-				n.nw.stats.mu.Lock()
-				n.nw.stats.dropped++
-				n.nw.stats.mu.Unlock()
+				n.nw.stats.addDropped()
 				if env.kind == kindOneWay {
 					n.nw.active.Add(-1)
 				}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestQuiesceWaitsForCasts(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	var mu sync.Mutex
 	handled := 0
@@ -33,6 +34,7 @@ func TestQuiesceWaitsForCasts(t *testing.T) {
 }
 
 func TestCastToUnreachableFailsImmediately(t *testing.T) {
+	t.Parallel()
 	nw, a, _ := twoSites(t)
 	nw.SetLink(1, 2, false)
 	if err := a.Cast(2, "x", nil); !errors.Is(err, ErrUnreachable) {
@@ -41,6 +43,7 @@ func TestCastToUnreachableFailsImmediately(t *testing.T) {
 }
 
 func TestCallFromCrashedSiteFails(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
 	nw.Crash(1)
@@ -55,6 +58,7 @@ func TestCallFromCrashedSiteFails(t *testing.T) {
 }
 
 func TestHandlerErrorPropagatesToCaller(t *testing.T) {
+	t.Parallel()
 	sentinel := errors.New("application failure")
 	_, a, b := twoSites(t)
 	b.Handle("fail", func(SiteID, any) (any, error) { return nil, sentinel })
@@ -65,6 +69,7 @@ func TestHandlerErrorPropagatesToCaller(t *testing.T) {
 }
 
 func TestStatsByMethodAndBytes(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	b.Handle("m1", func(SiteID, any) (any, error) { return nil, nil })
 	b.Handle("m2", func(SiteID, any) (any, error) { return nil, nil })
@@ -91,6 +96,7 @@ func TestStatsByMethodAndBytes(t *testing.T) {
 }
 
 func TestDroppedMessagesCounted(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
@@ -118,6 +124,7 @@ func TestDroppedMessagesCounted(t *testing.T) {
 }
 
 func TestRestartIdempotentAndCrashIdempotent(t *testing.T) {
+	t.Parallel()
 	nw, _, _ := twoSites(t)
 	nw.Crash(2)
 	nw.Crash(2) // no panic
@@ -129,6 +136,7 @@ func TestRestartIdempotentAndCrashIdempotent(t *testing.T) {
 }
 
 func TestConnectedSemantics(t *testing.T) {
+	t.Parallel()
 	nw, _, _ := twoSites(t)
 	if !nw.Connected(1, 1) {
 		t.Fatal("self-connectivity while up")

@@ -20,6 +20,7 @@ func twoSites(t *testing.T) (*Network, *Node, *Node) {
 }
 
 func TestCallRoundTrip(t *testing.T) {
+	t.Parallel()
 	_, a, b := twoSites(t)
 	b.Handle("echo", func(from SiteID, p any) (any, error) {
 		if from != 1 {
@@ -37,6 +38,7 @@ func TestCallRoundTrip(t *testing.T) {
 }
 
 func TestCallCountsTwoMessages(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
 	before := nw.Stats()
@@ -53,6 +55,7 @@ func TestCallCountsTwoMessages(t *testing.T) {
 }
 
 func TestCastCountsOneMessage(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	got := make(chan string, 1)
 	b.Handle("note", func(_ SiteID, p any) (any, error) {
@@ -78,6 +81,7 @@ func TestCastCountsOneMessage(t *testing.T) {
 }
 
 func TestLocalCallZeroMessages(t *testing.T) {
+	t.Parallel()
 	nw, a, _ := twoSites(t)
 	a.Handle("op", func(SiteID, any) (any, error) { return 7, nil })
 	before := nw.Stats()
@@ -95,6 +99,7 @@ func TestLocalCallZeroMessages(t *testing.T) {
 }
 
 func TestNestedRemoteService(t *testing.T) {
+	t.Parallel()
 	// US -> CSS -> SS nesting as in the open protocol (Figure 2).
 	nw := New(DefaultCosts())
 	defer nw.Close()
@@ -116,6 +121,7 @@ func TestNestedRemoteService(t *testing.T) {
 }
 
 func TestUnreachableAfterPartition(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
 	nw.PartitionGroups([]SiteID{1}, []SiteID{2})
@@ -130,6 +136,7 @@ func TestUnreachableAfterPartition(t *testing.T) {
 }
 
 func TestInFlightCallFailsOnLinkBreak(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -157,6 +164,7 @@ func TestInFlightCallFailsOnLinkBreak(t *testing.T) {
 }
 
 func TestInFlightCallFailsOnServerCrash(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -187,6 +195,7 @@ func TestInFlightCallFailsOnServerCrash(t *testing.T) {
 }
 
 func TestCrashRunsCallbackAndRestartRejoins(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	var crashed, restarted bool
 	var mu sync.Mutex
@@ -211,6 +220,7 @@ func TestCrashRunsCallbackAndRestartRejoins(t *testing.T) {
 }
 
 func TestLinkDownNotification(t *testing.T) {
+	t.Parallel()
 	nw, a, _ := twoSites(t)
 	ch := make(chan SiteID, 1)
 	a.OnLinkDown(func(peer SiteID) { ch <- peer })
@@ -226,6 +236,7 @@ func TestLinkDownNotification(t *testing.T) {
 }
 
 func TestNoHandler(t *testing.T) {
+	t.Parallel()
 	_, a, _ := twoSites(t)
 	_, err := a.Call(2, "nope", nil)
 	if !errors.Is(err, ErrNoHandler) {
@@ -234,6 +245,7 @@ func TestNoHandler(t *testing.T) {
 }
 
 func TestCastOrderPreserved(t *testing.T) {
+	t.Parallel()
 	_, a, b := twoSites(t)
 	const n = 100
 	got := make([]int, 0, n)
@@ -259,6 +271,7 @@ func TestCastOrderPreserved(t *testing.T) {
 }
 
 func TestCastBeforeCallOrdering(t *testing.T) {
+	t.Parallel()
 	// A Cast followed by a Call from the same peer must be serviced in
 	// order: the write-then-close sequence of §2.3.5 depends on it.
 	_, a, b := twoSites(t)
@@ -295,6 +308,7 @@ func TestCastBeforeCallOrdering(t *testing.T) {
 }
 
 func TestPartitionGroupsIsolatesUnmentioned(t *testing.T) {
+	t.Parallel()
 	nw := New(DefaultCosts())
 	defer nw.Close()
 	for i := 1; i <= 4; i++ {
@@ -315,6 +329,7 @@ func TestPartitionGroupsIsolatesUnmentioned(t *testing.T) {
 }
 
 func TestPropertyPartitionGroupsTransitive(t *testing.T) {
+	t.Parallel()
 	// Within any group connectivity is an equivalence relation.
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -352,6 +367,7 @@ func TestPropertyPartitionGroupsTransitive(t *testing.T) {
 }
 
 func TestConcurrentCallsStress(t *testing.T) {
+	t.Parallel()
 	nw := New(DefaultCosts())
 	defer nw.Close()
 	const n = 6
@@ -391,6 +407,7 @@ func TestConcurrentCallsStress(t *testing.T) {
 }
 
 func TestDuplicateSitePanics(t *testing.T) {
+	t.Parallel()
 	nw := New(DefaultCosts())
 	defer nw.Close()
 	nw.AddSite(1)
@@ -407,6 +424,7 @@ type sized struct{ n int }
 func (s sized) WireSize() int { return s.n }
 
 func TestByteAccountingUsesSizer(t *testing.T) {
+	t.Parallel()
 	nw, a, b := twoSites(t)
 	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
 	before := nw.Stats()

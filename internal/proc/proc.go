@@ -126,6 +126,10 @@ type Process struct {
 	// waitFor registers channels for exit notifications of remote
 	// children.
 	waitFor map[PID]chan ExitStatus
+	// earlyExits banks exit notifications that arrive before the parent
+	// calls Wait, so the status is not lost when the child finishes
+	// first.
+	earlyExits map[PID]ExitStatus
 }
 
 // PID returns the process id.
@@ -462,6 +466,13 @@ func (m *Manager) handleChildExit(_ SiteID, p any) (any, error) {
 		parent.mu.Lock()
 		ch = parent.waitFor[msg.Child]
 		delete(parent.waitFor, msg.Child)
+		if ch == nil {
+			// The child beat the parent's Wait; bank the status.
+			if parent.earlyExits == nil {
+				parent.earlyExits = make(map[PID]ExitStatus)
+			}
+			parent.earlyExits[msg.Child] = ExitStatus{Code: msg.Code}
+		}
 		parent.mu.Unlock()
 	}
 	m.mu.Unlock()
@@ -490,6 +501,11 @@ func (m *Manager) Wait(parent *Process, child PID) ExitStatus {
 	}
 	ch := make(chan ExitStatus, 1)
 	parent.mu.Lock()
+	if st, ok := parent.earlyExits[child]; ok {
+		delete(parent.earlyExits, child)
+		parent.mu.Unlock()
+		return st
+	}
 	if parent.waitFor == nil {
 		parent.waitFor = make(map[PID]chan ExitStatus)
 	}

@@ -1,0 +1,69 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdvanceAndNow(t *testing.T) {
+	t.Parallel()
+	c := New()
+	if c.NowUs() != 0 {
+		t.Fatalf("fresh clock reads %d, want 0", c.NowUs())
+	}
+	if got := c.Advance(1500); got != 1500 {
+		t.Fatalf("Advance returned %d, want 1500", got)
+	}
+	if got := c.Now(); !got.Equal(Epoch.Add(1500 * time.Microsecond)) {
+		t.Fatalf("Now = %v, want epoch+1500us", got)
+	}
+	if got := c.Elapsed(); got != 1500*time.Microsecond {
+		t.Fatalf("Elapsed = %v, want 1.5ms", got)
+	}
+}
+
+func TestAdvanceIgnoresNegative(t *testing.T) {
+	t.Parallel()
+	c := New()
+	c.Advance(100)
+	if got := c.Advance(-50); got != 100 {
+		t.Fatalf("negative advance moved clock to %d, want 100", got)
+	}
+}
+
+func TestAdvanceConcurrent(t *testing.T) {
+	t.Parallel()
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.NowUs(); got != 8000 {
+		t.Fatalf("concurrent advances lost updates: %d, want 8000", got)
+	}
+}
+
+func TestBackoffSpinsThenSleeps(t *testing.T) {
+	t.Parallel()
+	c := New()
+	// Spin-range attempts must not advance virtual time.
+	for i := 0; i < spinAttempts; i++ {
+		c.Backoff(i)
+	}
+	if got := c.NowUs(); got != 0 {
+		t.Fatalf("spin backoff advanced clock to %d, want 0", got)
+	}
+	// Escalated attempts charge the sleep to virtual time.
+	c.Backoff(spinAttempts)
+	if got := c.NowUs(); got != int64(backoffSleep/time.Microsecond) {
+		t.Fatalf("escalated backoff advanced clock to %d, want %d", got, backoffSleep/time.Microsecond)
+	}
+}

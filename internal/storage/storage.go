@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/lint/invariant"
 	"repro/internal/vclock"
 )
 
@@ -115,6 +116,12 @@ var (
 	ErrOutOfRange   = errors.New("storage: inode outside this container's allocation range")
 	ErrFileDeleted  = errors.New("storage: file is deleted")
 	ErrBadPageIndex = errors.New("storage: logical page index out of range")
+	// ErrBadRange reports a container configured with an invalid inode
+	// allocation range.
+	ErrBadRange = errors.New("storage: bad inode allocation range")
+	// ErrDupContainer reports a second container registered for the same
+	// filegroup at one site (LOCUS packs are one-per-site).
+	ErrDupContainer = errors.New("storage: duplicate container for filegroup")
 )
 
 // Inode is a file descriptor. The container hands out deep copies; the
@@ -212,9 +219,9 @@ type Container struct {
 
 // NewContainer creates a container for filegroup fg at the given site
 // with the inode allocation range [lo, hi].
-func NewContainer(fg FilegroupID, site vclock.SiteID, lo, hi InodeNum, meter Meter, costs Costs) *Container {
+func NewContainer(fg FilegroupID, site vclock.SiteID, lo, hi InodeNum, meter Meter, costs Costs) (*Container, error) {
 	if lo <= 0 || hi < lo {
-		panic(fmt.Sprintf("storage: bad inode range [%d,%d]", lo, hi))
+		return nil, fmt.Errorf("%w: [%d,%d] for filegroup %d at site %d", ErrBadRange, lo, hi, fg, site)
 	}
 	return &Container{
 		fg:       fg,
@@ -227,7 +234,17 @@ func NewContainer(fg FilegroupID, site vclock.SiteID, lo, hi InodeNum, meter Met
 		lo:       lo, hi: hi, next: lo,
 		meter: meter,
 		costs: costs,
+	}, nil
+}
+
+// MustContainer is NewContainer panicking on a bad range (test and
+// benchmark setup with literal, known-good ranges).
+func MustContainer(fg FilegroupID, site vclock.SiteID, lo, hi InodeNum, meter Meter, costs Costs) *Container {
+	c, err := NewContainer(fg, site, lo, hi, meter, costs)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // FG returns the filegroup this container belongs to.
@@ -368,11 +385,36 @@ func (c *Container) WritePage(data []byte) (PhysPage, error) {
 func (c *Container) FreePages(pp ...PhysPage) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if invariant.Enabled {
+		// A shadow page becomes protected the moment a committed inode
+		// references it; freeing such a page would corrupt a committed
+		// version (§2.3.6's atomicity rests on this).
+		referenced := c.referencedPagesLocked()
+		for _, p := range pp {
+			invariant.Assertf(p == PhysPageNil || !referenced[p],
+				"storage: freeing page %d still referenced by a committed inode (fg %d site %d)", p, c.fg, c.site)
+		}
+	}
 	for _, p := range pp {
 		if p != PhysPageNil {
 			delete(c.pages, p)
 		}
 	}
+}
+
+// referencedPagesLocked returns the set of physical pages referenced by
+// any committed inode. Caller holds c.mu. Used only by invariant
+// checks.
+func (c *Container) referencedPagesLocked() map[PhysPage]bool {
+	ref := make(map[PhysPage]bool)
+	for _, ino := range c.inodes {
+		for _, p := range ino.Pages {
+			if p != PhysPageNil {
+				ref[p] = true
+			}
+		}
+	}
+	return ref
 }
 
 // CommitInode atomically installs the in-core inode as the file's disk
@@ -388,6 +430,17 @@ func (c *Container) CommitInode(ino *Inode) error {
 	clone := ino.Clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if invariant.Enabled {
+		// The inode being installed must reference only allocated pages:
+		// the commit "renames" shadow pages into the file, it never
+		// conjures them (§2.3.6).
+		for i, p := range clone.Pages {
+			_, ok := c.pages[p]
+			invariant.Assertf(p == PhysPageNil || ok,
+				"storage: committing inode %d with unallocated page %d at logical index %d (fg %d site %d)",
+				clone.Num, p, i, c.fg, c.site)
+		}
+	}
 	old := c.inodes[ino.Num]
 	c.inodes[ino.Num] = clone
 	delete(c.reserved, ino.Num)
@@ -454,13 +507,14 @@ func (s *Store) Site() vclock.SiteID { return s.site }
 
 // AddContainer registers a container for a filegroup. One container per
 // filegroup per site, as in LOCUS packs.
-func (s *Store) AddContainer(c *Container) {
+func (s *Store) AddContainer(c *Container) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.containers[c.fg]; dup {
-		panic(fmt.Sprintf("storage: site %d already has a container for filegroup %d", s.site, c.fg))
+		return fmt.Errorf("%w: %d at site %d", ErrDupContainer, c.fg, s.site)
 	}
 	s.containers[c.fg] = c
+	return nil
 }
 
 // Container returns the site's container for a filegroup, or nil if

@@ -11,11 +11,11 @@ import (
 )
 
 func newTestContainer() *Container {
-	return NewContainer(1, 1, 1, 1000, nil, Costs{})
+	return MustContainer(1, 1, 1, 1000, nil, Costs{})
 }
 
 func TestAllocInodeSequentialAndBounded(t *testing.T) {
-	c := NewContainer(1, 1, 10, 12, nil, Costs{})
+	c := MustContainer(1, 1, 10, 12, nil, Costs{})
 	for want := InodeNum(10); want <= 12; want++ {
 		n, err := c.AllocInode()
 		if err != nil {
@@ -31,7 +31,7 @@ func TestAllocInodeSequentialAndBounded(t *testing.T) {
 }
 
 func TestOwns(t *testing.T) {
-	c := NewContainer(1, 1, 100, 199, nil, Costs{})
+	c := MustContainer(1, 1, 100, 199, nil, Costs{})
 	if !c.Owns(100) || !c.Owns(199) {
 		t.Fatal("range endpoints must be owned")
 	}
@@ -217,8 +217,8 @@ func TestListInodesSorted(t *testing.T) {
 
 func TestStoreContainerLookup(t *testing.T) {
 	s := NewStore(3)
-	c1 := NewContainer(1, 3, 1, 10, nil, Costs{})
-	c2 := NewContainer(2, 3, 1, 10, nil, Costs{})
+	c1 := MustContainer(1, 3, 1, 10, nil, Costs{})
+	c2 := MustContainer(2, 3, 1, 10, nil, Costs{})
 	s.AddContainer(c1)
 	s.AddContainer(c2)
 	if s.Container(1) != c1 || s.Container(2) != c2 {
@@ -233,15 +233,24 @@ func TestStoreContainerLookup(t *testing.T) {
 	}
 }
 
-func TestStoreDuplicateContainerPanics(t *testing.T) {
+func TestStoreDuplicateContainerRejected(t *testing.T) {
 	s := NewStore(3)
-	s.AddContainer(NewContainer(1, 3, 1, 10, nil, Costs{}))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	s.AddContainer(NewContainer(1, 3, 11, 20, nil, Costs{}))
+	if err := s.AddContainer(MustContainer(1, 3, 1, 10, nil, Costs{})); err != nil {
+		t.Fatal(err)
+	}
+	err := s.AddContainer(MustContainer(1, 3, 11, 20, nil, Costs{}))
+	if !errors.Is(err, ErrDupContainer) {
+		t.Fatalf("duplicate AddContainer = %v, want ErrDupContainer", err)
+	}
+}
+
+func TestNewContainerBadRange(t *testing.T) {
+	if _, err := NewContainer(1, 1, 0, 10, nil, Costs{}); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("lo=0 accepted: %v", err)
+	}
+	if _, err := NewContainer(1, 1, 10, 9, nil, Costs{}); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("hi<lo accepted: %v", err)
+	}
 }
 
 func TestInodeCloneIndependence(t *testing.T) {
@@ -265,7 +274,7 @@ func TestPropertyInodeRangesDisjoint(t *testing.T) {
 		var containers []*Container
 		for i := 0; i < nPacks; i++ {
 			lo := InodeNum(i*span + 1)
-			containers = append(containers, NewContainer(1, vclock.SiteID(i+1), lo, lo+span-1, nil, Costs{}))
+			containers = append(containers, MustContainer(1, vclock.SiteID(i+1), lo, lo+span-1, nil, Costs{}))
 		}
 		seen := make(map[InodeNum]bool)
 		for _, c := range containers {

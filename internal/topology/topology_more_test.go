@@ -9,6 +9,7 @@ import (
 )
 
 func TestAutoReconfigurationOnLinkFailure(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 4)
 	for _, m := range tn.mgrs {
 		m.EnableAutoReconfiguration()
@@ -33,6 +34,7 @@ func TestAutoReconfigurationOnLinkFailure(t *testing.T) {
 }
 
 func TestAutoReconfigurationOnCrash(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 3)
 	for _, m := range tn.mgrs {
 		m.EnableAutoReconfiguration()
@@ -53,6 +55,7 @@ func TestAutoReconfigurationOnCrash(t *testing.T) {
 }
 
 func TestConcurrentPartitionProtocolsConverge(t *testing.T) {
+	t.Parallel()
 	// Several sites run the protocol simultaneously; the site tables
 	// still converge to the same clique.
 	tn := newNet(t, 6)
@@ -79,6 +82,7 @@ func TestConcurrentPartitionProtocolsConverge(t *testing.T) {
 }
 
 func TestMergeAfterCrashAndRestart(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 4)
 	tn.nw.Crash(3)
 	tn.mgrs[1].RunPartitionProtocol()
@@ -100,6 +104,7 @@ func TestMergeAfterCrashAndRestart(t *testing.T) {
 }
 
 func TestPollMovesFollowerIntoPartitionStage(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 2)
 	if _, err := tn.mgrs[2].handlePoll(1, nil); err != nil {
 		t.Fatal(err)
@@ -117,6 +122,7 @@ func TestPollMovesFollowerIntoPartitionStage(t *testing.T) {
 }
 
 func TestAnnounceOlderGenerationStillInstallsNewSet(t *testing.T) {
+	t.Parallel()
 	// install() accepts a different set even at the same generation —
 	// what matters is set content; generations only dedupe identical
 	// announcements.
@@ -136,6 +142,7 @@ func TestAnnounceOlderGenerationStillInstallsNewSet(t *testing.T) {
 }
 
 func TestLinkDownUpdatesBeliefWithoutProtocol(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 3)
 	tn.nw.SetLink(1, 3, false)
 	tn.nw.Quiesce()
@@ -152,6 +159,7 @@ func TestLinkDownUpdatesBeliefWithoutProtocol(t *testing.T) {
 }
 
 func TestSeventeenSiteChurn(t *testing.T) {
+	t.Parallel()
 	// The paper's production configuration, through repeated random
 	// splits and merges.
 	tn := newNet(t, 17)

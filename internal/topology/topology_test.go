@@ -41,6 +41,7 @@ func (tn *testNet) assertConverged(t *testing.T, want map[SiteID][]SiteID) {
 }
 
 func TestPartitionProtocolDetectsSplit(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 5)
 	tn.nw.PartitionGroups([]SiteID{1, 2, 3}, []SiteID{4, 5})
 
@@ -59,6 +60,7 @@ func TestPartitionProtocolDetectsSplit(t *testing.T) {
 }
 
 func TestPartitionProtocolSingleSite(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 3)
 	tn.nw.PartitionGroups([]SiteID{1}, []SiteID{2, 3})
 	p := tn.mgrs[1].RunPartitionProtocol()
@@ -68,6 +70,7 @@ func TestPartitionProtocolSingleSite(t *testing.T) {
 }
 
 func TestPartitionProtocolAfterCrash(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 4)
 	tn.nw.Crash(3)
 	p := tn.mgrs[1].RunPartitionProtocol()
@@ -80,6 +83,7 @@ func TestPartitionProtocolAfterCrash(t *testing.T) {
 }
 
 func TestMergeProtocolJoinsPartitions(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 5)
 	tn.nw.PartitionGroups([]SiteID{1, 2}, []SiteID{3, 4, 5})
 	tn.mgrs[1].RunPartitionProtocol()
@@ -101,6 +105,7 @@ func TestMergeProtocolJoinsPartitions(t *testing.T) {
 }
 
 func TestMergeSkipsDownSites(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 4)
 	tn.nw.Crash(4)
 	p, err := tn.mgrs[2].RunMergeProtocol()
@@ -113,6 +118,7 @@ func TestMergeSkipsDownSites(t *testing.T) {
 }
 
 func TestMergeArbitrationLowerSiteWins(t *testing.T) {
+	t.Parallel()
 	// When two sites try to merge concurrently, the lower-numbered one
 	// proceeds; the higher is declined.
 	tn := newNet(t, 3)
@@ -137,6 +143,7 @@ func TestMergeArbitrationLowerSiteWins(t *testing.T) {
 }
 
 func TestMergeArbitrationYieldsToLowerInitiator(t *testing.T) {
+	t.Parallel()
 	// A merging active site polled by a LOWER-numbered initiator halts
 	// its own merge and follows.
 	tn := newNet(t, 3)
@@ -159,6 +166,7 @@ func TestMergeArbitrationYieldsToLowerInitiator(t *testing.T) {
 }
 
 func TestOnChangeCallbackFires(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 3)
 	var mu sync.Mutex
 	calls := make(map[SiteID][][]SiteID)
@@ -184,6 +192,7 @@ func TestOnChangeCallbackFires(t *testing.T) {
 }
 
 func TestCheckActiveRestartsOnActiveFailure(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 3)
 	// Site 2 is passively following site 3 in a partition protocol.
 	tn.mgrs[2].mu.Lock()
@@ -206,6 +215,7 @@ func TestCheckActiveRestartsOnActiveFailure(t *testing.T) {
 }
 
 func TestCheckActiveNoRestartWhenHealthy(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 2)
 	tn.mgrs[2].mu.Lock()
 	tn.mgrs[2].stage = StagePartition
@@ -221,6 +231,7 @@ func TestCheckActiveNoRestartWhenHealthy(t *testing.T) {
 }
 
 func TestGenerationMonotonic(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 3)
 	g0 := tn.mgrs[1].Generation()
 	tn.nw.PartitionGroups([]SiteID{1, 2}, []SiteID{3})
@@ -239,6 +250,7 @@ func TestGenerationMonotonic(t *testing.T) {
 }
 
 func TestRepeatedSplitMergeCycles(t *testing.T) {
+	t.Parallel()
 	tn := newNet(t, 6)
 	for cycle := 0; cycle < 5; cycle++ {
 		tn.nw.PartitionGroups([]SiteID{1, 2, 3}, []SiteID{4, 5, 6})
@@ -259,6 +271,7 @@ func TestRepeatedSplitMergeCycles(t *testing.T) {
 // protocol at one site per group converges every site's table to its
 // group ("all sites converge on the same answer in a rapid manner").
 func TestPropertyPartitionConvergence(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		nw := netsim.New(netsim.DefaultCosts())
@@ -307,6 +320,7 @@ func TestPropertyPartitionConvergence(t *testing.T) {
 // connectivity (fully-connected subnetwork), even when the underlying
 // links are not transitive.
 func TestPropertyPartitionIsClique(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		nw := netsim.New(netsim.DefaultCosts())

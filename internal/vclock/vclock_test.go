@@ -7,6 +7,7 @@ import (
 )
 
 func TestEmptyVectorsEqual(t *testing.T) {
+	t.Parallel()
 	a, b := New(), New()
 	if got := a.Compare(b); got != Equal {
 		t.Fatalf("Compare(empty, empty) = %v, want Equal", got)
@@ -18,6 +19,7 @@ func TestEmptyVectorsEqual(t *testing.T) {
 }
 
 func TestBumpDominates(t *testing.T) {
+	t.Parallel()
 	a := New()
 	b := a.Copy().Bump(1)
 	if got := b.Compare(a); got != Dominates {
@@ -29,6 +31,7 @@ func TestBumpDominates(t *testing.T) {
 }
 
 func TestConcurrentDetection(t *testing.T) {
+	t.Parallel()
 	// The paper's scenario (§4.2): f replicated at S1 and S2, partition,
 	// each modifies its copy -> conflict at merge.
 	base := New().Bump(1)
@@ -44,6 +47,7 @@ func TestConcurrentDetection(t *testing.T) {
 }
 
 func TestCompareTable(t *testing.T) {
+	t.Parallel()
 	mk := func(pairs ...uint64) VV {
 		v := New()
 		for i := 0; i+1 < len(pairs); i += 2 {
@@ -77,6 +81,7 @@ func TestCompareTable(t *testing.T) {
 }
 
 func TestMergeUpperBound(t *testing.T) {
+	t.Parallel()
 	a := VV{1: 3, 2: 1}
 	b := VV{2: 4, 3: 2}
 	m := a.Merge(b)
@@ -94,6 +99,7 @@ func TestMergeUpperBound(t *testing.T) {
 }
 
 func TestCopyIndependence(t *testing.T) {
+	t.Parallel()
 	a := VV{1: 1}
 	b := a.Copy()
 	b.Bump(1)
@@ -103,6 +109,7 @@ func TestCopyIndependence(t *testing.T) {
 }
 
 func TestSitesAndTotalAndString(t *testing.T) {
+	t.Parallel()
 	v := VV{3: 2, 1: 1, 7: 5}
 	sites := v.Sites()
 	if len(sites) != 3 || sites[0] != 1 || sites[1] != 3 || sites[2] != 7 {
@@ -127,6 +134,7 @@ func randomVV(r *rand.Rand) VV {
 }
 
 func TestPropertyMergeIsLUB(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b := randomVV(r), randomVV(r)
@@ -144,6 +152,7 @@ func TestPropertyMergeIsLUB(t *testing.T) {
 }
 
 func TestPropertyMergeCommutativeAssociativeIdempotent(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b, c := randomVV(r), randomVV(r), randomVV(r)
@@ -161,6 +170,7 @@ func TestPropertyMergeCommutativeAssociativeIdempotent(t *testing.T) {
 }
 
 func TestPropertyCompareAntisymmetry(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b := randomVV(r), randomVV(r)
@@ -182,6 +192,7 @@ func TestPropertyCompareAntisymmetry(t *testing.T) {
 }
 
 func TestPropertyDominancePartialOrder(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b, c := randomVV(r), randomVV(r), randomVV(r)
@@ -205,6 +216,7 @@ func TestPropertyDominancePartialOrder(t *testing.T) {
 }
 
 func TestPropertyBumpStrictlyIncreases(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a := randomVV(r)

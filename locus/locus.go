@@ -160,7 +160,11 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 	kernels := make(map[SiteID]*fs.Kernel)
 	for _, ss := range spec.Sites {
 		node := nw.AddSite(ss.ID)
-		k := fs.BootSite(node, cfg, nw.Meter(), storage.Costs{DiskUs: costs.DiskUs, PageCPU: costs.PageCPU})
+		k, err := fs.BootSite(node, cfg, nw.Meter(), storage.Costs{DiskUs: costs.DiskUs, PageCPU: costs.PageCPU})
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
 		mt := ss.MachineType
 		if mt == "" {
 			mt = "vax"
