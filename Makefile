@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet locusvet test race invariants bench ci
+.PHONY: all build vet locusvet test race invariants bench benchsmoke benchjson ci
 
 all: ci
 
@@ -30,4 +30,13 @@ invariants:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: build vet locusvet test race invariants
+# benchsmoke is the cheap CI gate: runs the cache/readahead experiment
+# (E11) end to end and validates the BENCH_locus.json encoding.
+benchsmoke:
+	$(GO) test -run TestBenchSmoke -count=1 .
+
+# benchjson regenerates the committed perf baseline artifacts.
+benchjson:
+	$(GO) run ./cmd/locus-bench -json BENCH_locus.json > experiments_output.txt
+
+ci: build vet locusvet test race invariants benchsmoke

@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -388,12 +390,82 @@ func BenchmarkE10_LocalOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkE11_SequentialRemoteScan measures the 16-page sequential
+// remote read under the three cache regimes of the E11 table.
+func BenchmarkE11_SequentialRemoteScan(b *testing.B) {
+	setup := func(b *testing.B) (*locus.Cluster, *fs.Kernel, storage.FileID) {
+		b.Helper()
+		c := mustSimple(b, 2)
+		u1 := c.Site(1).Login("u")
+		mustWrite(b, u1, "/seq", make([]byte, 16*storage.PageSize))
+		if err := c.Site(1).FS.SetReplication(u1.Cred(), "/seq", []fs.SiteID{1}); err != nil {
+			b.Fatal(err)
+		}
+		c.Settle()
+		r, err := c.Site(1).FS.Resolve(u1.Cred(), "/seq")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c, c.Site(2).FS, r.ID
+	}
+	scan := func(b *testing.B, k *fs.Kernel, id storage.FileID, ra bool) {
+		b.Helper()
+		f, err := k.OpenID(id, fs.ModeRead)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.SetReadahead(ra)
+		if _, err := f.ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("no-cache", func(b *testing.B) {
+		c, k, id := setup(b)
+		k.SetPageCache(false)
+		start := c.Stats().Msgs
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scan(b, k, id, false)
+		}
+		b.StopTimer()
+		reportSim(b, c, start, int64(b.N))
+	})
+	b.Run("cold-cache-readahead", func(b *testing.B) {
+		c, k, id := setup(b)
+		start := c.Stats().Msgs
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			k.SetPageCache(false) // flush so every iteration starts cold
+			k.SetPageCache(true)
+			b.StartTimer()
+			scan(b, k, id, true)
+		}
+		b.StopTimer()
+		reportSim(b, c, start, int64(b.N))
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		c, k, id := setup(b)
+		scan(b, k, id, true) // warm the using-site cache
+		start := c.Stats().Msgs
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scan(b, k, id, false)
+		}
+		b.StopTimer()
+		reportSim(b, c, start, int64(b.N))
+	})
+}
+
 // TestExperimentTables runs the full experiment suite and asserts the
 // headline shapes the paper reports.
 func TestExperimentTables(t *testing.T) {
 	tables := bench.All()
-	if len(tables) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(tables))
+	if len(tables) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(tables))
 	}
 	byID := map[string]*bench.Table{}
 	for _, tb := range tables {
@@ -478,6 +550,53 @@ func TestExperimentTables(t *testing.T) {
 	bc, _ := strconv.ParseInt(e10.Rows[1][1], 10, 64)
 	if float64(lc) > 1.25*float64(bc) {
 		t.Errorf("E10: LOCUS local %d vs bare %d CPU us (paper: ≈equal)", lc, bc)
+	}
+
+	// E11: the using-site cache + streaming readahead cut the 16-page
+	// sequential scan's mRead traffic by at least 2x cold, and the warm
+	// re-read needs zero network reads.
+	e11 := byID["E11"]
+	baseReads, _ := strconv.ParseInt(e11.Rows[0][2], 10, 64)
+	coldReads, _ := strconv.ParseInt(e11.Rows[1][2], 10, 64)
+	warmReads, _ := strconv.ParseInt(e11.Rows[2][2], 10, 64)
+	if baseReads != 32 {
+		t.Errorf("E11 baseline = %d fs.read msgs, want 32 (2 per page)", baseReads)
+	}
+	if coldReads == 0 || baseReads < 2*coldReads {
+		t.Errorf("E11 cold readahead %d -> %d fs.read msgs: want >= 2x reduction", baseReads, coldReads)
+	}
+	if warmReads != 0 {
+		t.Errorf("E11 warm re-read = %d fs.read msgs, want 0 (US cache)", warmReads)
+	}
+}
+
+// TestBenchSmoke is the CI smoke entry point: it runs the cache/
+// readahead experiment end to end with metrics aggregation and checks
+// the BENCH_locus.json encoding round-trips.
+func TestBenchSmoke(t *testing.T) {
+	tbl, res := bench.RunWithMetrics(bench.Experiment{ID: "E11", Run: bench.E11})
+	if tbl == nil || len(tbl.Rows) != 3 {
+		t.Fatalf("E11 table malformed: %+v", tbl)
+	}
+	if res.ID != "E11" || res.Msgs == 0 || res.Bytes == 0 || res.CPUUs == 0 {
+		t.Fatalf("metrics not aggregated: %+v", res)
+	}
+	if res.CacheHits == 0 || res.CacheHitRate <= 0 || res.RAPagesSent == 0 {
+		t.Fatalf("cache/readahead counters missing: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := bench.WriteJSON(&buf, []bench.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Schema  string         `json:"schema"`
+		Results []bench.Result `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("BENCH_locus.json output is not valid JSON: %v", err)
+	}
+	if decoded.Schema != "locus-bench/v1" || len(decoded.Results) != 1 || decoded.Results[0] != res {
+		t.Fatalf("JSON round-trip mismatch: %+v", decoded)
 	}
 }
 

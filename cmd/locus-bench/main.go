@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	locus-bench            # run every experiment
-//	locus-bench -exp E2    # run one experiment (E1..E10)
-//	locus-bench -list      # list experiments
+//	locus-bench                       # run every experiment
+//	locus-bench -exp E2               # run one experiment (E1..E11)
+//	locus-bench -list                 # list experiments
+//	locus-bench -json BENCH_locus.json  # also write machine-readable results
 package main
 
 import (
@@ -17,43 +18,59 @@ import (
 	"repro/internal/bench"
 )
 
-var experiments = map[string]func() *bench.Table{
-	"E1":  bench.E1,
-	"E2":  bench.E2,
-	"E3":  bench.E3,
-	"E4":  bench.E4,
-	"E5":  bench.E5,
-	"E6":  bench.E6,
-	"E7":  bench.E7,
-	"E8":  bench.E8,
-	"E9":  bench.E9,
-	"E10": bench.E10,
-}
-
-var order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
-
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E10)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E11)")
 	list := flag.Bool("list", false, "list experiments")
+	jsonPath := flag.String("json", "", "write per-experiment results to FILE (BENCH_locus.json schema)")
 	flag.Parse()
 
+	registry := bench.Experiments()
 	if *list {
-		for _, id := range order {
-			t := experiments[id]()
+		for _, e := range registry {
+			t, _ := bench.RunWithMetrics(e)
 			fmt.Printf("%-4s %s\n", t.ID, t.Title)
 		}
 		return
 	}
+
+	var run []bench.Experiment
 	if *exp != "" {
-		f, ok := experiments[strings.ToUpper(*exp)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "locus-bench: unknown experiment %q (E1..E10)\n", *exp)
+		id := strings.ToUpper(*exp)
+		for _, e := range registry {
+			if e.ID == id {
+				run = append(run, e)
+			}
+		}
+		if len(run) == 0 {
+			fmt.Fprintf(os.Stderr, "locus-bench: unknown experiment %q (E1..E%d)\n", *exp, len(registry))
 			os.Exit(2)
 		}
-		f().Fprint(os.Stdout)
-		return
+	} else {
+		run = registry
 	}
-	for _, id := range order {
-		experiments[id]().Fprint(os.Stdout)
+
+	var results []bench.Result
+	for _, e := range run {
+		t, res := bench.RunWithMetrics(e)
+		t.Fprint(os.Stdout)
+		results = append(results, res)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, results); err != nil {
+			f.Close() //nolint:errcheck
+			fmt.Fprintf(os.Stderr, "locus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "locus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments)\n", *jsonPath, len(results))
 	}
 }

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"repro/locus"
+)
+
+// Experiment names one runnable experiment.
+type Experiment struct {
+	ID  string
+	Run func() *Table
+}
+
+// Experiments returns the full registry in run order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
+		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
+		{"E11", E11},
+	}
+}
+
+// trackClusters, when set, receives every cluster mustCluster builds;
+// RunWithMetrics uses it to aggregate an experiment's simulated costs.
+// Experiments run one at a time (benchmarks are sequential by design).
+var trackClusters func(*locus.Cluster)
+
+// Result is one experiment's machine-readable cost summary — the
+// per-experiment row of BENCH_locus.json. All values are simulated
+// (message counts, bytes, virtual CPU/disk microseconds); nothing here
+// depends on wall-clock time, so baselines diff cleanly across runs.
+type Result struct {
+	ID           string  `json:"id"`
+	Title        string  `json:"title"`
+	Msgs         int64   `json:"msgs"`
+	Bytes        int64   `json:"bytes"`
+	CPUUs        int64   `json:"cpu_us"`
+	DiskUs       int64   `json:"disk_us"`
+	Calls        int64   `json:"calls"`
+	Casts        int64   `json:"casts"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheInvals  int64   `json:"cache_invals"`
+	RAPagesSent  int64   `json:"ra_pages_sent"`
+	RAPagesUsed  int64   `json:"ra_pages_used"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// RunWithMetrics runs one experiment and aggregates the final traffic
+// and cost counters of every cluster it built.
+func RunWithMetrics(e Experiment) (*Table, Result) {
+	var clusters []*locus.Cluster
+	trackClusters = func(c *locus.Cluster) { clusters = append(clusters, c) }
+	defer func() { trackClusters = nil }()
+	tbl := e.Run()
+	res := Result{ID: tbl.ID, Title: tbl.Title}
+	for _, c := range clusters {
+		s := c.Stats()
+		res.Msgs += s.Msgs
+		res.Bytes += s.Bytes
+		res.CPUUs += s.CPUUs
+		res.DiskUs += s.DiskUs
+		res.Calls += s.Calls
+		res.Casts += s.Casts
+		res.CacheHits += s.CacheHits
+		res.CacheMisses += s.CacheMisses
+		res.CacheInvals += s.CacheInvals
+		res.RAPagesSent += s.RAPagesSent
+		res.RAPagesUsed += s.RAPagesUsed
+	}
+	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+		res.CacheHitRate = math.Round(float64(res.CacheHits)/float64(lookups)*1e4) / 1e4
+	}
+	return tbl, res
+}
+
+// AllWithMetrics runs every experiment, returning the printable tables
+// and the machine-readable results in the same order.
+func AllWithMetrics() ([]*Table, []Result) {
+	var tables []*Table
+	var results []Result
+	for _, e := range Experiments() {
+		tbl, res := RunWithMetrics(e)
+		tables = append(tables, tbl)
+		results = append(results, res)
+	}
+	return tables, results
+}
+
+// benchFile is the on-disk schema of BENCH_locus.json.
+type benchFile struct {
+	Schema  string   `json:"schema"`
+	Results []Result `json:"results"`
+}
+
+// WriteJSON emits results in the BENCH_locus.json schema (stable field
+// order, no timestamps: the file is a diffable perf baseline).
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benchFile{Schema: "locus-bench/v1", Results: results})
+}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/storage"
 )
 
-func TestReadaheadHalvesSequentialReadMessages(t *testing.T) {
+func TestStreamingReadaheadCutsSequentialReadMessages(t *testing.T) {
 	c := newCluster(t, 2)
 	data := bytes.Repeat([]byte{'s'}, 8*storage.PageSize)
 	writeFile(t, c.kernels[1], "/seq", data)
@@ -18,7 +18,7 @@ func TestReadaheadHalvesSequentialReadMessages(t *testing.T) {
 	}
 	c.settle(t)
 
-	scan := func(readahead bool) int64 {
+	scan := func(readahead bool) (msgs, reads int64) {
 		f, err := c.kernels[2].Open(cred(), "/seq", fs.ModeRead)
 		if err != nil {
 			t.Fatal(err)
@@ -32,19 +32,37 @@ func TestReadaheadHalvesSequentialReadMessages(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		return c.net.Stats().Sub(before).Msgs
+		d := c.net.Stats().Sub(before)
+		return d.Msgs, d.ByMethod["fs.read"]
 	}
-	plain := scan(false)
-	ra := scan(true)
+
+	// Baseline: no US cache, no readahead — the pure §2.3.3 protocol.
+	c.kernels[2].SetPageCache(false)
+	plain, _ := scan(false)
 	if plain != 16 {
 		t.Fatalf("plain sequential scan = %d msgs, want 16 (2/page)", plain)
 	}
-	// With piggybacked readahead every second page is already cached:
-	// 4 exchanges = 8 messages.
-	if ra != 8 {
-		t.Fatalf("readahead scan = %d msgs, want 8", ra)
+	c.kernels[2].SetPageCache(true)
+
+	// Streaming readahead: the window doubles on sequential hits
+	// (1 extra at page 0, 4 at page 2, and page 7 is the last page), so
+	// the 8-page scan takes 3 exchanges = 6 messages.
+	ra, raReads := scan(true)
+	if ra != 6 || raReads != 6 {
+		t.Fatalf("streaming readahead scan = %d msgs (%d fs.read), want 6 (3 exchanges)", ra, raReads)
 	}
-	// Content correctness with readahead.
+	if plain < 2*ra {
+		t.Fatalf("readahead reduction %d -> %d msgs is under 2x", plain, ra)
+	}
+
+	// Second sequential pass through a fresh handle: every page is
+	// served from the using-site cache with zero mRead calls.
+	warm, warmReads := scan(false)
+	if warmReads != 0 || warm != 0 {
+		t.Fatalf("warm re-read = %d msgs (%d fs.read), want 0 (all from US cache)", warm, warmReads)
+	}
+
+	// Content correctness through the cache + readahead path.
 	f, err := c.kernels[2].Open(cred(), "/seq", fs.ModeRead)
 	if err != nil {
 		t.Fatal(err)
@@ -82,6 +100,70 @@ func TestReadaheadWriterSeesOwnWrites(t *testing.T) {
 	}
 	if string(buf) != "ZZZZ" {
 		t.Fatalf("writer read %q through readahead handle, want ZZZZ", buf)
+	}
+}
+
+// TestPageCacheInvalidatedByRemoteCommit asserts the single-system-
+// image guarantee of the using-site cache: once another US commits a
+// new version, a fresh open must see the new data — a stale read from
+// the cache is impossible because its entries are version-guarded.
+func TestPageCacheInvalidatedByRemoteCommit(t *testing.T) {
+	c := newCluster(t, 3)
+	oldData := bytes.Repeat([]byte{'1'}, 2*storage.PageSize)
+	writeFile(t, c.kernels[1], "/inv", oldData)
+	if err := c.kernels[1].SetReplication(cred(), "/inv", []fs.SiteID{1}); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(t)
+
+	readAll := func() ([]byte, int64) {
+		f, err := c.kernels[3].Open(cred(), "/inv", fs.ModeRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close() //nolint:errcheck
+		before := c.net.Stats()
+		got, err := f.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, c.net.Stats().Sub(before).ByMethod["fs.read"]
+	}
+
+	// Warm site 3's cache, then prove a re-read is served from it.
+	if got, _ := readAll(); !bytes.Equal(got, oldData) {
+		t.Fatal("initial read returned wrong data")
+	}
+	if _, reads := readAll(); reads != 0 {
+		t.Fatalf("re-read used %d fs.read messages, want 0 (US cache)", reads)
+	}
+
+	// Another US commits a new version.
+	newData := bytes.Repeat([]byte{'2'}, 2*storage.PageSize)
+	w, err := c.kernels[2].Open(cred(), "/inv", fs.ModeModify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAll(newData); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(t)
+
+	// Site 3's next open synchronizes on the new version; its cached v1
+	// pages are stale and must not be served.
+	got, reads := readAll()
+	if !bytes.Equal(got, newData) {
+		t.Fatalf("stale read after remote commit: got %q... want %q...", got[:8], newData[:8])
+	}
+	if reads == 0 {
+		t.Fatal("new version was not fetched from the SS (cache served stale pages?)")
+	}
+	// And the refreshed pages are cached for the next reader.
+	if _, reads := readAll(); reads != 0 {
+		t.Fatalf("re-read of new version used %d fs.read messages, want 0", reads)
 	}
 }
 

@@ -71,48 +71,86 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // fetchPage returns one logical page and the file size at the SS.
+// Remote committed reads consult the using-site page cache first
+// (§2.2.1 buffer management); a miss runs the two-message read protocol
+// of §2.3.3 with adaptive streaming readahead, depositing the piggy-
+// backed pages into the cache for the sequential reads that follow.
 func (f *File) fetchPage(pn storage.PageNo) ([]byte, int64, error) {
 	k := f.k
 	incore := f.mode == ModeModify
 	if f.ss == k.site {
-		return k.localPage(f.id, pn, incore, f.us)
+		data, size, _, err := k.localPage(f.id, pn, incore, f.us)
+		return data, size, err
 	}
-	if !incore && f.raPage.valid && f.raPage.pn == pn {
-		// Readahead hit: the page arrived with the previous response.
-		f.raPage.valid = false
-		return f.raPage.data, f.raPage.size, nil
+	if incore {
+		// The writer reads its own in-core (shadowed) state at the SS;
+		// uncommitted data never enters the committed-page cache.
+		resp, err := k.node.Call(f.ss, mRead, &readReq{ID: f.id, Page: pn, Incore: true})
+		if err != nil {
+			return nil, 0, err
+		}
+		r := resp.(*readResp)
+		return r.Data, r.Size, nil
 	}
-	resp, err := k.node.Call(f.ss, mRead, &readReq{ID: f.id, Page: pn, Incore: incore, Readahead: f.readahead && !incore})
+
+	// Track sequentiality: the window doubles while the reader keeps
+	// advancing page by page and resets on a seek.
+	sequential := pn == f.raNext
+	f.raNext = pn + 1
+	cached := k.cache.isEnabled()
+	if f.readahead && cached {
+		if !sequential {
+			f.raWindow = 0
+		} else if f.raWindow == 0 {
+			f.raWindow = 1
+		} else if f.raWindow < RAMax {
+			f.raWindow *= 2
+			if f.raWindow > RAMax {
+				f.raWindow = RAMax
+			}
+		}
+	}
+
+	if cached {
+		if data, size, ok := k.cache.get(f.id, pn, f.ino.VV); ok {
+			return data, size, nil
+		}
+	}
+
+	req := &readReq{ID: f.id, Page: pn}
+	if f.readahead && cached {
+		req.Readahead = f.raWindow
+	}
+	resp, err := k.node.Call(f.ss, mRead, req)
 	if err != nil {
 		return nil, 0, err
 	}
 	r := resp.(*readResp)
-	if r.Next != nil {
-		f.raPage.pn = pn + 1
-		f.raPage.data = r.Next
-		f.raPage.size = r.Size
-		f.raPage.valid = true
-	}
-	if r.EOF {
-		return make([]byte, storage.PageSize), r.Size, nil
+	k.cache.put(f.id, pn, r.Data, r.Size, r.VV, false)
+	for i, extra := range r.Extra {
+		k.cache.put(f.id, pn+1+storage.PageNo(i), extra, r.Size, r.VV, true)
 	}
 	return r.Data, r.Size, nil
 }
 
 // localPage serves a page at the storage site: from the writer's
 // in-core (shadowed) inode when incore is set and the requester is the
-// writer, otherwise from the committed disk inode.
-func (k *Kernel) localPage(id storage.FileID, pn storage.PageNo, incore bool, us SiteID) ([]byte, int64, error) {
+// writer, otherwise from the committed disk inode. The returned version
+// vector is the committed version served, or nil for in-core state
+// (which must never be cached as committed).
+func (k *Kernel) localPage(id storage.FileID, pn storage.PageNo, incore bool, us SiteID) ([]byte, int64, vclock.VV, error) {
 	c := k.container(id.FG)
 	if c == nil {
-		return nil, 0, fmt.Errorf("%w: %v at site %d", ErrNoStorageSite, id, k.site)
+		return nil, 0, nil, fmt.Errorf("%w: %v at site %d", ErrNoStorageSite, id, k.site)
 	}
 	var ino *storage.Inode
+	fromIncore := false
 	if incore {
 		k.mu.Lock()
 		sv := k.ssState[id]
 		if sv != nil && sv.writerUS == us && sv.incore != nil {
 			ino = sv.incore.Clone()
+			fromIncore = true
 		}
 		k.mu.Unlock()
 	}
@@ -120,38 +158,54 @@ func (k *Kernel) localPage(id storage.FileID, pn storage.PageNo, incore bool, us
 		var err error
 		ino, err = c.GetInode(id.Inode)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 	}
+	var vv vclock.VV
+	if !fromIncore {
+		vv = ino.VV
+	}
 	if int(pn) >= len(ino.Pages) {
-		return make([]byte, storage.PageSize), ino.Size, nil
+		return make([]byte, storage.PageSize), ino.Size, vv, nil
 	}
 	pp := ino.Pages[pn]
 	if pp == storage.PhysPageNil {
-		return make([]byte, storage.PageSize), ino.Size, nil
+		return make([]byte, storage.PageSize), ino.Size, vv, nil
 	}
 	data, err := c.ReadPage(pp)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return data, ino.Size, nil
+	return data, ino.Size, vv, nil
 }
 
 func (k *Kernel) handleRead(from SiteID, p any) (any, error) {
 	req := p.(*readReq)
-	data, size, err := k.localPage(req.ID, req.Page, req.Incore, from)
+	data, size, vv, err := k.localPage(req.ID, req.Page, req.Incore, from)
 	if err != nil {
 		return nil, err
 	}
-	resp := &readResp{Data: data, Size: size}
-	if req.Readahead {
-		// Piggyback the next page while it is cheap to fetch (the SS's
-		// own readahead has likely staged it).
-		if next, _, err := k.localPage(req.ID, req.Page+1, req.Incore, from); err == nil {
-			if int64(req.Page+1)*storage.PageSize < size {
-				resp.Next = next
-			}
+	resp := &readResp{Data: data, Size: size, VV: vv}
+	// Streaming readahead: piggyback the following pages while the
+	// reader is sequential. Bounds are checked before fetching so no
+	// disk time is charged for pages past end of file.
+	n := req.Readahead
+	if n > RAMax {
+		n = RAMax
+	}
+	for i := 1; i <= n; i++ {
+		next := req.Page + storage.PageNo(i)
+		if int64(next)*storage.PageSize >= size {
+			break
 		}
+		extra, _, _, err := k.localPage(req.ID, next, req.Incore, from)
+		if err != nil {
+			break // serve what we have; the US fetches the rest on demand
+		}
+		resp.Extra = append(resp.Extra, extra)
+	}
+	if len(resp.Extra) > 0 {
+		k.meter().AddReadaheadSent(len(resp.Extra))
 	}
 	return resp, nil
 }
@@ -195,8 +249,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			if err != nil {
 				return total, err
 			}
-			page = old
-			copy(page[pageOff:], p[total:total+n])
+			page = mergePartialPage(old, pageOff, p[total:total+n])
 		}
 		newSize := f.ino.Size
 		if end := cur + int64(n); end > newSize {
@@ -207,10 +260,20 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		}
 		f.ino.Size = newSize
 		f.dirty[pn] = true
-		f.raPage.valid = false // writes invalidate the readahead page
 		total += n
 	}
 	return total, nil
+}
+
+// mergePartialPage returns a fresh page holding old with src written at
+// off. The fetched page may alias a cached committed page (or the SS's
+// committed page buffer on a local open); merging must never mutate it
+// in place.
+func mergePartialPage(old []byte, off int, src []byte) []byte {
+	page := make([]byte, len(old))
+	copy(page, old)
+	copy(page[off:], src)
+	return page
 }
 
 // Append writes p at the current end of file.
@@ -370,6 +433,9 @@ func (f *File) commitOrAbort(abort bool) error {
 	}
 	r := resp.(*commitResp)
 	f.ino.VV = r.VV.Copy()
+	// The committed image changed (or, on abort, reverted): any pages
+	// this US cached for the file are out of date.
+	k.cache.invalidateFile(f.id)
 	if abort {
 		// Reload the committed inode image.
 		f.refreshFromSS()

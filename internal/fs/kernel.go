@@ -238,6 +238,9 @@ type Kernel struct {
 	// layer); nil-safe.
 	mail func(user, subject, body string)
 
+	// cache is the using-site page cache of committed pages (§2.2.1).
+	cache *pageCache
+
 	// Ablation switches (benchmarks only; production behavior is both
 	// enabled, as in LOCUS).
 	noOpenOpt     bool // disable the §2.3.3 US-is-SS / CSS-is-SS shortcuts
@@ -262,6 +265,15 @@ func (k *Kernel) SetLocalSearchFastPath(on bool) {
 	k.mu.Unlock()
 }
 
+// SetPageCache enables/disables the using-site page cache (ablation
+// benchmarks; enabled by default, as the paper's US buffer management
+// is — §2.2.1). Disabling flushes it; streaming readahead deposits
+// into the cache and is therefore inert while it is off.
+func (k *Kernel) SetPageCache(on bool) { k.cache.setEnabled(on) }
+
+// meter returns the network-wide cost meter (cache/readahead counters).
+func (k *Kernel) meter() *netsim.Stats { return k.node.Network().Meter() }
+
 // NewKernel creates the filesystem kernel for one site and registers
 // its network handlers. The initial partition view is all sites of all
 // packs in the configuration (a fully-up network).
@@ -276,6 +288,7 @@ func NewKernel(node *netsim.Node, store *storage.Store, cfg *Config) *Kernel {
 		pendingProp: make(map[storage.FileID]*propTask),
 		openFiles:   make(map[*File]bool),
 	}
+	k.cache = newPageCache(node.Network().Meter())
 	seen := map[SiteID]bool{}
 	for _, d := range cfg.Filegroups {
 		for _, p := range d.Packs {
@@ -316,6 +329,7 @@ func (k *Kernel) crashLocal() {
 		close(k.propStop)
 		k.propStop = nil
 	}
+	k.cache.purge()
 }
 
 // Site returns this kernel's site id.
@@ -461,24 +475,23 @@ type File struct {
 	// paper's cleanup table calls this "set error in local file
 	// descriptor" (§5.6).
 	stale bool
-	// readahead enables the one-page sequential readahead of §2.3.3:
-	// the SS piggybacks the next page on each read response.
+	// readahead enables adaptive streaming readahead (§2.3.3): the SS
+	// piggybacks up to raWindow following pages on each read response,
+	// deposited into the using-site page cache.
 	readahead bool
-	// raPage caches the readahead page.
-	raPage struct {
-		pn    storage.PageNo
-		data  []byte
-		size  int64
-		valid bool
-	}
+	// raNext is the page a sequential reader would fetch next; raWindow
+	// is the current readahead window (doubles on sequential access up
+	// to RAMax, resets on a seek).
+	raNext   storage.PageNo
+	raWindow int
 }
 
-// SetReadahead enables one-page sequential readahead for this handle
+// SetReadahead enables adaptive streaming readahead for this handle
 // (off by default so message accounting stays exact).
 func (f *File) SetReadahead(on bool) {
 	f.readahead = on
 	if !on {
-		f.raPage.valid = false
+		f.raWindow = 0
 	}
 }
 

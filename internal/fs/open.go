@@ -339,6 +339,11 @@ func (k *Kernel) OpenID(id storage.FileID, mode OpenMode) (*File, error) {
 		return nil, err
 	}
 	r := resp.(*openResp)
+	if mode == ModeModify {
+		// The file is about to change through this US; cached committed
+		// pages must not survive into the modify session.
+		k.cache.invalidateFile(id)
+	}
 	f := &File{
 		k: k, id: id, mode: mode, us: k.site, ss: r.SS, css: css,
 		dirty:    make(map[storage.PageNo]bool),

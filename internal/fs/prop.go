@@ -20,6 +20,11 @@ func (k *Kernel) handlePropNotify(from SiteID, p any) (any, error) {
 // if this site stores (or should store) the file and its copy is out of
 // date.
 func (k *Kernel) applyPropNotify(_ SiteID, note *propNotify) {
+	// A new committed version exists somewhere: drop any pages this
+	// site's using-site cache holds for the file, so a stale read
+	// through an already-open handle is impossible once the
+	// notification arrives (§2.3.6).
+	k.cache.invalidateFile(note.ID)
 	// CSS bookkeeping: remember the most current version and storage
 	// sites.
 	if css, err := k.CSSOf(note.ID.FG); err == nil && css == k.site {

@@ -79,17 +79,23 @@ type ssOpenResp struct {
 	Ino *storage.Inode
 }
 
+// RAMax caps the number of extra pages a storage site piggybacks on one
+// read response (the streaming-readahead window limit).
+const RAMax = 8
+
 type readReq struct {
 	ID   storage.FileID
 	Page storage.PageNo
 	// Incore asks for the writer's in-core (shadowed) state; only the
 	// US holding the modify open sends this.
 	Incore bool
-	// Readahead asks the SS to piggyback the next logical page on the
-	// response ("readahead is useful in the case of sequential
-	// behavior, both at the SS, as well as across the network" —
-	// §2.3.3).
-	Readahead bool
+	// Readahead asks the SS to piggyback up to this many following
+	// logical pages on the response ("readahead is useful in the case
+	// of sequential behavior, both at the SS, as well as across the
+	// network" — §2.3.3). The US grows it while the access pattern
+	// stays sequential and resets it on a seek; the SS clamps it to
+	// RAMax and to end of file.
+	Readahead int
 	// Hint is "a guess as to where the incore inode information is
 	// stored at the SS" (§2.3.3); the simulation keys by FileID, so the
 	// hint is carried for fidelity but not needed for correctness.
@@ -99,14 +105,22 @@ type readReq struct {
 type readResp struct {
 	Data []byte
 	Size int64 // current file size at the SS
-	EOF  bool  // page is beyond end of file
-	// Next carries logical page Page+1 when readahead was requested and
-	// the page exists.
-	Next []byte
+	// VV is the committed version vector the page was served from (nil
+	// for in-core reads); the US cache tags entries with it.
+	VV vclock.VV
+	// Extra carries logical pages Page+1, Page+2, ... when readahead
+	// was requested; it never extends past end of file.
+	Extra [][]byte
 }
 
 // WireSize makes page transfers charge realistic byte counts.
-func (r *readResp) WireSize() int { return len(r.Data) + len(r.Next) + 32 }
+func (r *readResp) WireSize() int {
+	n := len(r.Data) + 32
+	for _, e := range r.Extra {
+		n += len(e)
+	}
+	return n
+}
 
 type writeReq struct {
 	ID   storage.FileID

@@ -1,0 +1,106 @@
+package fs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+)
+
+// TestProtocolMessageCostsPinned pins the paper's per-operation wire
+// message counts (§2.3.3–§2.3.6: general open = 4, read = 2, write = 1,
+// commit = 2 + one notification per other replica plus the CSS,
+// close = 4) via Snapshot.Sub, so transport-layer refactors provably
+// change no wire traffic.
+func TestProtocolMessageCostsPinned(t *testing.T) {
+	c := newCluster(t, 4) // CSS = site 1
+	writeFile(t, c.kernels[3], "/pin", bytes.Repeat([]byte{'p'}, 2*storage.PageSize))
+	// Store the file at sites 3 and 4 only: the CSS (1) holds no copy
+	// and US = 2 is purely a using site.
+	if err := c.kernels[3].SetReplication(cred(), "/pin", []fs.SiteID{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.settle(t)
+	r, err := c.kernels[2].Resolve(cred(), "/pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta := func(op func()) netsim.Snapshot {
+		before := c.net.Stats()
+		op()
+		c.net.Quiesce() // casts are in flight only briefly; settle them
+		return c.net.Stats().Sub(before)
+	}
+	check := func(what string, d netsim.Snapshot, msgs int64, byMeth map[string]int64) {
+		t.Helper()
+		if d.Msgs != msgs {
+			t.Errorf("%s: %d wire messages, want %d (%v)", what, d.Msgs, msgs, d.ByMethod)
+		}
+		for m, n := range byMeth {
+			if d.ByMethod[m] != n {
+				t.Errorf("%s: %d %s messages, want %d", what, d.ByMethod[m], m, n)
+			}
+		}
+	}
+
+	// General open (US=2, CSS=1, SS=3): request to CSS + CSS polls SS.
+	var f *fs.File
+	d := delta(func() {
+		f, err = c.kernels[2].OpenID(r.ID, fs.ModeRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("open(read)", d, 4, map[string]int64{"fs.open": 2, "fs.ssopen": 2})
+
+	// Network read: exactly the two-message exchange of §2.3.3 (cold
+	// cache, no readahead).
+	buf := make([]byte, storage.PageSize)
+	d = delta(func() {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("read page", d, 2, map[string]int64{"fs.read": 2})
+
+	// Close: the 4-message protocol (US→SS, SS→CSS).
+	d = delta(func() {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("close(read)", d, 4, map[string]int64{"fs.close": 2, "fs.ssclose": 2})
+
+	// Open for modify, then a whole-page write: one one-way message.
+	w, err := c.kernels[2].OpenID(r.ID, fs.ModeModify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = delta(func() {
+		if _, err := w.WriteAt(bytes.Repeat([]byte{'q'}, storage.PageSize), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("write page", d, 1, map[string]int64{"fs.write": 1})
+
+	// Commit: the 2-message commit exchange plus one one-way
+	// notification to the other replica (site 4) and one to the CSS
+	// (site 1) — "1 per replica" in the paper's accounting.
+	d = delta(func() {
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("commit", d, 4, map[string]int64{"fs.commit": 2, "fs.propnotify": 2})
+
+	// Close of the committed writer: 4 messages again.
+	d = delta(func() {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("close(modify)", d, 4, map[string]int64{"fs.close": 2, "fs.ssclose": 2})
+}

@@ -21,6 +21,12 @@
 // All traffic is metered (message counts per method, bytes, simulated
 // CPU microseconds) so the benchmark harness can regenerate the paper's
 // protocol costs without real hardware.
+//
+// The send path is lock-free: connectivity lives in an immutable
+// copy-on-write snapshot (one atomic load per exchange), counters are
+// plain atomics, and pending request/response exchanges are tracked
+// per-node. Network.mu is only taken by topology mutations (AddSite,
+// SetLink, Crash, Restart, Close), which republish the snapshot.
 package netsim
 
 import (
@@ -94,18 +100,27 @@ func DefaultCosts() CostModel {
 
 // Stats accumulates network-wide traffic and simulated cost counters.
 // Charging cost also advances the network's simulated clock, so virtual
-// time moves exactly as fast as simulated work is done.
+// time moves exactly as fast as simulated work is done. All counters
+// are atomics: charging an exchange takes no lock.
 type Stats struct {
-	mu      sync.Mutex
 	clock   *simclock.Clock
-	msgs    int64
-	bytes   int64
-	byMeth  map[string]int64
-	cpuUs   int64
-	diskUs  int64
-	casts   int64
-	calls   int64
-	dropped int64
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	cpuUs   atomic.Int64
+	diskUs  atomic.Int64
+	casts   atomic.Int64
+	calls   atomic.Int64
+	dropped atomic.Int64
+	// byMeth maps method name -> *atomic.Int64 message count.
+	byMeth sync.Map
+
+	// Using-site page-cache and readahead effectiveness counters,
+	// charged by the fs layer (§2.2.1 kernel buffer management).
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheInvals atomic.Int64
+	raSent      atomic.Int64
+	raUsed      atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters at a point in time.
@@ -118,76 +133,99 @@ type Snapshot struct {
 	Casts    int64
 	Calls    int64
 	Dropped  int64
+
+	// CacheHits/CacheMisses count using-site page-cache lookups;
+	// CacheInvals counts pages discarded by commit/propagation
+	// invalidation.
+	CacheHits   int64
+	CacheMisses int64
+	CacheInvals int64
+	// RAPagesSent counts pages piggybacked on read responses by
+	// streaming readahead; RAPagesUsed counts those later served to a
+	// reader (readahead efficiency = used/sent).
+	RAPagesSent int64
+	RAPagesUsed int64
 }
 
 func (s *Stats) snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	by := make(map[string]int64, len(s.byMeth))
-	for k, v := range s.byMeth {
-		by[k] = v
-	}
+	by := make(map[string]int64)
+	s.byMeth.Range(func(k, v any) bool {
+		by[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
 	return Snapshot{
-		Msgs: s.msgs, Bytes: s.bytes, ByMethod: by,
-		CPUUs: s.cpuUs, DiskUs: s.diskUs,
-		Casts: s.casts, Calls: s.calls, Dropped: s.dropped,
+		Msgs: s.msgs.Load(), Bytes: s.bytes.Load(), ByMethod: by,
+		CPUUs: s.cpuUs.Load(), DiskUs: s.diskUs.Load(),
+		Casts: s.casts.Load(), Calls: s.calls.Load(), Dropped: s.dropped.Load(),
+		CacheHits: s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
+		CacheInvals: s.cacheInvals.Load(),
+		RAPagesSent: s.raSent.Load(), RAPagesUsed: s.raUsed.Load(),
 	}
 }
 
-// addMsg records n wire messages for an exchange of the given method
-// (2 for a request/response Call, 1 for a one-way Cast).
-func (s *Stats) addMsg(method string, n, bytes int64) {
-	s.mu.Lock()
-	s.msgs += n
-	s.bytes += bytes
-	if s.byMeth == nil {
-		s.byMeth = make(map[string]int64)
+func (s *Stats) methCounter(method string) *atomic.Int64 {
+	if c, ok := s.byMeth.Load(method); ok {
+		return c.(*atomic.Int64)
 	}
-	s.byMeth[method] += n
-	s.mu.Unlock()
+	c, _ := s.byMeth.LoadOrStore(method, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// chargeExchange records one protocol exchange — n wire messages of the
+// given method (2 for a Call, 1 for a Cast), the payload bytes, and the
+// protocol CPU — in one lock-free pass, and advances virtual time.
+func (s *Stats) chargeExchange(method string, n, bytes, cpu int64, call bool) {
+	s.msgs.Add(n)
+	s.bytes.Add(bytes)
+	s.methCounter(method).Add(n)
+	if call {
+		s.calls.Add(1)
+	} else {
+		s.casts.Add(1)
+	}
+	s.cpuUs.Add(cpu)
+	s.tick(cpu)
+}
+
+// chargeResponse meters a data-carrying Call response (only payloads
+// implementing Sizer — page transfers — are charged; control responses
+// ride in the per-message header allowance charged at send time).
+func (s *Stats) chargeResponse(bytes, cpu int64) {
+	s.bytes.Add(bytes)
+	s.cpuUs.Add(cpu)
+	s.tick(cpu)
 }
 
 // AddCPU charges simulated CPU microseconds and advances virtual time.
 func (s *Stats) AddCPU(us int64) {
-	s.mu.Lock()
-	s.cpuUs += us
-	s.mu.Unlock()
+	s.cpuUs.Add(us)
 	s.tick(us)
 }
 
 // AddDisk charges simulated disk microseconds and advances virtual
 // time.
 func (s *Stats) AddDisk(us int64) {
-	s.mu.Lock()
-	s.diskUs += us
-	s.mu.Unlock()
+	s.diskUs.Add(us)
 	s.tick(us)
 }
 
-// chargeCall records one request/response exchange's CPU cost.
-func (s *Stats) chargeCall(cpu int64) {
-	s.mu.Lock()
-	s.calls++
-	s.cpuUs += cpu
-	s.mu.Unlock()
-	s.tick(cpu)
-}
+// AddCacheHit records a page served from a using-site page cache.
+func (s *Stats) AddCacheHit() { s.cacheHits.Add(1) }
 
-// chargeCast records one one-way message's CPU cost.
-func (s *Stats) chargeCast(cpu int64) {
-	s.mu.Lock()
-	s.casts++
-	s.cpuUs += cpu
-	s.mu.Unlock()
-	s.tick(cpu)
-}
+// AddCacheMiss records a using-site page-cache lookup that missed.
+func (s *Stats) AddCacheMiss() { s.cacheMisses.Add(1) }
+
+// AddCacheInvals records n pages discarded by cache invalidation.
+func (s *Stats) AddCacheInvals(n int) { s.cacheInvals.Add(int64(n)) }
+
+// AddReadaheadSent records n pages piggybacked by streaming readahead.
+func (s *Stats) AddReadaheadSent(n int) { s.raSent.Add(int64(n)) }
+
+// AddReadaheadUsed records n readahead pages later served to a reader.
+func (s *Stats) AddReadaheadUsed(n int) { s.raUsed.Add(int64(n)) }
 
 // addDropped counts a message lost to a closed circuit.
-func (s *Stats) addDropped() {
-	s.mu.Lock()
-	s.dropped++
-	s.mu.Unlock()
-}
+func (s *Stats) addDropped() { s.dropped.Add(1) }
 
 // tick advances the simulated clock, when one is attached.
 func (s *Stats) tick(us int64) {
@@ -208,8 +246,31 @@ func (b Snapshot) Sub(a Snapshot) Snapshot {
 		Msgs: b.Msgs - a.Msgs, Bytes: b.Bytes - a.Bytes, ByMethod: by,
 		CPUUs: b.CPUUs - a.CPUUs, DiskUs: b.DiskUs - a.DiskUs,
 		Casts: b.Casts - a.Casts, Calls: b.Calls - a.Calls,
-		Dropped: b.Dropped - a.Dropped,
+		Dropped:   b.Dropped - a.Dropped,
+		CacheHits: b.CacheHits - a.CacheHits, CacheMisses: b.CacheMisses - a.CacheMisses,
+		CacheInvals: b.CacheInvals - a.CacheInvals,
+		RAPagesSent: b.RAPagesSent - a.RAPagesSent, RAPagesUsed: b.RAPagesUsed - a.RAPagesUsed,
 	}
+}
+
+// connView is an immutable snapshot of the topology: the sites that
+// exist, which are up, and which links carry a circuit. The send path
+// reads it with a single atomic load; topology mutations rebuild and
+// republish it under Network.mu.
+type connView struct {
+	nodes map[SiteID]*Node
+	up    map[SiteID]bool
+	link  map[SiteID]map[SiteID]bool
+}
+
+func (v *connView) connected(a, b SiteID) bool {
+	if v == nil || !v.up[a] || !v.up[b] {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	return v.link[a][b]
 }
 
 // Network is the simulated internetwork: a set of sites and a symmetric
@@ -219,17 +280,22 @@ func (b Snapshot) Sub(a Snapshot) Snapshot {
 // SetLink allows deliberately non-transitive configurations for testing
 // the partition protocol.
 type Network struct {
+	// mu guards the canonical topology maps below; the hot send path
+	// never takes it (it reads the conn snapshot instead).
 	mu    sync.Mutex
 	nodes map[SiteID]*Node
 	// link[a][b] reports a working circuit path between a and b.
-	link  map[SiteID]map[SiteID]bool
-	up    map[SiteID]bool
+	link map[SiteID]map[SiteID]bool
+	up   map[SiteID]bool
+
+	// conn is the published copy-on-write topology snapshot.
+	conn atomic.Pointer[connView]
+
 	stats Stats
 	clock *simclock.Clock
 	cost  CostModel
 
 	callSeq atomic.Int64
-	pending map[int64]*pendingCall
 	// active counts messages enqueued but not yet fully handled, for
 	// Quiesce.
 	active atomic.Int64
@@ -238,16 +304,43 @@ type Network struct {
 // New creates an empty network with the given cost model.
 func New(cost CostModel) *Network {
 	nw := &Network{
-		nodes:   make(map[SiteID]*Node),
-		link:    make(map[SiteID]map[SiteID]bool),
-		up:      make(map[SiteID]bool),
-		clock:   simclock.New(),
-		cost:    cost,
-		pending: make(map[int64]*pendingCall),
+		nodes: make(map[SiteID]*Node),
+		link:  make(map[SiteID]map[SiteID]bool),
+		up:    make(map[SiteID]bool),
+		clock: simclock.New(),
+		cost:  cost,
 	}
 	nw.stats.clock = nw.clock
+	nw.publishLocked()
 	return nw
 }
+
+// publishLocked rebuilds and publishes the connectivity snapshot from
+// the canonical maps. Callers hold nw.mu. Teardown paths must publish
+// before scanning pending tables (see Call's recheck).
+func (nw *Network) publishLocked() {
+	v := &connView{
+		nodes: make(map[SiteID]*Node, len(nw.nodes)),
+		up:    make(map[SiteID]bool, len(nw.up)),
+		link:  make(map[SiteID]map[SiteID]bool, len(nw.link)),
+	}
+	for id, n := range nw.nodes {
+		v.nodes[id] = n
+	}
+	for id, u := range nw.up {
+		v.up[id] = u
+	}
+	for a, row := range nw.link {
+		cp := make(map[SiteID]bool, len(row))
+		for b, ok := range row {
+			cp[b] = ok
+		}
+		v.link[a] = cp
+	}
+	nw.conn.Store(v)
+}
+
+func (nw *Network) view() *connView { return nw.conn.Load() }
 
 // Cost returns the network's cost model.
 func (nw *Network) Cost() CostModel { return nw.cost }
@@ -278,6 +371,7 @@ func (nw *Network) AddSite(id SiteID) *Node {
 		id:       id,
 		nw:       nw,
 		handlers: make(map[string]Handler),
+		pending:  make(map[int64]*pendingCall),
 		inbox:    make(chan *envelope, 1024),
 		quit:     make(chan struct{}),
 	}
@@ -290,15 +384,17 @@ func (nw *Network) AddSite(id SiteID) *Node {
 			nw.link[other][id] = true
 		}
 	}
+	nw.publishLocked()
 	go n.dispatch()
 	return n
 }
 
 // Node returns the node for a site, or nil if it was never added.
 func (nw *Network) Node(id SiteID) *Node {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.nodes[id]
+	if v := nw.view(); v != nil {
+		return v.nodes[id]
+	}
+	return nil
 }
 
 // Quiesce blocks until no message is queued or being handled anywhere
@@ -331,10 +427,9 @@ func (nw *Network) Close() {
 
 // Sites returns all site ids ever added, in unspecified order.
 func (nw *Network) Sites() []SiteID {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	out := make([]SiteID, 0, len(nw.nodes))
-	for id := range nw.nodes {
+	v := nw.view()
+	out := make([]SiteID, 0, len(v.nodes))
+	for id := range v.nodes {
 		out = append(out, id)
 	}
 	return out
@@ -343,26 +438,13 @@ func (nw *Network) Sites() []SiteID {
 // Connected reports whether a working circuit exists between a and b.
 // A site is always connected to itself while it is up.
 func (nw *Network) Connected(a, b SiteID) bool {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.connectedLocked(a, b)
-}
-
-func (nw *Network) connectedLocked(a, b SiteID) bool {
-	if !nw.up[a] || !nw.up[b] {
-		return false
-	}
-	if a == b {
-		return true
-	}
-	return nw.link[a][b]
+	return nw.view().connected(a, b)
 }
 
 // Up reports whether the site is running (not crashed).
 func (nw *Network) Up(id SiteID) bool {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.up[id]
+	v := nw.view()
+	return v != nil && v.up[id]
 }
 
 // SetLink sets the (symmetric) connectivity between two sites. Taking a
@@ -373,17 +455,24 @@ func (nw *Network) SetLink(a, b SiteID, up bool) {
 	was := nw.link[a][b]
 	nw.link[a][b] = up
 	nw.link[b][a] = up
-	var fail []*pendingCall
-	if was && !up {
-		fail = nw.takePendingBetweenLocked(a, b)
-	}
+	// Publish the new view before scanning pending calls: a racing Call
+	// either sees the disconnect in its post-registration recheck or has
+	// already registered its pending call where the scan finds it.
+	nw.publishLocked()
 	na, nb := nw.nodes[a], nw.nodes[b]
 	nw.mu.Unlock()
 
-	for _, p := range fail {
-		p.fail(ErrCircuitClosed)
-	}
 	if was && !up {
+		var fail []*pendingCall
+		if na != nil {
+			fail = append(fail, na.takePendingTo(b)...)
+		}
+		if nb != nil {
+			fail = append(fail, nb.takePendingTo(a)...)
+		}
+		for _, p := range fail {
+			p.fail(ErrCircuitClosed)
+		}
 		if na != nil {
 			na.notifyLinkDown(b)
 		}
@@ -435,22 +524,28 @@ func (nw *Network) Crash(id SiteID) {
 		return
 	}
 	nw.up[id] = false
-	var fail []*pendingCall
-	for pid, p := range nw.pending {
-		if p.from == id || p.to == id {
-			fail = append(fail, p)
-			delete(nw.pending, pid)
-		}
-	}
+	nw.publishLocked() // before the pending scan; see SetLink
 	n := nw.nodes[id]
 	var peers []SiteID
-	for other := range nw.nodes {
-		if other != id && nw.link[id][other] {
+	others := make([]*Node, 0, len(nw.nodes))
+	for other, on := range nw.nodes {
+		if other == id {
+			continue
+		}
+		others = append(others, on)
+		if nw.link[id][other] {
 			peers = append(peers, other)
 		}
 	}
 	nw.mu.Unlock()
 
+	var fail []*pendingCall
+	if n != nil {
+		fail = append(fail, n.takeAllPending()...)
+	}
+	for _, on := range others {
+		fail = append(fail, on.takePendingTo(id)...)
+	}
 	for _, p := range fail {
 		p.fail(ErrCircuitClosed)
 	}
@@ -475,22 +570,12 @@ func (nw *Network) Restart(id SiteID) {
 		return
 	}
 	nw.up[id] = true
+	nw.publishLocked()
 	n := nw.nodes[id]
 	nw.mu.Unlock()
 	if n != nil {
 		n.runRestart()
 	}
-}
-
-func (nw *Network) takePendingBetweenLocked(a, b SiteID) []*pendingCall {
-	var fail []*pendingCall
-	for id, p := range nw.pending {
-		if (p.from == a && p.to == b) || (p.from == b && p.to == a) {
-			fail = append(fail, p)
-			delete(nw.pending, id)
-		}
-	}
-	return fail
 }
 
 func payloadBytes(p any) int64 {
@@ -546,6 +631,12 @@ type Node struct {
 	onLink    func(peer SiteID)
 	onCrash   func()
 	onRestart func()
+
+	// pendMu guards pending: the request/response exchanges this node
+	// originated that are still in flight. Keeping the registry per-node
+	// keeps circuit teardown scans off the send path of other nodes.
+	pendMu  sync.Mutex
+	pending map[int64]*pendingCall
 
 	inbox chan *envelope
 	quit  chan struct{}
@@ -626,6 +717,51 @@ func (n *Node) runRestart() {
 	}
 }
 
+// registerPending records an in-flight call originated by this node.
+func (n *Node) registerPending(id int64, p *pendingCall) {
+	n.pendMu.Lock()
+	n.pending[id] = p
+	n.pendMu.Unlock()
+}
+
+// takePending removes and returns the in-flight call with the given id,
+// or nil if a circuit teardown already claimed it.
+func (n *Node) takePending(id int64) *pendingCall {
+	n.pendMu.Lock()
+	p := n.pending[id]
+	delete(n.pending, id)
+	n.pendMu.Unlock()
+	return p
+}
+
+// takePendingTo removes and returns all in-flight calls from this node
+// to peer (circuit teardown).
+func (n *Node) takePendingTo(peer SiteID) []*pendingCall {
+	n.pendMu.Lock()
+	var out []*pendingCall
+	for id, p := range n.pending {
+		if p.to == peer {
+			out = append(out, p)
+			delete(n.pending, id)
+		}
+	}
+	n.pendMu.Unlock()
+	return out
+}
+
+// takeAllPending removes and returns every in-flight call from this
+// node (site crash).
+func (n *Node) takeAllPending() []*pendingCall {
+	n.pendMu.Lock()
+	out := make([]*pendingCall, 0, len(n.pending))
+	for id, p := range n.pending {
+		out = append(out, p)
+		delete(n.pending, id)
+	}
+	n.pendMu.Unlock()
+	return out
+}
+
 // Call performs a request/response exchange with site to: exactly two
 // messages on the wire (request, response), or zero when to == n.ID()
 // (a local procedure call, as when "the local site is the CSS, only a
@@ -644,26 +780,37 @@ func (n *Node) Call(to SiteID, method string, payload any) (any, error) {
 	}
 
 	nw := n.nw
-	nw.mu.Lock()
-	if !nw.connectedLocked(n.id, to) {
-		nw.mu.Unlock()
+	view := nw.view()
+	if !view.connected(n.id, to) {
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
 	}
-	dest := nw.nodes[to]
+	dest := view.nodes[to]
 	callID := nw.callSeq.Add(1)
 	p := &pendingCall{from: n.id, to: to, done: make(chan callResult, 1)}
-	nw.pending[callID] = p
+	n.registerPending(callID, p)
+	// Recheck connectivity after registering: teardown publishes its new
+	// view before scanning pending tables, so either we observe the
+	// disconnect here, or the scan observes our registration and fails
+	// it. Without the recheck a call could slip between a teardown's
+	// connectivity flip and its pending scan and hang forever.
+	if !nw.view().connected(n.id, to) {
+		if n.takePending(callID) != nil {
+			return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+		}
+		// The teardown claimed the pending call; it delivers the failure.
+		res := <-p.done
+		return res.value, res.err
+	}
+
 	// A Call is two wire messages: the request and the response.
 	bytes := payloadBytes(payload) + headerWireSize
-	nw.stats.addMsg(method, 2, bytes)
-	nw.stats.chargeCall(2*nw.cost.MsgCPU + bytes*nw.cost.PerKBCPU/1024)
-	nw.mu.Unlock()
+	nw.stats.chargeExchange(method, 2, bytes, 2*nw.cost.MsgCPU+bytes*nw.cost.PerKBCPU/1024, true)
 
 	env := &envelope{kind: kindRequest, from: n.id, method: method, payload: payload, callID: callID}
 	select {
 	case dest.inbox <- env:
 	case <-dest.quit:
-		nw.dropPending(callID)
+		n.takePending(callID)
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
 	}
 
@@ -687,16 +834,13 @@ func (n *Node) Cast(to SiteID, method string, payload any) error {
 		return err
 	}
 	nw := n.nw
-	nw.mu.Lock()
-	if !nw.connectedLocked(n.id, to) {
-		nw.mu.Unlock()
+	view := nw.view()
+	if !view.connected(n.id, to) {
 		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
 	}
-	dest := nw.nodes[to]
+	dest := view.nodes[to]
 	bytes := payloadBytes(payload)
-	nw.stats.addMsg(method, 1, bytes)
-	nw.stats.chargeCast(nw.cost.MsgCPU + bytes*nw.cost.PerKBCPU/1024)
-	nw.mu.Unlock()
+	nw.stats.chargeExchange(method, 1, bytes, nw.cost.MsgCPU+bytes*nw.cost.PerKBCPU/1024, false)
 
 	env := &envelope{kind: kindOneWay, from: n.id, method: method, payload: payload}
 	nw.active.Add(1)
@@ -707,14 +851,6 @@ func (n *Node) Cast(to SiteID, method string, payload any) error {
 		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
 	}
 	return nil
-}
-
-func (nw *Network) dropPending(id int64) *pendingCall {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	p := nw.pending[id]
-	delete(nw.pending, id)
-	return p
 }
 
 // dispatch is the node's kernel network-message loop. One-way messages
@@ -759,16 +895,28 @@ func (n *Node) serve(env *envelope) {
 	} else {
 		v, err = h(env.from, env.payload)
 	}
-	// Deliver the response through the pending registry; if the circuit
-	// closed meanwhile the pending call was already failed and removed,
-	// so the response is dropped, as on a real circuit.
-	p := n.nw.dropPending(env.callID)
+	// Deliver the response through the caller's pending registry; if the
+	// circuit closed meanwhile the pending call was already failed and
+	// removed, so the response is dropped, as on a real circuit.
+	caller := n.nw.Node(env.from)
+	if caller == nil {
+		return
+	}
+	p := caller.takePending(env.callID)
 	if p == nil {
 		return
 	}
 	if !n.nw.Connected(n.id, p.from) {
 		p.fail(ErrCircuitClosed)
 		return
+	}
+	if err == nil {
+		// Data-carrying responses (page transfers) are byte-metered; the
+		// response header was charged with the request.
+		if sz, ok := v.(Sizer); ok {
+			bytes := int64(sz.WireSize())
+			n.nw.stats.chargeResponse(bytes, bytes*n.nw.cost.PerKBCPU/1024)
+		}
 	}
 	p.succeed(v, err)
 }
