@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet locusvet test race invariants bench benchsmoke benchjson ci
+.PHONY: all build vet locusvet test race invariants bench benchsmoke benchjson chaos ci
 
 all: ci
 
@@ -11,7 +11,7 @@ vet:
 	$(GO) vet ./...
 
 # locus-vet is this repository's own analyzer suite (cmd/locus-vet):
-# simclock, uncheckedcall, lockorder, panicdiscipline.
+# simclock, uncheckedcall, lockorder, rawcall, panicdiscipline.
 locusvet:
 	$(GO) run ./cmd/locus-vet ./...
 
@@ -39,4 +39,11 @@ benchsmoke:
 benchjson:
 	$(GO) run ./cmd/locus-bench -json BENCH_locus.json > experiments_output.txt
 
-ci: build vet locusvet test race invariants benchsmoke
+# chaos runs the seeded chaos harness (internal/chaos) on its three
+# pinned seeds with the race detector and the runtime invariant layer
+# both enabled. Any failure prints the seed; rerun a single seed with
+#   go test -run 'TestChaosSeeds/seed=7' -race -tags locusinvariants ./internal/chaos
+chaos:
+	$(GO) test -run TestChaos -race -tags locusinvariants -count=1 ./internal/chaos
+
+ci: build vet locusvet test race invariants benchsmoke chaos

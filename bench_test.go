@@ -464,8 +464,8 @@ func BenchmarkE11_SequentialRemoteScan(b *testing.B) {
 // headline shapes the paper reports.
 func TestExperimentTables(t *testing.T) {
 	tables := bench.All()
-	if len(tables) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(tables))
 	}
 	byID := map[string]*bench.Table{}
 	for _, tb := range tables {
@@ -567,6 +567,28 @@ func TestExperimentTables(t *testing.T) {
 	}
 	if warmReads != 0 {
 		t.Errorf("E11 warm re-read = %d fs.read msgs, want 0 (US cache)", warmReads)
+	}
+
+	// E12: the at-most-once RPC layer absorbs message loss below the
+	// application — zero operation-level retries at every drop rate —
+	// and 5% loss costs well under 2x the lossless message bill.
+	e12 := byID["E12"]
+	if len(e12.Rows) != 3 {
+		t.Fatalf("E12: %d rows, want 3 (drop rates)", len(e12.Rows))
+	}
+	for _, row := range e12.Rows {
+		if row[2] != "0" {
+			t.Errorf("E12 drop=%s: %s operation-level retries leaked past the RPC layer", row[0], row[2])
+		}
+	}
+	lossless, _ := strconv.ParseFloat(e12.Rows[0][1], 64)
+	lossy, _ := strconv.ParseFloat(e12.Rows[2][1], 64)
+	if lossless <= 0 || lossy < lossless || lossy > 2*lossless {
+		t.Errorf("E12 msgs/op %.1f (0%%) -> %.1f (5%%): want modest growth under 2x", lossless, lossy)
+	}
+	dropped, _ := strconv.ParseInt(e12.Rows[2][3], 10, 64)
+	if dropped == 0 {
+		t.Errorf("E12 drop=%s injected no faults; the fault plane never fired", e12.Rows[2][0])
 	}
 }
 

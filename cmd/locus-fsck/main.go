@@ -85,6 +85,17 @@ func main() {
 		log.Fatalf("fsck: %d conflicts remain", len(left))
 	}
 	fmt.Println("fsck: clean")
+
+	// Deep check: cross-site structural invariants (shadow-page leaks,
+	// orphan inodes, dangling entries) plus copy convergence, the same
+	// pass the chaos harness asserts after every run.
+	if findings := c.Fsck(true); len(findings) != 0 {
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+		}
+		log.Fatalf("deep fsck: %d violation(s)", len(findings))
+	}
+	fmt.Println("deep fsck: clean")
 }
 
 func must(err error) {

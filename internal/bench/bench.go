@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -950,9 +951,91 @@ func E11() *Table {
 	return t
 }
 
+// E12 measures what a lossy transport costs the paper's protocols: a
+// remote write+commit loop (US at site 2, the only pack at site 1) run
+// at 0%, 1% and 5% message drop with the fault plane armed throughout.
+// Sequence-numbered retries with callee-side at-most-once dedup turn
+// every loss into bounded retransmission — no operation ever applies
+// twice — and the price shows up as extra messages, op-level retries,
+// and virtual time burned in circuit-reset timeouts.
+func E12() *Table {
+	const iters = 120
+	payload := bytes.Repeat([]byte("x"), 512)
+
+	type outcome struct {
+		d       netsim.Snapshot
+		virtUs  int64
+		retries int
+	}
+	run := func(drop float64) outcome {
+		c := mustCluster(2)
+		defer c.Close()
+		u1 := c.Site(1).Login("u")
+		mustWrite(u1, "/w", []byte("seed"))
+		must(c.Site(1).FS.SetReplication(u1.Cred(), "/w", []SiteID{1}))
+		c.Settle()
+		u2 := c.Site(2).Login("u")
+		// Armed even at drop 0: the zero-rate plane decides nothing and
+		// injects nothing, so that row doubles as the off-position
+		// baseline (same invariant protocolcost_test pins).
+		c.Network().EnableFaults(netsim.FaultConfig{
+			Seed: 12,
+			Rates: netsim.FaultRates{
+				Drop: drop, Dup: drop / 2,
+				Delay: drop, DelayMaxUs: 2000,
+			},
+		})
+		defer c.Network().DisableFaults()
+		before := c.Stats()
+		t0 := c.Network().Clock().NowUs()
+		retries := 0
+		for i := 0; i < iters; i++ {
+			for u2.WriteFile("/w", payload) != nil {
+				retries++
+				if retries > 10*iters {
+					must(fmt.Errorf("E12: drop=%.2f: runaway retries", drop))
+				}
+			}
+		}
+		virt := c.Network().Clock().NowUs() - t0
+		return outcome{d: c.Stats().Sub(before), virtUs: virt, retries: retries}
+	}
+
+	t := &Table{
+		ID:      "E12",
+		Title:   "§5.1 — remote write+commit under message loss (at-most-once retries)",
+		Paper:   "a lost message closes the circuit; protocols recover without applying an operation twice",
+		Headers: []string{"drop rate", "msgs/op", "op retries", "dropped", "duped", "delayed", "resets", "virtual ms"},
+	}
+	var base outcome
+	for _, drop := range []float64{0, 0.01, 0.05} {
+		o := run(drop)
+		if drop == 0 {
+			base = o
+		}
+		t.Rows = append(t.Rows, []string{
+			cell("%.0f%%", drop*100),
+			cell("%.1f", float64(o.d.Msgs)/iters),
+			cell("%d", o.retries),
+			cell("%d", o.d.MsgsDropped),
+			cell("%d", o.d.MsgsDuped),
+			cell("%d", o.d.MsgsDelayed),
+			cell("%d", o.d.CircuitResets),
+			cell("%.1f", float64(o.virtUs)/1000),
+		})
+		if drop == 0.05 {
+			t.Notes = append(t.Notes,
+				cell("5%% loss costs %.2fx the messages and %.1fx the virtual time of the lossless run",
+					float64(o.d.Msgs)/float64(base.d.Msgs),
+					float64(o.virtUs)/float64(base.virtUs)))
+		}
+	}
+	return t
+}
+
 // All returns every experiment in order.
 func All() []*Table {
-	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11()}
+	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12()}
 }
 
 // keep imports referenced in all build configurations

@@ -19,7 +19,7 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
 		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
-		{"E11", E11},
+		{"E11", E11}, {"E12", E12},
 	}
 }
 
@@ -47,6 +47,12 @@ type Result struct {
 	RAPagesSent  int64   `json:"ra_pages_sent"`
 	RAPagesUsed  int64   `json:"ra_pages_used"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Fault-plane counters (nonzero only for experiments that inject
+	// faults, i.e. E12).
+	MsgsDropped   int64 `json:"msgs_dropped"`
+	MsgsDuped     int64 `json:"msgs_duped"`
+	MsgsDelayed   int64 `json:"msgs_delayed"`
+	CircuitResets int64 `json:"circuit_resets"`
 }
 
 // RunWithMetrics runs one experiment and aggregates the final traffic
@@ -70,6 +76,10 @@ func RunWithMetrics(e Experiment) (*Table, Result) {
 		res.CacheInvals += s.CacheInvals
 		res.RAPagesSent += s.RAPagesSent
 		res.RAPagesUsed += s.RAPagesUsed
+		res.MsgsDropped += s.MsgsDropped
+		res.MsgsDuped += s.MsgsDuped
+		res.MsgsDelayed += s.MsgsDelayed
+		res.CircuitResets += s.CircuitResets
 	}
 	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
 		res.CacheHitRate = math.Round(float64(res.CacheHits)/float64(lookups)*1e4) / 1e4

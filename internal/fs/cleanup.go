@@ -51,14 +51,18 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 			// Internal opens hold no remote state; nothing to do.
 		case f.mode == ModeModify:
 			// Updates in progress are lost with the storage site.
+			k.mu.Lock()
 			f.stale = true
 			f.dirty = make(map[storage.PageNo]bool)
+			k.mu.Unlock()
 			rep.ModifyOpensAborted++
 		default: // ModeRead
 			if k.reopenElsewhere(f) {
 				rep.ReadOpensReopened++
 			} else {
+				k.mu.Lock()
 				f.stale = true
+				k.mu.Unlock()
 				rep.ReadOpensLost++
 			}
 		}

@@ -228,7 +228,7 @@ func (f *File) setAttr(req *setAttrReq) error {
 	if f.ss == k.site {
 		_, err = k.handleSetAttr(k.site, req)
 	} else {
-		err = k.node.Cast(f.ss, mSetAttr, req)
+		err = k.cast(f.ss, mSetAttr, req)
 	}
 	if err != nil {
 		return err

@@ -85,7 +85,7 @@ func (f *File) fetchPage(pn storage.PageNo) ([]byte, int64, error) {
 	if incore {
 		// The writer reads its own in-core (shadowed) state at the SS;
 		// uncommitted data never enters the committed-page cache.
-		resp, err := k.node.Call(f.ss, mRead, &readReq{ID: f.id, Page: pn, Incore: true})
+		resp, err := k.call(f.ss, mRead, &readReq{ID: f.id, Page: pn, Incore: true})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -121,7 +121,7 @@ func (f *File) fetchPage(pn storage.PageNo) ([]byte, int64, error) {
 	if f.readahead && cached {
 		req.Readahead = f.raWindow
 	}
-	resp, err := k.node.Call(f.ss, mRead, req)
+	resp, err := k.call(f.ss, mRead, req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -286,7 +286,7 @@ func (f *File) sendWrite(pn storage.PageNo, page []byte, size int64) error {
 		_, err := k.applyWrite(k.site, req)
 		return err
 	}
-	return k.node.Cast(f.ss, mWrite, req)
+	return k.cast(f.ss, mWrite, req)
 }
 
 // applyWrite is the SS side of the write protocol: allocate a shadow
@@ -387,7 +387,7 @@ func (f *File) Truncate(size int64) error {
 	if f.ss == k.site {
 		_, err = k.applyWrite(k.site, req)
 	} else {
-		err = k.node.Cast(f.ss, mWrite, req)
+		err = k.cast(f.ss, mWrite, req)
 	}
 	if err != nil {
 		return err
@@ -426,7 +426,7 @@ func (f *File) commitOrAbort(abort bool) error {
 	if f.ss == k.site {
 		resp, err = k.handleCommit(k.site, req)
 	} else {
-		resp, err = k.node.Call(f.ss, mCommit, req)
+		resp, err = k.call(f.ss, mCommit, req)
 	}
 	if err != nil {
 		return err
@@ -454,7 +454,7 @@ func (f *File) refreshFromSS() {
 		}
 		return
 	}
-	if resp, err := k.node.Call(f.ss, mPullOpen, &pullOpenReq{ID: f.id}); err == nil {
+	if resp, err := k.call(f.ss, mPullOpen, &pullOpenReq{ID: f.id}); err == nil {
 		f.ino = resp.(*pullOpenResp).Ino.Clone()
 	}
 }
@@ -550,11 +550,11 @@ func (k *Kernel) notifyCommit(id storage.FileID, ino *storage.Inode, pages []sto
 	for _, s := range ino.Sites {
 		if !sent[s] && k.inPartition(s) {
 			sent[s] = true
-			k.node.Cast(s, mPropNotify, note) //nolint:errcheck // unreachable peers pull at merge
+			k.cast(s, mPropNotify, note) //nolint:errcheck // unreachable peers pull at merge
 		}
 	}
 	if css, err := k.CSSOf(id.FG); err == nil && !sent[css] {
-		k.node.Cast(css, mPropNotify, note) //nolint:errcheck // see above
+		k.cast(css, mPropNotify, note) //nolint:errcheck // see above
 	}
 	// The committing site applies its own notification locally (updates
 	// CSS knowledge if this site is the CSS; the pull is a no-op since
@@ -572,8 +572,8 @@ func (f *File) Close() error {
 	}
 	k := f.k
 	defer func() {
-		f.closed = true
 		k.mu.Lock()
+		f.closed = true
 		delete(k.openFiles, f)
 		k.mu.Unlock()
 	}()
@@ -594,7 +594,7 @@ func (f *File) Close() error {
 	if f.ss == k.site {
 		_, err = k.handleClose(k.site, req)
 	} else {
-		_, err = k.node.Call(f.ss, mClose, req)
+		_, err = k.call(f.ss, mClose, req)
 	}
 	return err
 }
@@ -657,7 +657,7 @@ func (k *Kernel) handleClose(from SiteID, p any) (any, error) {
 	if css == k.site {
 		return k.handleSSClose(k.site, screq)
 	}
-	if _, err := k.node.Call(css, mSSClose, screq); err != nil {
+	if _, err := k.call(css, mSSClose, screq); err != nil {
 		return nil, nil // CSS unreachable: partition cleanup will fix the lock table
 	}
 	return nil, nil

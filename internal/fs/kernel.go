@@ -233,6 +233,11 @@ type Kernel struct {
 	// openFiles tracks US-side open handles for cleanup on partition
 	// change.
 	openFiles map[*File]bool
+	// inflightOpens counts modify opens this site has requested but not
+	// yet recorded in openFiles, so a lock-table validation probe
+	// (mProbeOpen) arriving between the CSS's grant and our receipt of
+	// the response does not mistake the open for a stale lock.
+	inflightOpens map[storage.FileID]int
 
 	// mail delivers system notification mail (wired by the recon
 	// layer); nil-safe.
@@ -279,14 +284,15 @@ func (k *Kernel) meter() *netsim.Stats { return k.node.Network().Meter() }
 // packs in the configuration (a fully-up network).
 func NewKernel(node *netsim.Node, store *storage.Store, cfg *Config) *Kernel {
 	k := &Kernel{
-		site:        node.ID(),
-		node:        node,
-		store:       store,
-		cfg:         cfg,
-		ssState:     make(map[storage.FileID]*ssServe),
-		cssState:    make(map[storage.FileID]*cssEntry),
-		pendingProp: make(map[storage.FileID]*propTask),
-		openFiles:   make(map[*File]bool),
+		site:          node.ID(),
+		node:          node,
+		store:         store,
+		cfg:           cfg,
+		ssState:       make(map[storage.FileID]*ssServe),
+		cssState:      make(map[storage.FileID]*cssEntry),
+		pendingProp:   make(map[storage.FileID]*propTask),
+		openFiles:     make(map[*File]bool),
+		inflightOpens: make(map[storage.FileID]int),
 	}
 	k.cache = newPageCache(node.Network().Meter())
 	seen := map[SiteID]bool{}
@@ -319,6 +325,7 @@ func (k *Kernel) crashLocal() {
 		f.closed = true
 	}
 	k.openFiles = make(map[*File]bool)
+	k.inflightOpens = make(map[storage.FileID]int)
 	k.ssState = make(map[storage.FileID]*ssServe)
 	k.cssState = make(map[storage.FileID]*cssEntry)
 	k.pendingProp = make(map[storage.FileID]*propTask)

@@ -1,0 +1,119 @@
+package fs
+
+// On-demand lock-table validation. The cleanup procedure of §5.6
+// reclaims synchronization records when the partition changes, but a
+// close whose messages are lost to the network (without any topology
+// change) strands a writer record that no partition protocol will ever
+// examine: the holder is still "up", so CleanupAfterPartitionChange
+// keeps its lock forever and every later open for modification is
+// refused. The validation here applies the paper's lock-table
+// reconstruction idea at the moment it matters: when an open is
+// refused because of a recorded writer, the CSS (or SS) interrogates
+// the recorded holder; if the holder has no live — or in-flight —
+// modify handle for the file, the record is stale and is reclaimed,
+// revoking any serving state left at the storage site.
+
+import (
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// handleProbeOpen answers a lock-table validation probe at the using
+// site: does a live (or in-flight) modify handle for the file exist
+// here? Stale handles do not count — their close sends no messages, so
+// nothing will ever release a lock recorded for them.
+func (k *Kernel) handleProbeOpen(_ SiteID, p any) (any, error) {
+	req := p.(*probeOpenReq)
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	floor := 0
+	if req.SelfProbe {
+		floor = 1 // the probing open's own in-flight record
+	}
+	if k.inflightOpens[req.ID] > floor {
+		return &probeOpenResp{Open: true}, nil
+	}
+	for f := range k.openFiles {
+		if f.id == req.ID && f.mode == ModeModify && !f.closed && !f.stale {
+			return &probeOpenResp{Open: true}, nil
+		}
+	}
+	return &probeOpenResp{Open: false}, nil
+}
+
+// handleRevokeServe discards SS serving state for a writer whose
+// handle the CSS has validated as gone.
+func (k *Kernel) handleRevokeServe(_ SiteID, p any) (any, error) {
+	req := p.(*revokeServeReq)
+	k.revokeServeLocal(req.ID, req.US)
+	return nil, nil
+}
+
+// revokeServeLocal reclaims local serving state held for a vanished
+// writer: uncommitted shadow pages are freed and the writer slot
+// cleared, exactly as handleClose would have done had the close
+// arrived.
+func (k *Kernel) revokeServeLocal(id storage.FileID, us SiteID) {
+	k.mu.Lock()
+	sv := k.ssState[id]
+	var freed []storage.PhysPage
+	if sv != nil && sv.writerUS == us {
+		if sv.incore != nil {
+			for _, pp := range sv.incore.Pages {
+				if pp != storage.PhysPageNil && !sv.committedPages[pp] {
+					freed = append(freed, pp)
+				}
+			}
+		}
+		sv.writerUS = vclock.NoSite
+		sv.incore = nil
+		sv.committedPages = nil
+		sv.dirty = nil
+		if len(sv.readers) == 0 {
+			delete(k.ssState, id)
+		}
+	}
+	k.mu.Unlock()
+	if len(freed) > 0 {
+		if c := k.container(id.FG); c != nil {
+			c.FreePages(freed...)
+		}
+	}
+}
+
+// probeWriterOpen asks the recorded holder whether its modify handle
+// still exists. An unreachable holder counts as still open: we cannot
+// tell a lost close from a slow one, so the lock is kept and the
+// partition protocol decides when the topology actually changes.
+func (k *Kernel) probeWriterOpen(id storage.FileID, holder SiteID, selfProbe bool) bool {
+	req := &probeOpenReq{ID: id, SelfProbe: selfProbe}
+	if holder == k.site {
+		resp, _ := k.handleProbeOpen(k.site, req)
+		return resp.(*probeOpenResp).Open
+	}
+	resp, err := k.call(holder, mProbeOpen, req)
+	if err != nil {
+		return true
+	}
+	return resp.(*probeOpenResp).Open
+}
+
+// writerVanished validates a refused open at the CSS: true when the
+// recorded writer's handle is gone, in which case any serving state at
+// the recorded storage site has been revoked and the caller may
+// reclaim the lock record.
+func (k *Kernel) writerVanished(id storage.FileID, holder, ssHolder SiteID, selfProbe bool) bool {
+	if k.probeWriterOpen(id, holder, selfProbe) {
+		return false
+	}
+	if ssHolder != vclock.NoSite {
+		if ssHolder == k.site {
+			k.revokeServeLocal(id, holder)
+		} else {
+			// Best effort: if the revoke is lost too, the SS validates
+			// the writer itself on the next open (setupServe).
+			k.call(ssHolder, mRevokeServe, &revokeServeReq{ID: id, US: holder}) //nolint:errcheck
+		}
+	}
+	return true
+}

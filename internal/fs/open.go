@@ -24,6 +24,8 @@ func (k *Kernel) registerHandlers() {
 	k.node.Handle(mGetVV, k.handleGetVV)
 	k.node.Handle(mSetAttr, k.handleSetAttr)
 	k.node.Handle(mResolveShip, k.handleResolveShip)
+	k.node.Handle(mProbeOpen, k.handleProbeOpen)
+	k.node.Handle(mRevokeServe, k.handleRevokeServe)
 	k.registerReconHandlers()
 }
 
@@ -62,7 +64,7 @@ func (k *Kernel) buildCSSEntry(id storage.FileID) (*cssEntry, error) {
 		if s == k.site {
 			r = k.localGetVV(id)
 		} else {
-			resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: id})
+			resp, err := k.call(s, mGetVV, &getVVReq{ID: id})
 			if err != nil {
 				continue // unreachable pack: proceed with what we have
 			}
@@ -131,8 +133,24 @@ func (k *Kernel) handleOpen(_ SiteID, p any) (any, error) {
 	k.mu.Lock()
 	if req.Mode == ModeModify {
 		if holder := e.writerUS; holder != vclock.NoSite {
+			ssHolder := e.writerSS
 			k.mu.Unlock()
-			return nil, fmt.Errorf("%w: %v open for modification at site %d", ErrBusy, req.ID, holder)
+			// Before refusing, validate the record: a close lost to the
+			// network (with no partition change to trigger §5.6 cleanup)
+			// strands the writer slot forever otherwise.
+			if !k.writerVanished(req.ID, holder, ssHolder, holder == req.US) {
+				return nil, fmt.Errorf("%w: %v open for modification at site %d", ErrBusy, req.ID, holder)
+			}
+			k.mu.Lock()
+			if e.writerUS == holder {
+				e.writerUS = vclock.NoSite
+				e.writerSS = vclock.NoSite
+			}
+			if h := e.writerUS; h != vclock.NoSite {
+				// Someone else claimed the slot while we validated.
+				k.mu.Unlock()
+				return nil, fmt.Errorf("%w: %v open for modification at site %d", ErrBusy, req.ID, h)
+			}
 		}
 		e.writerUS = req.US
 	}
@@ -213,7 +231,7 @@ func (k *Kernel) handleOpen(_ SiteID, p any) (any, error) {
 			register(k.site)
 			return &openResp{SS: k.site, Ino: ino, ServeReady: true}, nil
 		}
-		resp, err := k.node.Call(cand, mSSOpen, &ssOpenReq{ID: req.ID, Mode: req.Mode, US: req.US, NeedVV: latest})
+		resp, err := k.call(cand, mSSOpen, &ssOpenReq{ID: req.ID, Mode: req.Mode, US: req.US, NeedVV: latest})
 		if err != nil {
 			continue
 		}
@@ -268,6 +286,19 @@ func (k *Kernel) setupServe(id storage.FileID, mode OpenMode, us SiteID) error {
 		return fmt.Errorf("%w: %v", ErrConflict, id)
 	}
 	k.mu.Lock()
+	if mode == ModeModify {
+		if sv := k.ssState[id]; sv != nil && sv.writerUS != vclock.NoSite {
+			holder := sv.writerUS
+			k.mu.Unlock()
+			// Validate before refusing (see lockvalid.go): a lost close
+			// leaves serving state for a writer that no longer exists.
+			if k.probeWriterOpen(id, holder, holder == us) {
+				return fmt.Errorf("%w: %v already being modified", ErrBusy, id)
+			}
+			k.revokeServeLocal(id, holder)
+			k.mu.Lock()
+		}
+	}
 	defer k.mu.Unlock()
 	sv := k.ssState[id]
 	if sv == nil {
@@ -328,13 +359,29 @@ func (k *Kernel) OpenID(id storage.FileID, mode OpenMode) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	if mode == ModeModify {
+		// Mark the open in flight so a lock-table validation probe racing
+		// the CSS's response does not reclaim the grant (lockvalid.go).
+		k.mu.Lock()
+		k.inflightOpens[id]++
+		k.mu.Unlock()
+		defer func() {
+			k.mu.Lock()
+			if k.inflightOpens[id] <= 1 {
+				delete(k.inflightOpens, id)
+			} else {
+				k.inflightOpens[id]--
+			}
+			k.mu.Unlock()
+		}()
+	}
 	var usvv vclock.VV
 	if c := k.container(id.FG); c != nil {
 		if ino, err := c.GetInode(id.Inode); err == nil && !ino.Deleted && !ino.Conflict {
 			usvv = ino.VV
 		}
 	}
-	resp, err := k.node.Call(css, mOpen, &openReq{ID: id, Mode: mode, US: k.site, USVV: usvv})
+	resp, err := k.call(css, mOpen, &openReq{ID: id, Mode: mode, US: k.site, USVV: usvv})
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +432,7 @@ func (k *Kernel) releaseCSSLock(css SiteID, id storage.FileID, mode OpenMode) {
 		k.handleSSClose(k.site, req) //nolint:errcheck // best-effort release
 		return
 	}
-	k.node.Call(css, mSSClose, req) //nolint:errcheck // best-effort release
+	k.call(css, mSSClose, req) //nolint:errcheck // best-effort release
 }
 
 // tryLocalInternal returns a zero-message internal handle when the
@@ -433,7 +480,7 @@ func (k *Kernel) handleCreate(_ SiteID, p any) (any, error) {
 		}
 		ino = r.(*ssCreateResp).Ino
 	} else {
-		r, err := k.node.Call(birth, mSSCreate, screq)
+		r, err := k.call(birth, mSSCreate, screq)
 		if err != nil {
 			return nil, err
 		}
@@ -539,7 +586,7 @@ func (k *Kernel) CreateID(fg storage.FilegroupID, typ storage.FileType, cred *Cr
 	if err != nil {
 		return nil, err
 	}
-	resp, err := k.node.Call(css, mCreate, &createReq{
+	resp, err := k.call(css, mCreate, &createReq{
 		FG: fg, Type: typ, US: k.site, Owner: cred.User, Mode: mode,
 		NCopies: ncopies, ParentSites: parentSites,
 	})

@@ -231,7 +231,7 @@ func (k *Kernel) resolveShipped(cred *Cred, path string) (*Resolved, error) {
 			return nil, err
 		}
 		if css != k.site {
-			resp, err := k.node.Call(css, mResolveShip, &resolveShipReq{
+			resp, err := k.call(css, mResolveShip, &resolveShipReq{
 				Start: cur, StartPath: curPath, Comps: comps[i:], HiddenCtx: cred.HiddenCtx,
 			})
 			if err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrNotDir) {

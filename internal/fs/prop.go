@@ -248,7 +248,7 @@ func (k *Kernel) pullFile(t *propTask) bool {
 		return k.retireReplica(c, t)
 	}
 
-	resp, err := k.node.Call(t.origin, mPullOpen, &pullOpenReq{ID: t.id})
+	resp, err := k.call(t.origin, mPullOpen, &pullOpenReq{ID: t.id})
 	if err != nil {
 		if errors.Is(err, storage.ErrNoInode) || errors.Is(err, ErrNotFound) {
 			// The origin retired its replica before we pulled.
@@ -364,7 +364,7 @@ func (k *Kernel) pullFile(t *propTask) bool {
 		// "when each page arrives, the buffer that contains it is
 		// renamed and sent out to secondary storage" — our rename is a
 		// local WritePage.
-		r, err := k.node.Call(t.origin, mReadPhys, &readPhysReq{FG: t.id.FG, Phys: src.Pages[i]})
+		r, err := k.call(t.origin, mReadPhys, &readPhysReq{FG: t.id.FG, Phys: src.Pages[i]})
 		if err != nil {
 			return fail()
 		}
@@ -408,7 +408,7 @@ func (k *Kernel) retireReplica(c *storage.Container, t *propTask) bool {
 		if !k.inPartition(s) {
 			return false
 		}
-		resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: t.id})
+		resp, err := k.call(s, mGetVV, &getVVReq{ID: t.id})
 		if err != nil {
 			return false
 		}
@@ -477,7 +477,7 @@ func (k *Kernel) CollectGarbage() int {
 					allSeen = false
 					break
 				}
-				resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: id})
+				resp, err := k.call(s, mGetVV, &getVVReq{ID: id})
 				if err != nil {
 					allSeen = false
 					break

@@ -41,6 +41,12 @@ const (
 	mGetVV = "fs.getvv"
 	// mSetAttr is US → SS (one-way): descriptive inode change.
 	mSetAttr = "fs.setattr"
+	// mProbeOpen is CSS/SS → US: lock-table validation (§5.6 applied on
+	// demand) — does the using site still hold a live modify handle?
+	mProbeOpen = "fs.probeopen"
+	// mRevokeServe is CSS → SS: discard serving state for a writer whose
+	// handle is gone (its close was lost to the network).
+	mRevokeServe = "fs.revokeserve"
 )
 
 type openReq struct {
@@ -165,6 +171,29 @@ type ssCloseReq struct {
 	// Sites is the storage-site list at close time (replication may
 	// have changed during the open).
 	Sites []SiteID
+}
+
+type probeOpenReq struct {
+	ID storage.FileID
+	// SelfProbe marks a validation performed on behalf of a new open
+	// from the probed site itself; that open's own in-flight record
+	// must not count as evidence that the recorded holder is alive,
+	// or a site could never reclaim its own stale lock.
+	SelfProbe bool
+}
+
+type probeOpenResp struct {
+	// Open reports a live or in-flight modify handle for the file at
+	// the probed using site.
+	Open bool
+}
+
+type revokeServeReq struct {
+	ID storage.FileID
+	// US is the writer whose serving state is to be discarded; a
+	// revoke for any other writer is ignored (the state was already
+	// reclaimed and possibly re-acquired).
+	US SiteID
 }
 
 type createReq struct {

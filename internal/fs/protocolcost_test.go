@@ -15,7 +15,23 @@ import (
 // close = 4) via Snapshot.Sub, so transport-layer refactors provably
 // change no wire traffic.
 func TestProtocolMessageCostsPinned(t *testing.T) {
+	pinProtocolCosts(t, false)
+}
+
+// TestProtocolCostsUnchangedWithFaultPlaneArmed re-pins the same exact
+// counts with the fault plane constructed but disabled (zero rates, no
+// scripted points): arming the adversary, the at-most-once sequence
+// numbers on every mutating call, and the callee-side dedup tables must
+// add zero wire messages and zero fault events.
+func TestProtocolCostsUnchangedWithFaultPlaneArmed(t *testing.T) {
+	pinProtocolCosts(t, true)
+}
+
+func pinProtocolCosts(t *testing.T, armFaultPlane bool) {
 	c := newCluster(t, 4) // CSS = site 1
+	if armFaultPlane {
+		c.net.EnableFaults(netsim.FaultConfig{Seed: 1})
+	}
 	writeFile(t, c.kernels[3], "/pin", bytes.Repeat([]byte{'p'}, 2*storage.PageSize))
 	// Store the file at sites 3 and 4 only: the CSS (1) holds no copy
 	// and US = 2 is purely a using site.
@@ -43,6 +59,10 @@ func TestProtocolMessageCostsPinned(t *testing.T) {
 			if d.ByMethod[m] != n {
 				t.Errorf("%s: %d %s messages, want %d", what, d.ByMethod[m], m, n)
 			}
+		}
+		if d.MsgsDropped != 0 || d.MsgsDuped != 0 || d.MsgsDelayed != 0 || d.CircuitResets != 0 {
+			t.Errorf("%s: fault counters moved on a fault-free network: dropped=%d duped=%d delayed=%d resets=%d",
+				what, d.MsgsDropped, d.MsgsDuped, d.MsgsDelayed, d.CircuitResets)
 		}
 	}
 

@@ -85,7 +85,7 @@ func (k *Kernel) ListInodesAt(site SiteID, fg storage.FilegroupID) ([]InodeSumma
 	if site == k.site {
 		return k.ListLocalInodes(fg), nil
 	}
-	resp, err := k.node.Call(site, mListInodes, &listInodesReq{FG: fg})
+	resp, err := k.call(site, mListInodes, &listInodesReq{FG: fg})
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func (k *Kernel) FetchCopyFrom(site SiteID, id storage.FileID) (*storage.Inode, 
 			return nil, nil, err
 		}
 	} else {
-		resp, err := k.node.Call(site, mPullOpen, &pullOpenReq{ID: id})
+		resp, err := k.call(site, mPullOpen, &pullOpenReq{ID: id})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -129,7 +129,7 @@ func (k *Kernel) FetchCopyFrom(site SiteID, id storage.FileID) (*storage.Inode, 
 				return nil, nil, err
 			}
 		} else {
-			resp, err := k.node.Call(site, mReadPhys, &readPhysReq{FG: id.FG, Phys: pp})
+			resp, err := k.call(site, mReadPhys, &readPhysReq{FG: id.FG, Phys: pp})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -190,7 +190,7 @@ func (k *Kernel) MarkConflict(id storage.FileID, sites []SiteID) {
 			continue
 		}
 		if k.inPartition(s) {
-			k.node.Cast(s, mMarkConflict, &markConflictReq{ID: id}) //nolint:errcheck // unreachable packs marked at next merge
+			k.cast(s, mMarkConflict, &markConflictReq{ID: id}) //nolint:errcheck // unreachable packs marked at next merge
 		}
 	}
 }
@@ -222,7 +222,7 @@ func (k *Kernel) SchedulePullAt(sites []SiteID, id storage.FileID, vv vclock.VV,
 		if s == k.site {
 			k.applyPropNotify(k.site, note)
 		} else if k.inPartition(s) {
-			k.node.Cast(s, mPropNotify, note) //nolint:errcheck // unreachable sites retry at next merge
+			k.cast(s, mPropNotify, note) //nolint:errcheck // unreachable sites retry at next merge
 		}
 	}
 }
@@ -237,7 +237,7 @@ func (k *Kernel) ProbeSummary(id storage.FileID) (best InodeSummary, conflict, f
 		if s == k.site {
 			r = k.localGetVV(id)
 		} else {
-			resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: id})
+			resp, err := k.call(s, mGetVV, &getVVReq{ID: id})
 			if err != nil {
 				continue
 			}
@@ -271,7 +271,7 @@ func (k *Kernel) ProbeAll(id storage.FileID) map[SiteID]InodeSummary {
 		if s == k.site {
 			r = k.localGetVV(id)
 		} else {
-			resp, err := k.node.Call(s, mGetVV, &getVVReq{ID: id})
+			resp, err := k.call(s, mGetVV, &getVVReq{ID: id})
 			if err != nil {
 				continue
 			}

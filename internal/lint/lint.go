@@ -19,6 +19,10 @@
 //   - panicdiscipline: library code must fail through typed errors or
 //     the internal/lint/invariant assertion layer; a bare panic in a
 //     protocol path takes down the whole simulated network.
+//   - rawcall: internal/fs and internal/proc must reach the transport
+//     through their retrying at-most-once wrappers; a direct Node.Call
+//     bypasses retry and dedup, so under message loss it fails
+//     spuriously or replays a mutation.
 //
 // Findings are suppressed line-by-line with a trailing
 // `//locusvet:allow <analyzer>` comment (uncheckedcall also honors the
@@ -91,6 +95,13 @@ type Config struct {
 	// entire purpose is assertion (panic there is the mechanism, not a
 	// violation).
 	InvariantPackages []string
+	// RawCallWrapped are import-path suffixes of packages that must
+	// reach the transport through their retrying at-most-once wrapper
+	// (rawcall analyzer).
+	RawCallWrapped []string
+	// RawCallTransport are the transport methods counted as raw uses
+	// inside RawCallWrapped packages.
+	RawCallTransport []MethodSpec
 }
 
 // DefaultConfig is the production configuration for this repository.
@@ -106,7 +117,12 @@ func DefaultConfig() *Config {
 		},
 		MustCheck: []MethodSpec{
 			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Call"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "CallSeq"},
 			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Cast"},
+			{PkgSuffix: "internal/fs", Recv: "Kernel", Name: "call"},
+			{PkgSuffix: "internal/fs", Recv: "Kernel", Name: "cast"},
+			{PkgSuffix: "internal/proc", Recv: "Manager", Name: "call"},
+			{PkgSuffix: "internal/proc", Recv: "Manager", Name: "cast"},
 			{PkgSuffix: "internal/storage", Recv: "Container", Name: "CommitInode"},
 			{PkgSuffix: "internal/fs", Recv: "File", Name: "Commit"},
 			{PkgSuffix: "internal/fs", Recv: "File", Name: "Abort"},
@@ -124,6 +140,12 @@ func DefaultConfig() *Config {
 			{PkgSuffix: "internal/netsim", Type: "Stats"},
 		},
 		InvariantPackages: []string{"internal/lint/invariant"},
+		RawCallWrapped:    []string{"internal/fs", "internal/proc"},
+		RawCallTransport: []MethodSpec{
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Call"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "CallSeq"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Cast"},
+		},
 	}
 }
 
@@ -134,6 +156,7 @@ func Analyzers() []*Analyzer {
 		UncheckedCallAnalyzer(),
 		LockOrderAnalyzer(),
 		PanicDisciplineAnalyzer(),
+		RawCallAnalyzer(),
 	}
 }
 

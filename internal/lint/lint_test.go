@@ -12,7 +12,7 @@ import (
 // per `// want "regexp"` comment. They are loaded as extra targets on
 // top of the real module so analyzer behavior is tested against the
 // same whole-program view locus-vet uses.
-var fixtureLeaves = []string{"simclock_f", "unchecked_f", "lockorder_f", "panic_f"}
+var fixtureLeaves = []string{"simclock_f", "unchecked_f", "lockorder_f", "panic_f", "rawcall_f"}
 
 var (
 	progOnce sync.Once
@@ -146,6 +146,19 @@ func TestLockOrderFixture(t *testing.T) {
 		{PkgSuffix: "lockorder_f", Type: "Inner"},
 	}}
 	checkFixture(t, LockOrderAnalyzer(), cfg, "lockorder_f")
+}
+
+func TestRawCallFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{
+		RawCallWrapped: []string{"rawcall_f"},
+		RawCallTransport: []MethodSpec{
+			{PkgSuffix: "rawcall_f", Recv: "Node", Name: "Call"},
+			{PkgSuffix: "rawcall_f", Recv: "Node", Name: "CallSeq"},
+			{PkgSuffix: "rawcall_f", Recv: "Node", Name: "Cast"},
+		},
+	}
+	checkFixture(t, RawCallAnalyzer(), cfg, "rawcall_f")
 }
 
 func TestPanicDisciplineFixture(t *testing.T) {

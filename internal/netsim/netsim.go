@@ -58,6 +58,16 @@ var (
 	ErrNoHandler = errors.New("netsim: no handler for method")
 	// ErrSiteDown reports an operation on a crashed site.
 	ErrSiteDown = errors.New("netsim: site is down")
+	// ErrTimeout reports that a message was lost on the wire and the
+	// circuit reset after the timeout (§5.1: "a lost message closes the
+	// circuit"). Unlike ErrUnreachable the destination may well be up;
+	// the exchange is worth retrying after a backoff.
+	ErrTimeout = errors.New("netsim: timed out (message lost, circuit reset)")
+	// ErrCrashed reports that the destination site is down (crashed),
+	// as opposed to partitioned away. It wraps ErrUnreachable so
+	// existing errors.Is(err, ErrUnreachable) call sites keep treating
+	// it as "no circuit", while retry policy can tell the cases apart.
+	ErrCrashed = fmt.Errorf("%w: site crashed", ErrUnreachable)
 )
 
 // Handler services one inbound message. from is the requesting site.
@@ -121,6 +131,14 @@ type Stats struct {
 	cacheInvals atomic.Int64
 	raSent      atomic.Int64
 	raUsed      atomic.Int64
+
+	// Fault-plane counters: messages lost/duplicated/delayed by
+	// injected faults, and virtual-circuit resets (in-flight exchanges
+	// aborted by teardown or fault timeout).
+	fltDropped atomic.Int64
+	fltDuped   atomic.Int64
+	fltDelayed atomic.Int64
+	resets     atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters at a point in time.
@@ -145,6 +163,15 @@ type Snapshot struct {
 	// reader (readahead efficiency = used/sent).
 	RAPagesSent int64
 	RAPagesUsed int64
+
+	// MsgsDropped/MsgsDuped/MsgsDelayed count messages lost,
+	// duplicated, and delayed by the fault plane; CircuitResets counts
+	// virtual-circuit failures observed by in-flight exchanges
+	// (topology teardown and fault-induced timeouts).
+	MsgsDropped   int64
+	MsgsDuped     int64
+	MsgsDelayed   int64
+	CircuitResets int64
 }
 
 func (s *Stats) snapshot() Snapshot {
@@ -160,6 +187,8 @@ func (s *Stats) snapshot() Snapshot {
 		CacheHits: s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
 		CacheInvals: s.cacheInvals.Load(),
 		RAPagesSent: s.raSent.Load(), RAPagesUsed: s.raUsed.Load(),
+		MsgsDropped: s.fltDropped.Load(), MsgsDuped: s.fltDuped.Load(),
+		MsgsDelayed: s.fltDelayed.Load(), CircuitResets: s.resets.Load(),
 	}
 }
 
@@ -227,6 +256,27 @@ func (s *Stats) AddReadaheadUsed(n int) { s.raUsed.Add(int64(n)) }
 // addDropped counts a message lost to a closed circuit.
 func (s *Stats) addDropped() { s.dropped.Add(1) }
 
+// addFaultDrop counts a message lost to injected loss; the caller's
+// circuit resets after timeoutUs of virtual time.
+func (s *Stats) addFaultDrop(timeoutUs int64) {
+	s.fltDropped.Add(1)
+	s.resets.Add(1)
+	s.tick(timeoutUs)
+}
+
+// addFaultDup counts a duplicated message.
+func (s *Stats) addFaultDup() { s.fltDuped.Add(1) }
+
+// addFaultDelay counts a delayed message and advances virtual time by
+// the injected latency.
+func (s *Stats) addFaultDelay(us int64) {
+	s.fltDelayed.Add(1)
+	s.tick(us)
+}
+
+// addReset counts an in-flight exchange aborted by circuit teardown.
+func (s *Stats) addReset() { s.resets.Add(1) }
+
 // tick advances the simulated clock, when one is attached.
 func (s *Stats) tick(us int64) {
 	if s.clock != nil {
@@ -250,6 +300,8 @@ func (b Snapshot) Sub(a Snapshot) Snapshot {
 		CacheHits: b.CacheHits - a.CacheHits, CacheMisses: b.CacheMisses - a.CacheMisses,
 		CacheInvals: b.CacheInvals - a.CacheInvals,
 		RAPagesSent: b.RAPagesSent - a.RAPagesSent, RAPagesUsed: b.RAPagesUsed - a.RAPagesUsed,
+		MsgsDropped: b.MsgsDropped - a.MsgsDropped, MsgsDuped: b.MsgsDuped - a.MsgsDuped,
+		MsgsDelayed: b.MsgsDelayed - a.MsgsDelayed, CircuitResets: b.CircuitResets - a.CircuitResets,
 	}
 }
 
@@ -299,6 +351,13 @@ type Network struct {
 	// active counts messages enqueued but not yet fully handled, for
 	// Quiesce.
 	active atomic.Int64
+
+	// faults is the installed fault plane; nil (the default) costs one
+	// atomic load per exchange and injects nothing.
+	faults atomic.Pointer[Faults]
+	// dedupOff disables the callee-side at-most-once dedup tables
+	// (chaos regression testing only).
+	dedupOff atomic.Bool
 }
 
 // New creates an empty network with the given cost model.
@@ -372,6 +431,7 @@ func (nw *Network) AddSite(id SiteID) *Node {
 		nw:       nw,
 		handlers: make(map[string]Handler),
 		pending:  make(map[int64]*pendingCall),
+		dedup:    make(map[SiteID]map[int64]*dedupEntry),
 		inbox:    make(chan *envelope, 1024),
 		quit:     make(chan struct{}),
 	}
@@ -471,6 +531,7 @@ func (nw *Network) SetLink(a, b SiteID, up bool) {
 			fail = append(fail, nb.takePendingTo(a)...)
 		}
 		for _, p := range fail {
+			nw.stats.addReset()
 			p.fail(ErrCircuitClosed)
 		}
 		if na != nil {
@@ -547,6 +608,7 @@ func (nw *Network) Crash(id SiteID) {
 		fail = append(fail, on.takePendingTo(id)...)
 	}
 	for _, p := range fail {
+		nw.stats.addReset()
 		p.fail(ErrCircuitClosed)
 	}
 	if n != nil {
@@ -598,6 +660,16 @@ type envelope struct {
 	method  string
 	payload any
 	callID  int64
+	// seq is the caller's at-most-once request sequence number; 0 means
+	// the request is idempotent and exempt from dedup. It rides in the
+	// per-message header allowance (no extra wire bytes).
+	seq int64
+	// action carries a callee-side scripted fault (response drop or
+	// crash-before-reply) decided at send time.
+	action FaultAction
+	// tracked marks a duplicate request delivery counted in
+	// Network.active (no caller blocks on it, so Quiesce must).
+	tracked bool
 }
 
 type pendingCall struct {
@@ -638,9 +710,34 @@ type Node struct {
 	pendMu  sync.Mutex
 	pending map[int64]*pendingCall
 
+	// seqGen issues this node's at-most-once request sequence numbers.
+	seqGen atomic.Int64
+
+	// dedupMu guards the callee-side at-most-once tables: completed (or
+	// in-flight) responses for seq-tagged requests, keyed per caller.
+	// The tables are volatile kernel state — a crash clears them, which
+	// is exactly the paper's model (a rebooted site has no memory of
+	// pre-crash exchanges; reconciliation handles the rest).
+	dedupMu sync.Mutex
+	dedup   map[SiteID]map[int64]*dedupEntry
+
 	inbox chan *envelope
 	quit  chan struct{}
 }
+
+// dedupEntry caches the outcome of one seq-tagged request. A retry that
+// arrives while the original is still executing waits on done rather
+// than re-running the handler.
+type dedupEntry struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// dedupWindow bounds the per-caller dedup table: entries more than this
+// many sequence numbers behind the newest are evicted (the caller's
+// bounded retry budget guarantees it never retries that far back).
+const dedupWindow = 1024
 
 // ID returns the node's site id.
 func (n *Node) ID() SiteID { return n.id }
@@ -700,6 +797,13 @@ func (n *Node) notifyLinkDown(peer SiteID) {
 }
 
 func (n *Node) runCrash() {
+	// The dedup tables are volatile kernel state: a crashed site
+	// forgets every exchange it ever served. Retries of pre-crash
+	// requests re-run after restart, and the reconciliation layer is
+	// what makes that safe (§4).
+	n.dedupMu.Lock()
+	n.dedup = make(map[SiteID]map[int64]*dedupEntry)
+	n.dedupMu.Unlock()
 	n.mu.Lock()
 	f := n.onCrash
 	n.mu.Unlock()
@@ -762,11 +866,35 @@ func (n *Node) takeAllPending() []*pendingCall {
 	return out
 }
 
+// NextSeq issues a fresh at-most-once request sequence number for this
+// node. A retried request reuses the sequence number of its first
+// transmission so the callee's dedup table can recognize it.
+func (n *Node) NextSeq() int64 { return n.seqGen.Add(1) }
+
+// unreachable builds the typed no-circuit error for a destination: a
+// crashed site yields ErrCrashed (retry after it restarts may succeed),
+// a partitioned or unknown one ErrUnreachable.
+func (v *connView) unreachable(from, to SiteID) error {
+	if _, known := v.nodes[to]; known && !v.up[to] {
+		return fmt.Errorf("%w: %d -> %d", ErrCrashed, from, to)
+	}
+	return fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
+}
+
 // Call performs a request/response exchange with site to: exactly two
 // messages on the wire (request, response), or zero when to == n.ID()
 // (a local procedure call, as when "the local site is the CSS, only a
 // procedure call is needed" — §2.3.3).
 func (n *Node) Call(to SiteID, method string, payload any) (any, error) {
+	return n.CallSeq(to, method, payload, 0)
+}
+
+// CallSeq is Call with an at-most-once sequence number. seq != 0 tags a
+// mutating request: the callee caches the response keyed (caller, seq)
+// and a retransmission with the same seq returns the cached response
+// instead of re-running the handler. seq == 0 marks the request
+// idempotent (reads), exempt from dedup.
+func (n *Node) CallSeq(to SiteID, method string, payload any, seq int64) (any, error) {
 	if to == n.id {
 		if !n.nw.Up(n.id) {
 			return nil, ErrSiteDown
@@ -782,9 +910,29 @@ func (n *Node) Call(to SiteID, method string, payload any) (any, error) {
 	nw := n.nw
 	view := nw.view()
 	if !view.connected(n.id, to) {
-		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+		return nil, view.unreachable(n.id, to)
 	}
 	dest := view.nodes[to]
+
+	// Roll the fault plane before committing any accounting. The
+	// decision covers the whole exchange: request loss is resolved
+	// here, callee-side actions ride on the envelope.
+	var dec decision
+	if f := nw.faults.Load(); f != nil {
+		dec = f.decide(n.id, to, method, true)
+		if dec.delayUs > 0 {
+			nw.stats.addFaultDelay(dec.delayUs)
+		}
+		if dec.action == FaultDropRequest {
+			// The request went onto the wire and vanished: one message
+			// charged, circuit resets after the timeout.
+			bytes := payloadBytes(payload)
+			nw.stats.chargeExchange(method, 1, bytes, nw.cost.MsgCPU+bytes*nw.cost.PerKBCPU/1024, true)
+			nw.stats.addFaultDrop(f.timeoutUs())
+			return nil, fmt.Errorf("%w: %s %d -> %d", ErrTimeout, method, n.id, to)
+		}
+	}
+
 	callID := nw.callSeq.Add(1)
 	p := &pendingCall{from: n.id, to: to, done: make(chan callResult, 1)}
 	n.registerPending(callID, p)
@@ -795,7 +943,7 @@ func (n *Node) Call(to SiteID, method string, payload any) (any, error) {
 	// connectivity flip and its pending scan and hang forever.
 	if !nw.view().connected(n.id, to) {
 		if n.takePending(callID) != nil {
-			return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+			return nil, nw.view().unreachable(n.id, to)
 		}
 		// The teardown claimed the pending call; it delivers the failure.
 		res := <-p.done
@@ -806,12 +954,37 @@ func (n *Node) Call(to SiteID, method string, payload any) (any, error) {
 	bytes := payloadBytes(payload) + headerWireSize
 	nw.stats.chargeExchange(method, 2, bytes, 2*nw.cost.MsgCPU+bytes*nw.cost.PerKBCPU/1024, true)
 
-	env := &envelope{kind: kindRequest, from: n.id, method: method, payload: payload, callID: callID}
+	// A duplicated request means two envelopes race to serve and answer;
+	// whichever responds first unblocks the caller, so Quiesce must track
+	// both (the loser's serve can outlive the exchange).
+	env := &envelope{kind: kindRequest, from: n.id, method: method, payload: payload, callID: callID, seq: seq,
+		action: dec.action, tracked: dec.action == FaultDupRequest}
+	if env.tracked {
+		nw.active.Add(1)
+	}
 	select {
 	case dest.inbox <- env:
 	case <-dest.quit:
+		if env.tracked {
+			nw.active.Add(-1)
+		}
 		n.takePending(callID)
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+	}
+	if dec.action == FaultDupRequest {
+		// One extra request message on the wire; the callee sees the
+		// same (seq, callID) twice. Without dedup the handler runs
+		// twice — the hazard the at-most-once table exists to absorb.
+		nw.stats.msgs.Add(1)
+		nw.stats.methCounter(method).Add(1)
+		nw.stats.addFaultDup()
+		dupEnv := *env
+		nw.active.Add(1)
+		select {
+		case dest.inbox <- &dupEnv:
+		case <-dest.quit:
+			nw.active.Add(-1)
+		}
 	}
 
 	res := <-p.done
@@ -836,11 +1009,29 @@ func (n *Node) Cast(to SiteID, method string, payload any) error {
 	nw := n.nw
 	view := nw.view()
 	if !view.connected(n.id, to) {
-		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+		return view.unreachable(n.id, to)
 	}
 	dest := view.nodes[to]
 	bytes := payloadBytes(payload)
 	nw.stats.chargeExchange(method, 1, bytes, nw.cost.MsgCPU+bytes*nw.cost.PerKBCPU/1024, false)
+
+	var dup bool
+	if f := nw.faults.Load(); f != nil {
+		dec := f.decide(n.id, to, method, false)
+		if dec.delayUs > 0 {
+			nw.stats.addFaultDelay(dec.delayUs)
+		}
+		switch dec.action {
+		case FaultDropRequest, FaultDropResponse:
+			// The message is gone. The low-level acknowledgement of
+			// §2.3.5 never arrives, so the sender does learn the
+			// circuit reset and may retransmit.
+			nw.stats.addFaultDrop(f.timeoutUs())
+			return fmt.Errorf("%w: %s %d -> %d", ErrTimeout, method, n.id, to)
+		case FaultDupRequest:
+			dup = true
+		}
+	}
 
 	env := &envelope{kind: kindOneWay, from: n.id, method: method, payload: payload}
 	nw.active.Add(1)
@@ -849,6 +1040,17 @@ func (n *Node) Cast(to SiteID, method string, payload any) error {
 	case <-dest.quit:
 		nw.active.Add(-1)
 		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
+	}
+	if dup {
+		nw.stats.msgs.Add(1)
+		nw.stats.methCounter(method).Add(1)
+		nw.stats.addFaultDup()
+		nw.active.Add(1)
+		select {
+		case dest.inbox <- env:
+		case <-dest.quit:
+			nw.active.Add(-1)
+		}
 	}
 	return nil
 }
@@ -868,7 +1070,7 @@ func (n *Node) dispatch() {
 				// it is lost, and for a request the caller was
 				// already failed by the circuit teardown.
 				n.nw.stats.addDropped()
-				if env.kind == kindOneWay {
+				if env.kind == kindOneWay || env.tracked {
 					n.nw.active.Add(-1)
 				}
 				continue
@@ -880,21 +1082,32 @@ func (n *Node) dispatch() {
 				}
 				n.nw.active.Add(-1)
 			case kindRequest:
-				go n.serve(env)
+				if env.tracked {
+					go func() {
+						defer n.nw.active.Add(-1)
+						n.serve(env)
+					}()
+				} else {
+					go n.serve(env)
+				}
 			}
 		}
 	}
 }
 
 func (n *Node) serve(env *envelope) {
-	h := n.handler(env.method)
-	var v any
-	var err error
-	if h == nil {
-		err = fmt.Errorf("%w: %s at site %d", ErrNoHandler, env.method, n.id)
-	} else {
-		v, err = h(env.from, env.payload)
+	v, err := n.apply(env)
+
+	if env.action == FaultCrashBeforeReply {
+		// Scripted fault: the operation is applied (durably, if the
+		// handler committed) but the callee dies before the response
+		// goes out. Crash teardown fails the caller's pending exchange
+		// with ErrCircuitClosed — the caller cannot know whether the
+		// operation happened, which is the whole point.
+		n.nw.Crash(n.id)
+		return
 	}
+
 	// Deliver the response through the caller's pending registry; if the
 	// circuit closed meanwhile the pending call was already failed and
 	// removed, so the response is dropped, as on a real circuit.
@@ -904,6 +1117,18 @@ func (n *Node) serve(env *envelope) {
 	}
 	p := caller.takePending(env.callID)
 	if p == nil {
+		return
+	}
+	if env.action == FaultDropResponse {
+		// The response went onto the wire and vanished; the caller's
+		// circuit resets after its timeout. The handler ran — a retry
+		// with the same seq is what the dedup table absorbs.
+		timeout := int64(defaultTimeoutUs)
+		if f := n.nw.faults.Load(); f != nil {
+			timeout = f.timeoutUs()
+		}
+		n.nw.stats.addFaultDrop(timeout)
+		p.fail(fmt.Errorf("%w: %s response %d -> %d", ErrTimeout, env.method, n.id, env.from))
 		return
 	}
 	if !n.nw.Connected(n.id, p.from) {
@@ -919,4 +1144,46 @@ func (n *Node) serve(env *envelope) {
 		}
 	}
 	p.succeed(v, err)
+}
+
+// apply runs the handler for a request exactly once per (caller, seq):
+// seq-tagged requests consult the callee-side dedup table, so a
+// retransmission returns the cached outcome of the original execution
+// (at-most-once), and a duplicate arriving mid-execution waits for the
+// original instead of racing it.
+func (n *Node) apply(env *envelope) (any, error) {
+	h := n.handler(env.method)
+	if h == nil {
+		return nil, fmt.Errorf("%w: %s at site %d", ErrNoHandler, env.method, n.id)
+	}
+	if env.seq == 0 || n.nw.dedupOff.Load() {
+		return h(env.from, env.payload)
+	}
+	n.dedupMu.Lock()
+	tbl := n.dedup[env.from]
+	if tbl == nil {
+		tbl = make(map[int64]*dedupEntry)
+		n.dedup[env.from] = tbl
+	}
+	if e, ok := tbl[env.seq]; ok {
+		n.dedupMu.Unlock()
+		<-e.done
+		return e.value, e.err
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	tbl[env.seq] = e
+	if len(tbl) > dedupWindow {
+		// Callers' retry budgets are bounded, so anything this far
+		// behind the newest sequence number can never be retried.
+		floor := env.seq - dedupWindow
+		for s := range tbl {
+			if s < floor {
+				delete(tbl, s)
+			}
+		}
+	}
+	n.dedupMu.Unlock()
+	e.value, e.err = h(env.from, env.payload)
+	close(e.done)
+	return e.value, e.err
 }

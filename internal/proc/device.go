@@ -115,7 +115,7 @@ func (d *DeviceHandle) Read(max int) ([]byte, error) {
 	if d.host == d.m.site {
 		resp, err = d.m.handleDevRead(d.m.site, req)
 	} else {
-		resp, err = d.m.node.Call(d.host, mDevRead, req)
+		resp, err = d.m.call(d.host, mDevRead, req)
 	}
 	if err != nil {
 		return nil, err
@@ -131,7 +131,7 @@ func (d *DeviceHandle) Write(data []byte) (int, error) {
 	if d.host == d.m.site {
 		resp, err = d.m.handleDevWrite(d.m.site, req)
 	} else {
-		resp, err = d.m.node.Call(d.host, mDevWrite, req)
+		resp, err = d.m.call(d.host, mDevWrite, req)
 	}
 	if err != nil {
 		return 0, err

@@ -139,7 +139,7 @@ func (s *fdState) fetchToken() (int64, error) {
 	if s.homeSite == m.site {
 		resp, err = m.handleFDToken(m.site, req)
 	} else {
-		resp, err = m.node.Call(s.homeSite, mFDToken, req)
+		resp, err = m.call(s.homeSite, mFDToken, req)
 	}
 	if err != nil {
 		return 0, err
@@ -167,7 +167,7 @@ func (m *Manager) handleFDToken(_ SiteID, p any) (any, error) {
 		// We hold it locally: release from our fdState.
 		offset = m.yankLocal(req.ID)
 	default:
-		resp, err := m.node.Call(holder, mFDYank, &fdYankReq{ID: req.ID})
+		resp, err := m.call(holder, mFDYank, &fdYankReq{ID: req.ID})
 		if err != nil {
 			// Holder unreachable: the token is lost with it; regenerate
 			// at the requester with the home's last-known offset (0 —

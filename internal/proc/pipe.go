@@ -107,7 +107,7 @@ func (m *Manager) pipeCall(server SiteID, method string, req any) error {
 		}
 		return err
 	}
-	_, err := m.node.Call(server, method, req)
+	_, err := m.call(server, method, req)
 	return err
 }
 
@@ -137,7 +137,7 @@ func (pe *PipeEnd) Read(max int) ([]byte, error) {
 	if pe.server == pe.m.site {
 		resp, err = pe.m.handlePipeRead(pe.m.site, req)
 	} else {
-		resp, err = pe.m.node.Call(pe.server, mPipeRead, req)
+		resp, err = pe.m.call(pe.server, mPipeRead, req)
 	}
 	if err != nil {
 		return nil, err

@@ -316,7 +316,7 @@ func (m *Manager) Run(parent *Process, path string, args []string) (PID, error) 
 		}
 		return r.(*runResp).PID, nil
 	}
-	resp, err := m.node.Call(target, mRun, req)
+	resp, err := m.call(target, mRun, req)
 	if err != nil {
 		// §5.6: "Remote Fork/Exec, remote site fails -> return error to
 		// caller". Application-level failures (no such program, no such
@@ -442,7 +442,7 @@ func (m *Manager) exit(p *Process, st ExitStatus) {
 	// Notify the parent's site so Wait unblocks across machines; a
 	// remotely-parented process has no local waiter, so reap it here.
 	if p.parent != (PID{}) && p.parent.Site != m.site {
-		m.node.Cast(p.parent.Site, mChildExit, &childExitMsg{ //nolint:errcheck // parent site failure handled by its own cleanup
+		m.cast(p.parent.Site, mChildExit, &childExitMsg{ //nolint:errcheck // parent site failure handled by its own cleanup
 			Child: p.pid, Parent: p.parent, Code: st.Code,
 		})
 		m.mu.Lock()
@@ -532,7 +532,7 @@ func (m *Manager) signalInfo(target PID, sig Signal, info string) error {
 		_, err := m.handleSignal(m.site, msg)
 		return err
 	}
-	_, err := m.node.Call(target.Site, mSignal, msg)
+	_, err := m.call(target.Site, mSignal, msg)
 	return err
 }
 

@@ -74,6 +74,22 @@ func (r *Reconciler) mergeDirectories(id storage.FileID, copies []Copy, rep *Rep
 			}
 		}
 
+		// Drop live bindings to files that no longer exist: a stale
+		// directory copy (typically a crashed site's old disk) can carry
+		// a live entry for an inode whose delete has already won
+		// everywhere. Resurrecting or conflict-renaming such a binding
+		// would leave a dangling entry.
+		kept := variants[:0]
+		for _, v := range variants {
+			if !v.entry.Deleted && !r.bindingAlive(storage.FileID{FG: id.FG, Inode: v.entry.Inode}) {
+				continue
+			}
+			kept = append(kept, v)
+		}
+		if variants = kept; len(variants) == 0 {
+			continue
+		}
+
 		// Distinct live inodes under one name → name conflict (rule 1).
 		liveInodes := map[storage.InodeNum]format.DirEntry{}
 		for _, v := range variants {
@@ -124,6 +140,16 @@ func (r *Reconciler) mergeDirectories(id storage.FileID, copies []Copy, rep *Rep
 				result.PutRaw(dead.entry)
 			}
 		case live != nil && dead != nil:
+			if dead.entry.Inode != live.entry.Inode {
+				// The tombstone records the delete of a different file
+				// that once held this name; it says nothing about the
+				// live binding (one partition deleted its file while
+				// another independently created a new one under the same
+				// name). Dropping the live entry here would orphan a
+				// committed inode.
+				result.PutRaw(live.entry)
+				break
+			}
 			// (d): delete in one partition, live in the other.
 			fid := storage.FileID{FG: id.FG, Inode: dead.entry.Inode}
 			if r.modifiedSinceDelete(fid, dead.entry.DelVV) {
@@ -143,6 +169,143 @@ func (r *Reconciler) mergeDirectories(id storage.FileID, copies []Copy, rep *Rep
 	}
 	rep.DirsMerged++
 	return nil
+}
+
+// bindingAlive interrogates a directory entry's target across the
+// partition: the binding is alive when some live copy of the inode is
+// not dominated by a deleted copy (i.e. the deletion will not win the
+// file-level reconciliation).
+func (r *Reconciler) bindingAlive(id storage.FileID) bool {
+	sums := r.k.ProbeAll(id)
+	if len(sums) == 0 {
+		// No reachable pack knows the inode — its storage sites may all
+		// be outside the partition. Keep the binding: dropping it would
+		// lose a file we cannot interrogate.
+		return true
+	}
+	var dels []vclock.VV
+	for _, s := range sums {
+		if s.Deleted {
+			dels = append(dels, s.VV)
+		}
+	}
+	for _, s := range sums {
+		if s.Deleted {
+			continue
+		}
+		dominated := false
+		for _, dv := range dels {
+			if dv.DominatesOrEqual(s.VV) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return true
+		}
+	}
+	return false
+}
+
+// relinkResurrected restores the naming of a file brought back by a
+// delete/update resolution (§4.4: "a file which was deleted in one
+// partition while it was modified in another, wants to be saved"). The
+// file-level resurrect can run after the directory copies have already
+// converged on the tombstone — a stalled propagation may deliver the
+// deleting partition's directory before reconciliation compares the
+// copies — which would leave the saved file as a live inode with no
+// link. This scans the filegroup's directories for the tombstone
+// naming the file and turns it back into a live entry
+// (conflict-renaming it if the name has since been reused), committing
+// the directory with a dominating vector so the relink propagates.
+func (r *Reconciler) relinkResurrected(id storage.FileID) {
+	k := r.k
+	d, ok := k.Config().FG(id.FG)
+	if !ok {
+		return
+	}
+	part := map[SiteID]bool{}
+	for _, s := range k.Partition() {
+		part[s] = true
+	}
+	type tomb struct {
+		dir  storage.FileID
+		name string
+	}
+	var tombs []tomb
+	seen := map[storage.FileID]bool{}
+	for _, p := range d.Packs {
+		if !part[p.Site] {
+			continue
+		}
+		sums, err := k.ListInodesAt(p.Site, id.FG)
+		if err != nil {
+			continue
+		}
+		for _, s := range sums {
+			if s.Deleted || (s.Type != storage.TypeDirectory && s.Type != storage.TypeHiddenDir) {
+				continue
+			}
+			dirID := storage.FileID{FG: id.FG, Inode: s.Num}
+			if seen[dirID] {
+				continue
+			}
+			seen[dirID] = true
+			_, content, err := k.FetchCopyFrom(p.Site, dirID)
+			if err != nil {
+				continue
+			}
+			dir, err := format.DecodeDir(content)
+			if err != nil {
+				continue
+			}
+			for _, e := range dir.Entries {
+				if e.Inode != id.Inode {
+					continue
+				}
+				if !e.Deleted {
+					return // still linked; nothing to repair
+				}
+				tombs = append(tombs, tomb{dir: dirID, name: e.Name})
+			}
+		}
+	}
+	if len(tombs) == 0 {
+		return
+	}
+	sort.Slice(tombs, func(i, j int) bool {
+		if tombs[i].dir != tombs[j].dir {
+			return tombs[i].dir.Inode < tombs[j].dir.Inode
+		}
+		return tombs[i].name < tombs[j].name
+	})
+	t := tombs[0]
+	copies, err := r.fetchCopies(t.dir, r.storesOf(t.dir))
+	if err != nil {
+		return
+	}
+	best := 0
+	for i := 1; i < len(copies); i++ {
+		if copies[i].Inode.VV.Compare(copies[best].Inode.VV) == vclock.Dominates {
+			best = i
+		}
+	}
+	dir, err := format.DecodeDir(copies[best].Content)
+	if err != nil {
+		return
+	}
+	name := t.name
+	if e, ok := dir.LookupAny(name); ok && !e.Deleted && e.Inode != id.Inode {
+		// The name was reused for a different file; bring the saved one
+		// back under a conflict-style altered name and tell the owner.
+		name = fmt.Sprintf("%s!i%d", t.name, id.Inode)
+		r.queueMail(r.ownerOf(id), "locus-recovery",
+			fmt.Sprintf("undone delete of %q in directory %v restored as %q: the name was reused", t.name, t.dir, name))
+	}
+	dir.Insert(name, id.Inode)
+	if err := r.commitMerged(t.dir, copies, format.EncodeDir(dir), copies[best].Inode); err != nil {
+		return
+	}
 }
 
 // modifiedSinceDelete interrogates the file's current state across the

@@ -409,6 +409,11 @@ func (r *Reconciler) resolveConflict(id storage.FileID, stores []SiteID, sums []
 				return err
 			}
 			rep.DeletesUndone++
+			// The directory copies may already agree on the tombstone
+			// (a stalled propagation can deliver the deleting
+			// partition's directory before this comparison ran), in
+			// which case no directory merge will restore the name.
+			r.relinkResurrected(id)
 			return nil
 		}
 	}

@@ -89,7 +89,16 @@ func (r *Reconciler) ResolveKeep(id storage.FileID, winner SiteID) error {
 	if chosen == nil {
 		return fmt.Errorf("recon: site %d holds no copy of %v", winner, id)
 	}
-	return r.commitMerged(id, copies, chosen.Content, chosen.Inode)
+	if err := r.commitMerged(id, copies, chosen.Content, chosen.Inode); err != nil {
+		return err
+	}
+	if !chosen.Inode.Deleted {
+		// If the conflict involved a delete/update race, the surviving
+		// file's directory entry may have converged to the tombstone;
+		// restore the link.
+		r.relinkResurrected(id)
+	}
+	return nil
 }
 
 // ResolveSplit resolves a conflict by materializing every divergent

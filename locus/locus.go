@@ -229,6 +229,20 @@ func (c *Cluster) Network() *netsim.Network { return c.net }
 // Stats returns a snapshot of network traffic and simulated costs.
 func (c *Cluster) Stats() netsim.Snapshot { return c.net.Stats() }
 
+// Fsck runs the deep structural check (page leaks, orphan inodes,
+// dangling directory entries, corrupt directories) across every site's
+// on-disk state. With converged=true — valid only after a full heal,
+// merge, and settle — it additionally requires all copies of every file
+// to agree (equal version vectors, identical content, no unresolved
+// conflict flags). A nil result means clean.
+func (c *Cluster) Fsck(converged bool) []fs.FsckFinding {
+	kernels := make([]*fs.Kernel, 0, len(c.order))
+	for _, id := range c.order {
+		kernels = append(kernels, c.sites[id].FS)
+	}
+	return fs.FsckCluster(kernels, fs.FsckOptions{Converged: converged})
+}
+
 // Settle drains all background propagation until quiescent, returning
 // the number of pulls completed.
 func (c *Cluster) Settle() int {
