@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet locusvet test race invariants bench benchsmoke benchjson chaos ci
+.PHONY: all build vet locusvet test race invariants bench benchsmoke benchjson benchdiff chaos ci
 
 all: ci
 
@@ -39,6 +39,14 @@ benchsmoke:
 benchjson:
 	$(GO) run ./cmd/locus-bench -json BENCH_locus.json > experiments_output.txt
 
+# benchdiff is the perf-regression gate: re-run the full experiment
+# suite and diff the deterministic message/byte counters against the
+# committed BENCH_locus.json, failing on >10% regression in any pinned
+# experiment. Regenerate the baseline with `make benchjson` when a
+# protocol change is intended.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
+
 # chaos runs the seeded chaos harness (internal/chaos) on its three
 # pinned seeds with the race detector and the runtime invariant layer
 # both enabled. Any failure prints the seed; rerun a single seed with
@@ -46,4 +54,4 @@ benchjson:
 chaos:
 	$(GO) test -run TestChaos -race -tags locusinvariants -count=1 ./internal/chaos
 
-ci: build vet locusvet test race invariants benchsmoke chaos
+ci: build vet locusvet test race invariants benchsmoke benchdiff chaos

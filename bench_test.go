@@ -464,8 +464,8 @@ func BenchmarkE11_SequentialRemoteScan(b *testing.B) {
 // headline shapes the paper reports.
 func TestExperimentTables(t *testing.T) {
 	tables := bench.All()
-	if len(tables) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(tables))
 	}
 	byID := map[string]*bench.Table{}
 	for _, tb := range tables {
@@ -589,6 +589,32 @@ func TestExperimentTables(t *testing.T) {
 	dropped, _ := strconv.ParseInt(e12.Rows[2][3], 10, 64)
 	if dropped == 0 {
 		t.Errorf("E12 drop=%s injected no faults; the fault plane never fired", e12.Rows[2][0])
+	}
+
+	// E13: bulk pipelined propagation must bring the 2 stale replicas
+	// of the 32-page file current with ≥4x fewer messages than the
+	// serial per-page pull, and the parallel worker pool must not
+	// change the deterministic message counts.
+	e13 := byID["E13"]
+	if len(e13.Rows) != 3 {
+		t.Fatalf("E13: %d rows, want 3 (regimes)", len(e13.Rows))
+	}
+	serialMsgs, _ := strconv.ParseInt(e13.Rows[0][2], 10, 64)
+	bulkMsgs, _ := strconv.ParseInt(e13.Rows[1][2], 10, 64)
+	parMsgs, _ := strconv.ParseInt(e13.Rows[2][2], 10, 64)
+	if serialMsgs != 2*66 {
+		t.Errorf("E13 serial pull = %d msgs, want 132 (2 replicas x (1+32) exchanges): the ablation no longer reproduces the per-page protocol", serialMsgs)
+	}
+	if parMsgs == 0 || serialMsgs < 4*parMsgs {
+		t.Errorf("E13 bulk+parallel = %d msgs vs serial %d: want >= 4x fewer", parMsgs, serialMsgs)
+	}
+	if bulkMsgs != parMsgs {
+		t.Errorf("E13 parallel drain changed message counts: bulk=%d parallel=%d", bulkMsgs, parMsgs)
+	}
+	serialWins := e13.Rows[0][4]
+	parPages, _ := strconv.ParseInt(e13.Rows[2][5], 10, 64)
+	if serialWins != "0" || parPages != 2*32 {
+		t.Errorf("E13 window counters: serial windows=%s (want 0), parallel pages=%d (want 64)", serialWins, parPages)
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command benchdiff is the perf-regression gate: it re-runs the full
+// experiment suite and diffs the deterministic message and byte
+// counters against the committed BENCH_locus.json baseline, failing
+// when any pinned experiment regresses by more than the tolerance.
+//
+// Only simulated, scheduling-invariant counters are compared (wire
+// messages and wire bytes): they are exact across machines and across
+// the parallel drain pool, so any drift is a real protocol change —
+// either commit a regenerated baseline with the PR that explains it,
+// or fix the regression.
+//
+// Usage:
+//
+//	benchdiff                         # compare against BENCH_locus.json
+//	benchdiff -baseline FILE          # compare against FILE
+//	benchdiff -tolerance 0.10         # allowed relative growth (default 10%)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_locus.json", "committed baseline to diff against")
+	tolerance := flag.Float64("tolerance", 0.10, "maximum allowed relative regression per counter")
+	flag.Parse()
+
+	f, err := os.Open(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	base, err := bench.ReadJSON(f)
+	f.Close() //nolint:errcheck
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+	baseByID := make(map[string]bench.Result, len(base))
+	for _, r := range base {
+		baseByID[r.ID] = r
+	}
+
+	_, current := bench.AllWithMetrics()
+	failures := 0
+	check := func(id, counter string, baseV, curV int64) {
+		if baseV == 0 {
+			if curV != 0 {
+				fmt.Printf("FAIL %-4s %-6s %8d -> %8d (baseline was zero)\n", id, counter, baseV, curV)
+				failures++
+			}
+			return
+		}
+		growth := float64(curV-baseV) / float64(baseV)
+		mark := "ok  "
+		if growth > *tolerance {
+			mark = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-4s %-6s %8d -> %8d (%+.1f%%)\n", mark, id, counter, baseV, curV, growth*100)
+	}
+	for _, cur := range current {
+		b, ok := baseByID[cur.ID]
+		if !ok {
+			// A new experiment has no baseline yet: report, don't fail —
+			// committing the regenerated baseline is part of adding it.
+			fmt.Printf("new  %-4s msgs=%d bytes=%d (no baseline entry)\n", cur.ID, cur.Msgs, cur.Bytes)
+			continue
+		}
+		delete(baseByID, cur.ID)
+		check(cur.ID, "msgs", b.Msgs, cur.Msgs)
+		check(cur.ID, "bytes", b.Bytes, cur.Bytes)
+	}
+	// An experiment present in the baseline but gone from the suite is
+	// a silent loss of coverage: fail so the baseline gets regenerated
+	// deliberately.
+	for id := range baseByID {
+		fmt.Printf("FAIL %-4s missing from current suite (baseline entry orphaned)\n", id)
+		failures++
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d counter(s) regressed beyond %.0f%% (regenerate BENCH_locus.json via `make benchjson` if the change is intended and explained)\n",
+			failures, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d experiments within %.0f%% of baseline\n", len(current), *tolerance*100)
+}

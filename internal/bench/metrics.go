@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 
@@ -19,7 +20,7 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
 		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
-		{"E11", E11}, {"E12", E12},
+		{"E11", E11}, {"E12", E12}, {"E13", E13},
 	}
 }
 
@@ -47,6 +48,10 @@ type Result struct {
 	RAPagesSent  int64   `json:"ra_pages_sent"`
 	RAPagesUsed  int64   `json:"ra_pages_used"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Bulk-propagation counters (nonzero once an experiment's workload
+	// triggers windowed replica pulls).
+	PullWindowsSent int64 `json:"pull_windows_sent"`
+	PullPagesSent   int64 `json:"pull_pages_sent"`
 	// Fault-plane counters (nonzero only for experiments that inject
 	// faults, i.e. E12).
 	MsgsDropped   int64 `json:"msgs_dropped"`
@@ -76,6 +81,8 @@ func RunWithMetrics(e Experiment) (*Table, Result) {
 		res.CacheInvals += s.CacheInvals
 		res.RAPagesSent += s.RAPagesSent
 		res.RAPagesUsed += s.RAPagesUsed
+		res.PullWindowsSent += s.PullWindowsSent
+		res.PullPagesSent += s.PullPagesSent
 		res.MsgsDropped += s.MsgsDropped
 		res.MsgsDuped += s.MsgsDuped
 		res.MsgsDelayed += s.MsgsDelayed
@@ -112,4 +119,16 @@ func WriteJSON(w io.Writer, results []Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(benchFile{Schema: "locus-bench/v1", Results: results})
+}
+
+// ReadJSON parses a BENCH_locus.json baseline written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Result, error) {
+	var f benchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, err
+	}
+	if f.Schema != "locus-bench/v1" {
+		return nil, fmt.Errorf("bench: unknown baseline schema %q", f.Schema)
+	}
+	return f.Results, nil
 }

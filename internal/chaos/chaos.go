@@ -40,6 +40,10 @@ type Config struct {
 	// deliberate regression the harness exists to catch: retried
 	// mutations replay and the invariant checks report the damage.
 	DisableDedup bool
+	// SerialPull disables bulk windowed propagation at every site,
+	// forcing the legacy one-exchange-per-page pull path, so the pinned
+	// seeds exercise both protocol variants under faults.
+	SerialPull bool
 }
 
 func (c *Config) fill() {
@@ -132,6 +136,11 @@ func Run(cfg Config) (*Result, error) {
 	defer c.Close()
 	if cfg.DisableDedup {
 		c.Network().SetDedup(false)
+	}
+	if cfg.SerialPull {
+		for _, id := range c.Sites() {
+			c.Site(id).FS.SetBulkPull(false)
+		}
 	}
 
 	r := &run{

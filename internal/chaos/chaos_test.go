@@ -36,6 +36,27 @@ func TestChaosSeeds(t *testing.T) {
 	}
 }
 
+// TestChaosSerialPullSeeds reruns the fixed seeds with bulk windowed
+// propagation disabled (the SerialPull ablation): the legacy
+// one-exchange-per-page pull path must uphold the same invariants
+// under the same fault schedules. Together with TestChaosSeeds (bulk
+// on by default) this keeps both protocol variants chaos-covered.
+func TestChaosSerialPullSeeds(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		seed := seed
+		t.Run(fmtSeed(seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: seed, SerialPull: true})
+			if err != nil {
+				t.Fatalf("chaos run failed to execute: %v", err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("invariants violated with serial pull:\n%s", res)
+			}
+		})
+	}
+}
+
 // TestChaosExtraSeed lets a failing seed from anywhere (CI, fuzzing, a
 // bug report) be replayed directly:
 //

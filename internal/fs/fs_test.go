@@ -332,10 +332,14 @@ func TestPageLevelPropagation(t *testing.T) {
 	before := c.net.Stats()
 	c.settle(t)
 	d := c.net.Stats().Sub(before)
-	// The pull should read ~1 page, not 3 (pullopen + 1 readphys = 2
-	// calls = 4 messages).
-	if d.ByMethod["fs.readphys"] != 2 {
-		t.Fatalf("page-level propagation read %d phys messages, want 2 (1 call): %v", d.ByMethod["fs.readphys"], d.ByMethod)
+	// The pull should transfer ~1 page, not 3. With bulk pull the one
+	// modified page rides the fs.pullopen piggyback window, so the
+	// whole pull is a single exchange and no separate page reads occur.
+	if d.ByMethod["fs.readphys"] != 0 || d.ByMethod["fs.pullpages"] != 0 {
+		t.Fatalf("page-level propagation used separate page reads, want piggyback only: %v", d.ByMethod)
+	}
+	if d.PullPagesSent != 1 {
+		t.Fatalf("page-level propagation transferred %d pages, want 1 (only the modified page): %v", d.PullPagesSent, d.ByMethod)
 	}
 	got := readFile(t, c.kernels[2], "/f")
 	want := append(append(bytes.Repeat([]byte{'a'}, storage.PageSize),

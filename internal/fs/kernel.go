@@ -204,6 +204,14 @@ type propTask struct {
 	// §2.2.1).
 	drop  bool
 	sites []SiteID
+	// staged maps origin physical page -> local shadow page already
+	// transferred for the source version stagedVV. A pull that fails
+	// mid-transfer parks its windows here so the retry resumes without
+	// re-sending them; the pages become durable when the final
+	// CommitInode references them, and are freed when the task dies or
+	// the source version moves on. Guarded by Kernel.mu.
+	staged   map[storage.PhysPage]storage.PhysPage
+	stagedVV vclock.VV
 }
 
 // Kernel is the filesystem half of one site's operating system.
@@ -250,8 +258,13 @@ type Kernel struct {
 	// enabled, as in LOCUS).
 	noOpenOpt     bool // disable the §2.3.3 US-is-SS / CSS-is-SS shortcuts
 	noLocalSearch bool // disable the §2.3.4 local unsynchronized search
+	noBulkPull    bool // disable the windowed fs.pullpages propagation protocol
 	// pathShip enables the §2.3.4 "ship partial pathnames" strategy.
 	pathShip bool
+	// propWorkers bounds the parallel pull-worker pool DrainPropagation
+	// runs; pulls are partitioned by (origin, filegroup) so distinct
+	// origins overlap while per-file ordering is preserved.
+	propWorkers int
 }
 
 // SetOpenOptimizations enables/disables the two §2.3.3 open-protocol
@@ -267,6 +280,28 @@ func (k *Kernel) SetOpenOptimizations(on bool) {
 func (k *Kernel) SetLocalSearchFastPath(on bool) {
 	k.mu.Lock()
 	k.noLocalSearch = !on
+	k.mu.Unlock()
+}
+
+// SetBulkPull enables/disables the windowed bulk-pull propagation
+// protocol (ablation benchmarks; enabled by default). Disabled,
+// pullFile pays the original one-fs.readphys-exchange-per-page cost,
+// so the old protocol economics stay pinnable.
+func (k *Kernel) SetBulkPull(on bool) {
+	k.mu.Lock()
+	k.noBulkPull = !on
+	k.mu.Unlock()
+}
+
+// SetPropagationWorkers bounds the parallel pull-worker pool used by
+// DrainPropagation (n < 1 means serial). The default is
+// defaultPropWorkers.
+func (k *Kernel) SetPropagationWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	k.mu.Lock()
+	k.propWorkers = n
 	k.mu.Unlock()
 }
 
@@ -293,6 +328,7 @@ func NewKernel(node *netsim.Node, store *storage.Store, cfg *Config) *Kernel {
 		pendingProp:   make(map[storage.FileID]*propTask),
 		openFiles:     make(map[*File]bool),
 		inflightOpens: make(map[storage.FileID]int),
+		propWorkers:   defaultPropWorkers,
 	}
 	k.cache = newPageCache(node.Network().Meter())
 	seen := map[SiteID]bool{}
@@ -328,6 +364,15 @@ func (k *Kernel) crashLocal() {
 	k.inflightOpens = make(map[storage.FileID]int)
 	k.ssState = make(map[storage.FileID]*ssServe)
 	k.cssState = make(map[storage.FileID]*cssEntry)
+	// Shadow pages staged by interrupted pulls are durable but
+	// unreferenced; reclaim them the way a reboot-time fsck would, or
+	// they leak when the queue state dies with the crash.
+	for _, t := range k.pendingProp {
+		k.freeStagedLocked(t)
+	}
+	for _, t := range k.stalledProp {
+		k.freeStagedLocked(t)
+	}
 	k.pendingProp = make(map[storage.FileID]*propTask)
 	k.propQueue = nil
 	k.stalledProp = nil

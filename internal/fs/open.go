@@ -21,6 +21,7 @@ func (k *Kernel) registerHandlers() {
 	k.node.Handle(mPropNotify, k.handlePropNotify)
 	k.node.Handle(mPullOpen, k.handlePullOpen)
 	k.node.Handle(mReadPhys, k.handleReadPhys)
+	k.node.Handle(mPullPages, k.handlePullPages)
 	k.node.Handle(mGetVV, k.handleGetVV)
 	k.node.Handle(mSetAttr, k.handleSetAttr)
 	k.node.Handle(mResolveShip, k.handleResolveShip)

@@ -3,12 +3,19 @@ package fs
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lint/invariant"
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
+
+// defaultPropWorkers is the default size of the parallel pull-worker
+// pool DrainPropagation runs (tunable via SetPropagationWorkers).
+const defaultPropWorkers = 4
 
 // handlePropNotify receives the one-way commit notification (§2.3.6).
 func (k *Kernel) handlePropNotify(from SiteID, p any) (any, error) {
@@ -113,60 +120,112 @@ func (k *Kernel) PendingPropagations() int {
 // unreachable, version raced ahead) stay queued for a later drain —
 // the local copy remains a coherent, complete, albeit old version
 // (§2.3.6).
+//
+// Pulls are serviced by a bounded worker pool, partitioned by
+// (origin, filegroup): pulls from distinct origins overlap, while
+// tasks sharing an origin and filegroup keep their queue order on one
+// worker — so per-file snapshot/evolved-task bookkeeping never runs
+// concurrently with itself. All workers join before the call returns,
+// which is what keeps Settle/Quiesce deterministic.
 func (k *Kernel) DrainPropagation() int {
-	done := 0
+	type job struct {
+		id   storage.FileID
+		live *propTask
+		snap *propTask
+	}
+	// Dequeue up to the current queue length and snapshot each task: a
+	// late notification may fold newer state into a queued task while
+	// its pull runs, and items requeued during this drain (retries)
+	// wait for the next drain, so one call always terminates.
 	k.mu.Lock()
-	budget := len(k.propQueue)
-	k.mu.Unlock()
-	// Items requeued during this drain (retries) wait for the next
-	// drain, so one call always terminates.
-	for i := 0; i < budget; i++ {
-		k.mu.Lock()
-		if len(k.propQueue) == 0 {
-			k.mu.Unlock()
-			return done
-		}
+	workers := k.propWorkers
+	var jobs []job
+	for budget := len(k.propQueue); budget > 0 && len(k.propQueue) > 0; budget-- {
 		id := k.propQueue[0]
 		k.propQueue = k.propQueue[1:]
 		t := k.pendingProp[id]
-		var snap *propTask
-		if t != nil {
-			// Pull from a snapshot: a late notification may fold newer
-			// state into the queued task while the pull runs.
-			snap = &propTask{
-				id: t.id, vv: t.vv.Copy(), origin: t.origin,
-				pages: append([]storage.PageNo(nil), t.pages...),
-				drop:  t.drop, sites: append([]SiteID(nil), t.sites...),
-			}
-			if t.pages == nil {
-				snap.pages = nil
-			}
-		}
-		k.mu.Unlock()
-		if snap == nil {
+		if t == nil {
 			continue
 		}
-		ok := k.pullFile(snap)
-		k.mu.Lock()
-		cur := k.pendingProp[id]
-		if cur == t {
-			evolved := !cur.vv.Equal(snap.vv) || cur.drop != snap.drop
-			switch {
-			case ok && !evolved:
-				delete(k.pendingProp, id)
-				done++
-			case !ok && !k.inPartitionLocked(snap.origin):
-				// Origin gone: keep the task but stop spinning; a merge
-				// or fresh notification requeues it.
-				delete(k.pendingProp, id)
-				k.stalledProp = append(k.stalledProp, t)
-			default:
-				k.propQueue = append(k.propQueue, id)
-			}
+		snap := &propTask{
+			id: t.id, vv: t.vv.Copy(), origin: t.origin,
+			pages: append([]storage.PageNo(nil), t.pages...),
+			drop:  t.drop, sites: append([]SiteID(nil), t.sites...),
 		}
-		k.mu.Unlock()
+		if t.pages == nil {
+			snap.pages = nil
+		}
+		jobs = append(jobs, job{id: id, live: t, snap: snap})
 	}
-	return done
+	k.mu.Unlock()
+	if len(jobs) == 0 {
+		return 0
+	}
+
+	// Partition into lanes by (origin, filegroup), preserving queue
+	// order within each lane.
+	type laneKey struct {
+		origin SiteID
+		fg     storage.FilegroupID
+	}
+	var order []laneKey
+	lanes := make(map[laneKey][]job)
+	for _, j := range jobs {
+		lk := laneKey{origin: j.snap.origin, fg: j.id.FG}
+		if _, ok := lanes[lk]; !ok {
+			order = append(order, lk)
+		}
+		lanes[lk] = append(lanes[lk], j)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+
+	var done atomic.Int64
+	runLane := func(lk laneKey) {
+		for _, j := range lanes[lk] {
+			ok := k.pullFile(j.snap)
+			k.mu.Lock()
+			cur := k.pendingProp[j.id]
+			if cur == j.live {
+				evolved := !cur.vv.Equal(j.snap.vv) || cur.drop != j.snap.drop
+				switch {
+				case ok && !evolved:
+					delete(k.pendingProp, j.id)
+					done.Add(1)
+				case !ok && !k.inPartitionLocked(j.snap.origin):
+					// Origin gone: keep the task but stop spinning; a merge
+					// or fresh notification requeues it.
+					delete(k.pendingProp, j.id)
+					k.stalledProp = append(k.stalledProp, j.live)
+				default:
+					k.propQueue = append(k.propQueue, j.id)
+				}
+			}
+			k.mu.Unlock()
+		}
+	}
+
+	laneCh := make(chan laneKey)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lk := range laneCh {
+				runLane(lk)
+			}
+		}()
+	}
+	for _, lk := range order {
+		laneCh <- lk
+	}
+	close(laneCh)
+	wg.Wait()
+	return int(done.Load())
 }
 
 // DebugPendingPropagations describes the queued tasks (test diagnostics).
@@ -184,8 +243,11 @@ func (k *Kernel) DebugPendingPropagations() string {
 // (§2.3.6: "A queue of propagation requests is kept by the kernel at
 // each site and a kernel process services the queue"), draining the
 // queue every interval until StopPropagationDaemon or site crash.
-// Deterministic tests and benchmarks use DrainPropagation directly
-// instead.
+// The interval is measured on the simulated clock, so a daemon never
+// couples test or benchmark behavior to wall-clock scheduling; the
+// clock keeps advancing during idle waits via Backoff's charged
+// sleeps. Deterministic tests and benchmarks use DrainPropagation
+// directly instead.
 func (k *Kernel) StartPropagationDaemon(interval time.Duration) {
 	k.mu.Lock()
 	if k.propStop != nil {
@@ -195,16 +257,28 @@ func (k *Kernel) StartPropagationDaemon(interval time.Duration) {
 	stop := make(chan struct{})
 	k.propStop = stop
 	k.mu.Unlock()
+	clk := k.node.Network().Clock()
+	ivUs := int64(interval / time.Microsecond)
+	if ivUs < 1 {
+		ivUs = 1
+	}
 	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
 		for {
+			next := clk.NowUs() + ivUs
+			for attempt := 0; clk.NowUs() < next; attempt++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				clk.Backoff(attempt)
+			}
 			select {
 			case <-stop:
 				return
-			case <-t.C:
-				k.DrainPropagation()
+			default:
 			}
+			k.DrainPropagation()
 		}
 	}()
 }
@@ -229,16 +303,107 @@ func (k *Kernel) RequeueStalledPropagations() {
 		if k.pendingProp[t.id] == nil {
 			k.pendingProp[t.id] = t
 			k.propQueue = append(k.propQueue, t.id)
+		} else {
+			// A fresh task superseded the stalled one; its resume state
+			// belongs to no pull anymore.
+			k.freeStagedLocked(t)
 		}
 	}
 	k.stalledProp = nil
 }
 
+// freeStagedLocked releases a task's staged resume pages. Caller holds
+// k.mu. Staged pages are never referenced by a committed inode (the
+// commit that would reference them clears the map first), so freeing
+// is always safe.
+func (k *Kernel) freeStagedLocked(t *propTask) {
+	if t == nil || len(t.staged) == 0 {
+		return
+	}
+	if c := k.container(t.id.FG); c != nil {
+		for _, pp := range t.staged {
+			c.FreePages(pp)
+		}
+	}
+	t.staged, t.stagedVV = nil, nil
+}
+
+// dropStaged discards the live task's resume state for id; free also
+// releases the pages (every path except the commit that just made them
+// referenced).
+func (k *Kernel) dropStaged(id storage.FileID, free bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t := k.pendingProp[id]
+	if t == nil {
+		return
+	}
+	if free {
+		k.freeStagedLocked(t)
+	} else {
+		t.staged, t.stagedVV = nil, nil
+	}
+}
+
+// stagedFor returns a copy of the resume state usable for a pull of
+// source version vv: origin-phys -> local-phys transfers parked by an
+// earlier interrupted attempt. Staged pages for any other version are
+// stale — origin physical page ids are only meaningful within one
+// committed snapshot — and are freed on the spot.
+func (k *Kernel) stagedFor(id storage.FileID, vv vclock.VV) map[storage.PhysPage]storage.PhysPage {
+	k.mu.Lock()
+	t := k.pendingProp[id]
+	if t == nil || len(t.staged) == 0 {
+		k.mu.Unlock()
+		return nil
+	}
+	if !t.stagedVV.Equal(vv) {
+		k.freeStagedLocked(t)
+		k.mu.Unlock()
+		return nil
+	}
+	out := make(map[storage.PhysPage]storage.PhysPage, len(t.staged))
+	for from, to := range t.staged {
+		out[from] = to
+	}
+	k.mu.Unlock()
+	return out
+}
+
+// recordStaged parks one transferred page (origin phys from -> local
+// shadow page to) in the live task so an interrupted pull resumes
+// without re-sending it. If the task is gone (site crashed, task
+// superseded) the page is freed immediately: nothing references it.
+func (k *Kernel) recordStaged(id storage.FileID, vv vclock.VV, from, to storage.PhysPage, c *storage.Container) {
+	k.mu.Lock()
+	t := k.pendingProp[id]
+	if t == nil {
+		k.mu.Unlock()
+		c.FreePages(to)
+		return
+	}
+	if !t.stagedVV.Equal(vv) {
+		k.freeStagedLocked(t)
+	}
+	if t.staged == nil {
+		t.staged = make(map[storage.PhysPage]storage.PhysPage)
+		t.stagedVV = vv.Copy()
+	}
+	t.staged[from] = to
+	k.mu.Unlock()
+}
+
 // pullFile propagates one file in from its origin: an internal open of
-// the committed snapshot at the origin, standard reads of the missing
+// the committed snapshot at the origin, transfers of the missing
 // pages, and a normal local commit — so a failure mid-pull leaves the
 // old coherent copy (§2.3.6: "this propagation-in procedure uses the
 // standard commit mechanism").
+//
+// With bulk pull enabled (the default), the open piggybacks the first
+// window of data pages and the rest arrive PullWindow pages per
+// fs.pullpages exchange, so a pull of K pages costs 1+⌈(K−W)/W⌉ round
+// trips instead of 1+K. Transferred pages are staged on the live task
+// as they land: an interrupted pull resumes without re-sending them.
 func (k *Kernel) pullFile(t *propTask) bool {
 	c := k.container(t.id.FG)
 	if c == nil {
@@ -248,7 +413,22 @@ func (k *Kernel) pullFile(t *propTask) bool {
 		return k.retireReplica(c, t)
 	}
 
-	resp, err := k.call(t.origin, mPullOpen, &pullOpenReq{ID: t.id})
+	k.mu.Lock()
+	bulk := !k.noBulkPull
+	resuming := false
+	if live := k.pendingProp[t.id]; live != nil && len(live.staged) > 0 {
+		resuming = true
+	}
+	k.mu.Unlock()
+
+	req := &pullOpenReq{ID: t.id}
+	if bulk && !resuming {
+		req.Window = PullWindow
+		if t.pages != nil && c.HasInode(t.id.Inode) {
+			req.Need = uniquePages(t.pages)
+		}
+	}
+	resp, err := k.call(t.origin, mPullOpen, req)
 	if err != nil {
 		if errors.Is(err, storage.ErrNoInode) || errors.Is(err, ErrNotFound) {
 			// The origin retired its replica before we pulled.
@@ -257,9 +437,11 @@ func (k *Kernel) pullFile(t *propTask) bool {
 			// site and never stored it).
 			best, _, found := k.ProbeSummary(t.id)
 			if !found {
+				k.dropStaged(t.id, true)
 				return true
 			}
 			if !containsSite(best.Sites, k.site) && !c.HasInode(t.id.Inode) {
+				k.dropStaged(t.id, true)
 				return true
 			}
 			if best.Site != t.origin && best.Site != k.site {
@@ -270,13 +452,17 @@ func (k *Kernel) pullFile(t *propTask) bool {
 				k.mu.Lock()
 				if live := k.pendingProp[t.id]; live != nil && live.origin == old {
 					live.origin = best.Site
+					// Staged pages are keyed by the old origin's physical
+					// page ids; they mean nothing at the new origin.
+					k.freeStagedLocked(live)
 				}
 				k.mu.Unlock()
 			}
 		}
 		return false
 	}
-	src := resp.(*pullOpenResp).Ino
+	por := resp.(*pullOpenResp)
+	src := por.Ino
 	if src == nil {
 		return false
 	}
@@ -285,11 +471,13 @@ func (k *Kernel) pullFile(t *propTask) bool {
 	// list; if we hold a copy but fell off the list, retire instead.
 	if !containsSite(src.Sites, k.site) {
 		if !c.HasInode(t.id.Inode) {
+			k.dropStaged(t.id, true)
 			return true
 		}
 		t.drop = true
 		t.sites = append([]SiteID(nil), src.Sites...)
 		t.vv = src.VV.Copy()
+		k.dropStaged(t.id, true)
 		return k.retireReplica(c, t)
 	}
 
@@ -301,6 +489,7 @@ func (k *Kernel) pullFile(t *propTask) bool {
 		}
 		switch src.VV.Compare(local.VV) {
 		case vclock.Equal, vclock.Dominated:
+			k.dropStaged(t.id, true)
 			return true // already current
 		case vclock.Concurrent:
 			// Divergent copies: this is a merge-time conflict; mark the
@@ -310,6 +499,7 @@ func (k *Kernel) pullFile(t *propTask) bool {
 			if err := c.CommitInode(local); err != nil {
 				return false
 			}
+			k.dropStaged(t.id, true)
 			return true
 		}
 	}
@@ -329,6 +519,7 @@ func (k *Kernel) pullFile(t *propTask) bool {
 		if err := c.CommitInode(tomb); err != nil {
 			return false
 		}
+		k.dropStaged(t.id, true)
 		return true
 	}
 
@@ -342,53 +533,126 @@ func (k *Kernel) pullFile(t *propTask) bool {
 			need[pn] = true
 		}
 	}
+	// Resume state from earlier interrupted attempts at this exact
+	// source version, plus the window piggybacked on the open.
+	staged := k.stagedFor(t.id, src.VV)
+	prefetched := make(map[storage.PhysPage][]byte, len(por.First))
+	for i, pp := range por.FirstPhys {
+		if i < len(por.First) {
+			prefetched[pp] = por.First[i]
+		}
+	}
+
 	newIno := src.Clone()
 	newIno.Pages = make([]storage.PhysPage, len(src.Pages))
-	var newPages []storage.PhysPage
-	fail := func() bool {
-		c.FreePages(newPages...)
-		return false
+	// install renames one arrived page to local secondary storage
+	// ("when each page arrives, the buffer that contains it is renamed
+	// and sent out to secondary storage") and stages it for resume.
+	install := func(i int, data []byte) bool {
+		pp, err := c.WritePage(data)
+		if err != nil {
+			return false
+		}
+		newIno.Pages[i] = pp
+		k.recordStaged(t.id, src.VV, src.Pages[i], pp, c)
+		return true
 	}
+	var fetch []int // logical page indexes still to transfer
 	for i := range src.Pages {
 		pn := storage.PageNo(i)
-		if src.Pages[i] == storage.PhysPageNil {
+		switch {
+		case src.Pages[i] == storage.PhysPageNil:
 			newIno.Pages[i] = storage.PhysPageNil
-			continue
-		}
-		if !pullAll && !need[pn] && local != nil && i < len(local.Pages) && local.Pages[i] != storage.PhysPageNil {
+		case !pullAll && !need[pn] && local != nil && i < len(local.Pages) && local.Pages[i] != storage.PhysPageNil:
 			// Unchanged page: keep the local physical page.
 			newIno.Pages[i] = local.Pages[i]
-			continue
+		case staged[src.Pages[i]] != storage.PhysPageNil:
+			// Already transferred by an interrupted attempt.
+			newIno.Pages[i] = staged[src.Pages[i]]
+		default:
+			if data, ok := prefetched[src.Pages[i]]; ok {
+				if !install(i, data) {
+					return false
+				}
+				continue
+			}
+			fetch = append(fetch, i)
 		}
-		// Read the immutable physical page from the origin snapshot;
-		// "when each page arrives, the buffer that contains it is
-		// renamed and sent out to secondary storage" — our rename is a
-		// local WritePage.
-		r, err := k.call(t.origin, mReadPhys, &readPhysReq{FG: t.id.FG, Phys: src.Pages[i]})
-		if err != nil {
-			return fail()
+	}
+
+	if bulk {
+		// Windowed transfer: up to PullWindow pages per exchange.
+		for len(fetch) > 0 {
+			w := len(fetch)
+			if w > PullWindow {
+				w = PullWindow
+			}
+			win := fetch[:w]
+			fetch = fetch[w:]
+			preq := &pullPagesReq{FG: t.id.FG, Phys: make([]storage.PhysPage, 0, w)}
+			for _, i := range win {
+				preq.Phys = append(preq.Phys, src.Pages[i])
+			}
+			r, err := k.call(t.origin, mPullPages, preq)
+			if err != nil {
+				return false
+			}
+			pr, ok := r.(*pullPagesResp)
+			if !ok || len(pr.Pages) != len(win) {
+				return false
+			}
+			for j, i := range win {
+				if pr.Pages[j] == nil || !install(i, pr.Pages[j]) {
+					return false
+				}
+			}
 		}
-		rp, ok := r.(*readResp)
-		if !ok || rp.Data == nil {
-			return fail()
+	} else {
+		for _, i := range fetch {
+			// Read the immutable physical page from the origin snapshot,
+			// one two-message exchange per page (the pre-bulk protocol,
+			// kept pinnable behind SetBulkPull).
+			r, err := k.call(t.origin, mReadPhys, &readPhysReq{FG: t.id.FG, Phys: src.Pages[i]})
+			if err != nil {
+				return false
+			}
+			rp, ok := r.(*readResp)
+			if !ok || rp.Data == nil {
+				return false
+			}
+			if !install(i, rp.Data) {
+				return false
+			}
 		}
-		pp, err := c.WritePage(rp.Data)
-		if err != nil {
-			return fail()
-		}
-		newPages = append(newPages, pp)
-		newIno.Pages[i] = pp
 	}
 	if err := c.CommitInode(newIno); err != nil {
-		return fail()
+		return false
 	}
+	// The commit made the staged pages referenced; clear the resume
+	// state without freeing them.
+	k.dropStaged(t.id, false)
 	return true
+}
+
+// uniquePages returns the sorted distinct page numbers of pns.
+func uniquePages(pns []storage.PageNo) []storage.PageNo {
+	seen := make(map[storage.PageNo]bool, len(pns))
+	out := make([]storage.PageNo, 0, len(pns))
+	for _, pn := range pns {
+		if !seen[pn] {
+			seen[pn] = true
+			out = append(out, pn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // retireReplica drops this pack's copy of a file that moved away, but
 // only after confirming every site in the new storage list holds the
 // current version — the "delete" half of add-then-delete must never
-// destroy the last current copy.
+// destroy the last current copy. The per-site version probes are
+// independent reads, so they run concurrently.
 func (k *Kernel) retireReplica(c *storage.Container, t *propTask) bool {
 	if !c.HasInode(t.id.Inode) {
 		return true
@@ -401,6 +665,7 @@ func (k *Kernel) retireReplica(c *storage.Container, t *propTask) bool {
 	if serving {
 		return false
 	}
+	var remote []SiteID
 	for _, s := range t.sites {
 		if s == k.site {
 			return true // still listed after all: keep the copy
@@ -408,21 +673,37 @@ func (k *Kernel) retireReplica(c *storage.Container, t *propTask) bool {
 		if !k.inPartition(s) {
 			return false
 		}
-		resp, err := k.call(s, mGetVV, &getVVReq{ID: t.id})
-		if err != nil {
-			return false
-		}
-		r := resp.(*getVVResp)
-		if !r.Has || !r.VV.DominatesOrEqual(t.vv) {
-			return false // that site hasn't pulled the version yet
-		}
+		remote = append(remote, s)
+	}
+	var ok atomic.Bool
+	ok.Store(true)
+	var wg sync.WaitGroup
+	for _, s := range remote {
+		wg.Add(1)
+		go func(s SiteID) {
+			defer wg.Done()
+			resp, err := k.call(s, mGetVV, &getVVReq{ID: t.id})
+			if err != nil {
+				ok.Store(false)
+				return
+			}
+			r := resp.(*getVVResp)
+			if !r.Has || !r.VV.DominatesOrEqual(t.vv) {
+				ok.Store(false) // that site hasn't pulled the version yet
+			}
+		}(s)
+	}
+	wg.Wait()
+	if !ok.Load() {
+		return false
 	}
 	c.DropInode(t.id.Inode)
 	return true
 }
 
 // handlePullOpen returns a committed snapshot of the file for a
-// propagation pull.
+// propagation pull, piggybacking the first window of data pages when
+// the puller asked for one.
 func (k *Kernel) handlePullOpen(_ SiteID, p any) (any, error) {
 	req := p.(*pullOpenReq)
 	c := k.container(req.ID.FG)
@@ -433,7 +714,46 @@ func (k *Kernel) handlePullOpen(_ SiteID, p any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &pullOpenResp{Ino: ino}, nil
+	// Clone at the transport boundary: the response crosses the
+	// in-process transport by pointer and pullers rewrite the page
+	// table of the inode they receive. GetInode hands out a deep copy
+	// today, but the aliasing guarantee belongs to this handler, not to
+	// a storage-layer implementation detail.
+	resp := &pullOpenResp{Ino: ino.Clone()}
+	if req.Window > 0 && !ino.Deleted {
+		w := req.Window
+		if w > PullWindow {
+			w = PullWindow
+		}
+		var need map[storage.PageNo]bool
+		if req.Need != nil {
+			need = make(map[storage.PageNo]bool, len(req.Need))
+			for _, pn := range req.Need {
+				need[pn] = true
+			}
+		}
+		for i := range ino.Pages {
+			if len(resp.First) == w {
+				break
+			}
+			if ino.Pages[i] == storage.PhysPageNil {
+				continue
+			}
+			if need != nil && !need[storage.PageNo(i)] {
+				continue
+			}
+			data, err := c.ReadPage(ino.Pages[i])
+			if err != nil {
+				break // partial window is fine; the puller fetches the rest
+			}
+			resp.FirstPhys = append(resp.FirstPhys, ino.Pages[i])
+			resp.First = append(resp.First, data)
+		}
+		if len(resp.First) > 0 {
+			k.meter().AddPullWindow(len(resp.First))
+		}
+	}
+	return resp, nil
 }
 
 // handleReadPhys reads one immutable physical page for a pull.
@@ -448,6 +768,31 @@ func (k *Kernel) handleReadPhys(_ SiteID, p any) (any, error) {
 		return nil, err
 	}
 	return &readResp{Data: data}, nil
+}
+
+// handlePullPages reads one window of immutable physical pages for a
+// bulk pull. Shadow paging keeps the snapshot's pages immutable while
+// any committed inode references them, so the window is torn-write-free
+// without holding any lock across the reads.
+func (k *Kernel) handlePullPages(_ SiteID, p any) (any, error) {
+	req := p.(*pullPagesReq)
+	if len(req.Phys) > PullWindow {
+		return nil, fmt.Errorf("fs: pull window of %d pages exceeds limit %d", len(req.Phys), PullWindow)
+	}
+	c := k.container(req.FG)
+	if c == nil {
+		return nil, fmt.Errorf("fs: site %d has no pack of filegroup %d", k.site, req.FG)
+	}
+	resp := &pullPagesResp{Pages: make([][]byte, 0, len(req.Phys))}
+	for _, pp := range req.Phys {
+		data, err := c.ReadPage(pp)
+		if err != nil {
+			return nil, err
+		}
+		resp.Pages = append(resp.Pages, data)
+	}
+	k.meter().AddPullWindow(len(resp.Pages))
+	return resp, nil
 }
 
 // CollectGarbage reclaims delete tombstones whose deletion has been

@@ -36,6 +36,10 @@ const (
 	// mReadPhys is puller → origin: read an immutable physical page of
 	// the snapshot (shadow paging makes this torn-write-free).
 	mReadPhys = "fs.readphys"
+	// mPullPages is puller → origin: read a window of up to PullWindow
+	// immutable physical pages of the snapshot in one exchange (the
+	// bulk half of pipelined propagation).
+	mPullPages = "fs.pullpages"
 	// mGetVV asks a pack for its committed version vector of a file
 	// (lock-table rebuild, garbage collection, reconciliation).
 	mGetVV = "fs.getvv"
@@ -246,17 +250,73 @@ type propNotify struct {
 	Sites []SiteID
 }
 
+// PullWindow caps the number of physical pages one bulk-pull message
+// carries (the fs.pullopen piggyback and each fs.pullpages exchange).
+const PullWindow = 8
+
 type pullOpenReq struct {
 	ID storage.FileID
+	// Window asks the origin to piggyback the first min(Window,
+	// PullWindow) data pages of the snapshot on the response — the bulk
+	// fast path, which collapses the first pull round trip into the
+	// open itself. Zero means inode only: the legacy per-page protocol,
+	// internal refreshes, and pull resumes (which must not re-transfer
+	// pages already staged at the puller).
+	Window int
+	// Need optionally restricts the piggybacked window to these logical
+	// pages (the commit notification's modified-page list); nil means
+	// any data page. Pages the puller turns out to lack beyond this
+	// list are fetched by the follow-up windows.
+	Need []storage.PageNo
 }
 
 type pullOpenResp struct {
 	Ino *storage.Inode // committed snapshot, physical page table included
+	// FirstPhys/First are the piggybacked first window: First[i] holds
+	// the contents of physical page FirstPhys[i] of the snapshot's page
+	// table. Empty when no window was requested (or the file is a
+	// tombstone).
+	FirstPhys []storage.PhysPage
+	First     [][]byte
+}
+
+// WireSize charges only the piggybacked window (page bytes plus a
+// 32-byte per-page descriptor, like readResp); the inode snapshot
+// itself rides in the per-message default allowance exactly as it did
+// before the bulk protocol, so the windowless exchange stays
+// byte-identical to the legacy pin.
+func (r *pullOpenResp) WireSize() int {
+	n := 0
+	for _, p := range r.First {
+		n += len(p) + 32
+	}
+	return n
 }
 
 type readPhysReq struct {
 	FG   storage.FilegroupID
 	Phys storage.PhysPage
+}
+
+type pullPagesReq struct {
+	FG storage.FilegroupID
+	// Phys names the snapshot physical pages of this window, at most
+	// PullWindow of them.
+	Phys []storage.PhysPage
+}
+
+type pullPagesResp struct {
+	// Pages[i] holds the contents of request page Phys[i].
+	Pages [][]byte
+}
+
+// WireSize makes bulk page windows charge realistic byte counts.
+func (r *pullPagesResp) WireSize() int {
+	n := 0
+	for _, p := range r.Pages {
+		n += len(p) + 32
+	}
+	return n
 }
 
 // setAttrReq updates descriptive inode information in the writer's

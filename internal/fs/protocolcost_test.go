@@ -124,3 +124,84 @@ func pinProtocolCosts(t *testing.T, armFaultPlane bool) {
 	})
 	check("close(modify)", d, 4, map[string]int64{"fs.close": 2, "fs.ssclose": 2})
 }
+
+// TestPropagationCostsPinned pins the wire cost of bringing a replica
+// current (§2.3.6 pull propagation). With bulk pull on, the open
+// piggybacks the first window, so a pull of P modified pages costs
+// 1+⌈max(0,P−W)/W⌉ request/response pairs — at or under the 1+⌈P/W⌉
+// bound of the windowed protocol. With the SetBulkPull ablation off it
+// costs the legacy 1+P pairs, so the old per-page accounting stays
+// pinnable.
+func TestPropagationCostsPinned(t *testing.T) {
+	const W = fs.PullWindow // 8
+	c := newCluster(t, 2)
+	writeFile(t, c.kernels[1], "/pin", bytes.Repeat([]byte{'a'}, 12*storage.PageSize))
+	c.settle(t)
+	r, err := c.kernels[1].Resolve(cred(), "/pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// modify overwrites the first p pages at site 1 and commits.
+	modify := func(p int, fill byte) {
+		t.Helper()
+		w, err := c.kernels[1].OpenID(r.ID, fs.ModeModify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < p; i++ {
+			if _, err := w.WriteAt(bytes.Repeat([]byte{fill}, storage.PageSize), int64(i)*storage.PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pull := func() netsim.Snapshot {
+		before := c.net.Stats()
+		c.settle(t)
+		return c.net.Stats().Sub(before)
+	}
+	check := func(what string, d netsim.Snapshot, msgs int64, byMeth map[string]int64, windows, pages int64) {
+		t.Helper()
+		if d.Msgs != msgs {
+			t.Errorf("%s: %d wire messages, want %d (%v)", what, d.Msgs, msgs, d.ByMethod)
+		}
+		for _, m := range []string{"fs.pullopen", "fs.pullpages", "fs.readphys"} {
+			if d.ByMethod[m] != byMeth[m] {
+				t.Errorf("%s: %d %s messages, want %d", what, d.ByMethod[m], m, byMeth[m])
+			}
+		}
+		if d.PullWindowsSent != windows || d.PullPagesSent != pages {
+			t.Errorf("%s: windows=%d pages=%d sent, want windows=%d pages=%d",
+				what, d.PullWindowsSent, d.PullPagesSent, windows, pages)
+		}
+	}
+
+	// P=10 > W: 1+⌈(10−8)/8⌉ = 2 pairs — the open (piggybacking the
+	// first 8 of the 10 needed pages, not all 12 stored ones) plus one
+	// fs.pullpages window with the remaining 2.
+	modify(10, 'b')
+	check("bulk pull P=10", pull(), 4,
+		map[string]int64{"fs.pullopen": 2, "fs.pullpages": 2}, 2, 10)
+
+	// P=3 ≤ W: the whole pull collapses into the single open exchange.
+	modify(3, 'c')
+	check("bulk pull P=3", pull(), 2,
+		map[string]int64{"fs.pullopen": 2}, 1, 3)
+
+	// Ablation: the legacy protocol pays 1+P pairs, one fs.readphys
+	// exchange per modified page, and sends no bulk windows.
+	c.kernels[2].SetBulkPull(false)
+	modify(10, 'd')
+	check("serial pull P=10", pull(), 22,
+		map[string]int64{"fs.pullopen": 2, "fs.readphys": 20}, 0, 0)
+	c.kernels[2].SetBulkPull(true)
+
+	got := readFile(t, c.kernels[2], "/pin")
+	want := append(bytes.Repeat([]byte{'d'}, 10*storage.PageSize), bytes.Repeat([]byte{'a'}, 2*storage.PageSize)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("replica content diverged across pull variants")
+	}
+}

@@ -35,8 +35,9 @@ const rpcRetryBudget = 8
 
 // mutating lists the methods that change remote state and therefore
 // must be deduplicated when retried. Reads (mRead, mGetVV, mPullOpen,
-// mReadPhys, mListInodes) stay seq-less: they are idempotent, and
-// exempting them keeps page payloads out of the dedup tables.
+// mReadPhys, mPullPages, mListInodes) stay seq-less: they are
+// idempotent reads of immutable snapshot pages, and exempting them
+// keeps page payloads out of the dedup tables.
 var mutating = map[string]bool{
 	mOpen:        true, // installs CSS lock-table + SS serving state
 	mSSOpen:      true, // installs SS serving state

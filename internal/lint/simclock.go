@@ -10,10 +10,12 @@ import (
 // must not reach for. time.After and time.Tick additionally anchor
 // real-time scheduling that the simulation can't account for.
 var forbiddenTimeFuncs = map[string]string{
-	"Now":   "use the netsim simulated clock (Network.Clock) instead",
-	"Sleep": "use simclock.Clock.Backoff or charge simulated cost instead",
-	"After": "real-time timers desynchronize the simulated cost model",
-	"Tick":  "real-time tickers desynchronize the simulated cost model",
+	"Now":       "use the netsim simulated clock (Network.Clock) instead",
+	"Sleep":     "use simclock.Clock.Backoff or charge simulated cost instead",
+	"After":     "real-time timers desynchronize the simulated cost model",
+	"Tick":      "real-time tickers desynchronize the simulated cost model",
+	"NewTicker": "real-time tickers desynchronize the simulated cost model",
+	"NewTimer":  "real-time timers desynchronize the simulated cost model",
 }
 
 // SimClockAnalyzer forbids wall-clock time in protocol packages.
@@ -27,7 +29,7 @@ var forbiddenTimeFuncs = map[string]string{
 func SimClockAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "simclock",
-		Doc:  "forbid wall-clock time.Now/Sleep/After/Tick in protocol packages",
+		Doc:  "forbid wall-clock time.Now/Sleep/After/Tick/NewTicker/NewTimer in protocol packages",
 		Run:  runSimClock,
 	}
 }

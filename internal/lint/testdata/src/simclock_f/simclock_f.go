@@ -20,6 +20,14 @@ func badTick() <-chan time.Time {
 	return time.Tick(time.Second) // want "wall-clock time.Tick in protocol package"
 }
 
+func badNewTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want "wall-clock time.NewTicker in protocol package"
+}
+
+func badNewTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want "wall-clock time.NewTimer in protocol package"
+}
+
 // Durations and conversions are fine: only clock reads and real-time
 // scheduling are forbidden.
 func okDuration(us int64) time.Duration {

@@ -132,6 +132,12 @@ type Stats struct {
 	raSent      atomic.Int64
 	raUsed      atomic.Int64
 
+	// Bulk-propagation counters, charged by the fs layer: windows of
+	// physical pages shipped by the windowed pull protocol
+	// (fs.pullopen piggyback + fs.pullpages).
+	pullWins  atomic.Int64
+	pullPages atomic.Int64
+
 	// Fault-plane counters: messages lost/duplicated/delayed by
 	// injected faults, and virtual-circuit resets (in-flight exchanges
 	// aborted by teardown or fault timeout).
@@ -164,6 +170,12 @@ type Snapshot struct {
 	RAPagesSent int64
 	RAPagesUsed int64
 
+	// PullWindowsSent counts bulk-propagation windows shipped by the
+	// windowed pull protocol; PullPagesSent counts the physical pages
+	// they carried (pages per window = PullPagesSent/PullWindowsSent).
+	PullWindowsSent int64
+	PullPagesSent   int64
+
 	// MsgsDropped/MsgsDuped/MsgsDelayed count messages lost,
 	// duplicated, and delayed by the fault plane; CircuitResets counts
 	// virtual-circuit failures observed by in-flight exchanges
@@ -187,6 +199,7 @@ func (s *Stats) snapshot() Snapshot {
 		CacheHits: s.cacheHits.Load(), CacheMisses: s.cacheMisses.Load(),
 		CacheInvals: s.cacheInvals.Load(),
 		RAPagesSent: s.raSent.Load(), RAPagesUsed: s.raUsed.Load(),
+		PullWindowsSent: s.pullWins.Load(), PullPagesSent: s.pullPages.Load(),
 		MsgsDropped: s.fltDropped.Load(), MsgsDuped: s.fltDuped.Load(),
 		MsgsDelayed: s.fltDelayed.Load(), CircuitResets: s.resets.Load(),
 	}
@@ -253,6 +266,13 @@ func (s *Stats) AddReadaheadSent(n int) { s.raSent.Add(int64(n)) }
 // AddReadaheadUsed records n readahead pages later served to a reader.
 func (s *Stats) AddReadaheadUsed(n int) { s.raUsed.Add(int64(n)) }
 
+// AddPullWindow records one bulk-propagation window carrying n physical
+// pages.
+func (s *Stats) AddPullWindow(n int) {
+	s.pullWins.Add(1)
+	s.pullPages.Add(int64(n))
+}
+
 // addDropped counts a message lost to a closed circuit.
 func (s *Stats) addDropped() { s.dropped.Add(1) }
 
@@ -300,6 +320,8 @@ func (b Snapshot) Sub(a Snapshot) Snapshot {
 		CacheHits: b.CacheHits - a.CacheHits, CacheMisses: b.CacheMisses - a.CacheMisses,
 		CacheInvals: b.CacheInvals - a.CacheInvals,
 		RAPagesSent: b.RAPagesSent - a.RAPagesSent, RAPagesUsed: b.RAPagesUsed - a.RAPagesUsed,
+		PullWindowsSent: b.PullWindowsSent - a.PullWindowsSent,
+		PullPagesSent:   b.PullPagesSent - a.PullPagesSent,
 		MsgsDropped: b.MsgsDropped - a.MsgsDropped, MsgsDuped: b.MsgsDuped - a.MsgsDuped,
 		MsgsDelayed: b.MsgsDelayed - a.MsgsDelayed, CircuitResets: b.CircuitResets - a.CircuitResets,
 	}
