@@ -11,9 +11,13 @@ vet:
 	$(GO) vet ./...
 
 # locus-vet is this repository's own analyzer suite (cmd/locus-vet):
-# simclock, uncheckedcall, lockorder, rawcall, panicdiscipline.
+# simclock, uncheckedcall, lockorder, rawcall, panicdiscipline, plus
+# the dataflow tier: pageleak, inodealias, goroutinejoin,
+# rpcconsistency, blockinglock. The -cache stamp skips the
+# whole-program load when no non-test .go file changed since the last
+# clean run; delete .locusvet.cache to force a full run.
 locusvet:
-	$(GO) run ./cmd/locus-vet ./...
+	$(GO) run ./cmd/locus-vet -cache .locusvet.cache ./...
 
 test:
 	$(GO) test ./...

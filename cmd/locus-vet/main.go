@@ -1,40 +1,198 @@
 // Command locus-vet runs the repository's custom static analyzers (see
-// internal/lint): simclock, uncheckedcall, lockorder, panicdiscipline.
+// internal/lint): simclock, uncheckedcall, lockorder, panicdiscipline,
+// rawcall, pageleak, inodealias, goroutinejoin, rpcconsistency, and
+// blockinglock, plus the allow-directive audit (every suppression must
+// carry a reason).
 //
 // Usage:
 //
-//	go run ./cmd/locus-vet ./...
+//	go run ./cmd/locus-vet [-json] [-cache FILE] ./...
 //
 // The package pattern argument is accepted for familiarity but the tool
 // always analyzes the whole module containing the working directory —
-// the lock-order analysis is a whole-program fixpoint and partial runs
-// would under-report. Exit status: 0 clean, 1 findings, 2 load failure.
+// several analyses are whole-program fixpoints and partial runs would
+// under-report. For the same reason -cache is a whole-module stamp: the
+// digest covers every non-test .go file plus go.mod, and only a clean
+// run writes it, so a hit can only ever mean "unchanged since last
+// clean run".
+//
+// Exit status: 0 clean, 1 findings, 2 load failure (any package that
+// fails to parse or type-check).
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/lint"
 )
 
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report is the -json output shape; CI uploads it as an artifact.
+type report struct {
+	Findings   []jsonFinding       `json:"findings"`
+	ByAnalyzer map[string]int      `json:"findings_by_analyzer"`
+	Allows     []lint.Allow        `json:"allows"`
+	AllowedBy  map[string]int      `json:"allows_by_analyzer"`
+	LoadErrors []lint.PackageError `json:"load_errors,omitempty"`
+	Cached     bool                `json:"cached,omitempty"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings, allow directives, and load errors as JSON on stdout")
+	cachePath := flag.String("cache", "", "whole-module content-hash stamp file; skip the run when unchanged since the last clean run")
+	flag.Parse()
+	os.Exit(run(*jsonOut, *cachePath, os.Stdout))
+}
+
+func run(jsonOut bool, cachePath string, stdout io.Writer) int {
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "locus-vet:", err)
-		os.Exit(2)
+		return loadFailure(jsonOut, stdout, []lint.PackageError{{Path: "(module)", Err: err.Error()}})
 	}
+
+	var digest string
+	if cachePath != "" {
+		if digest, err = moduleDigest(root); err != nil {
+			fmt.Fprintln(os.Stderr, "locus-vet: cache digest:", err)
+			digest = "" // fall through to a full run, never a stale hit
+		} else if prev, rerr := os.ReadFile(cachePath); rerr == nil && strings.TrimSpace(string(prev)) == digest {
+			if jsonOut {
+				emit(stdout, report{
+					Findings: []jsonFinding{}, ByAnalyzer: map[string]int{},
+					Allows: []lint.Allow{}, AllowedBy: map[string]int{}, Cached: true,
+				})
+			} else {
+				fmt.Fprintln(os.Stderr, "locus-vet: module unchanged since last clean run (cache hit)")
+			}
+			return 0
+		}
+	}
+
 	prog, err := lint.LoadAll(root, nil)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "locus-vet:", err)
-		os.Exit(2)
+		var le *lint.LoadError
+		if errors.As(err, &le) {
+			return loadFailure(jsonOut, stdout, le.Packages)
+		}
+		return loadFailure(jsonOut, stdout, []lint.PackageError{{Path: "(module)", Err: err.Error()}})
 	}
+
 	findings := lint.Run(prog, lint.DefaultConfig(), lint.Analyzers())
-	for _, f := range findings {
-		fmt.Println(f)
+	findings = append(findings, lint.AllowPolicyFindings(prog)...)
+	allows := lint.CollectAllows(prog)
+
+	if jsonOut {
+		r := report{
+			Findings:   []jsonFinding{},
+			ByAnalyzer: map[string]int{},
+			Allows:     allows,
+			AllowedBy:  map[string]int{},
+		}
+		for _, f := range findings {
+			r.Findings = append(r.Findings, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+			r.ByAnalyzer[f.Analyzer]++
+		}
+		for _, a := range allows {
+			for _, name := range a.Analyzers {
+				r.AllowedBy[name]++
+			}
+		}
+		emit(stdout, r)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "locus-vet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		return 1
 	}
+	if cachePath != "" && digest != "" {
+		if werr := os.WriteFile(cachePath, []byte(digest+"\n"), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "locus-vet: writing cache:", werr)
+		}
+	}
+	return 0
+}
+
+func loadFailure(jsonOut bool, stdout io.Writer, pkgErrs []lint.PackageError) int {
+	if jsonOut {
+		emit(stdout, report{
+			Findings: []jsonFinding{}, ByAnalyzer: map[string]int{},
+			Allows: []lint.Allow{}, AllowedBy: map[string]int{}, LoadErrors: pkgErrs,
+		})
+	}
+	for _, pe := range pkgErrs {
+		fmt.Fprintf(os.Stderr, "locus-vet: load: %s: %s\n", pe.Path, pe.Err)
+	}
+	return 2
+}
+
+func emit(w io.Writer, r report) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		fmt.Fprintln(os.Stderr, "locus-vet: encoding report:", err)
+	}
+}
+
+// moduleDigest hashes every non-test .go file under root plus go.mod,
+// keyed by repo-relative path, so the stamp changes whenever any input
+// to the analysis (including the analyzers' own sources) changes.
+func moduleDigest(root string) (string, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if name == "go.mod" || (strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")) {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %d\n", filepath.ToSlash(rel), len(data))
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }

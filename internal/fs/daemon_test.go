@@ -1,6 +1,7 @@
 package fs_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -48,4 +49,25 @@ func TestPropagationDaemonIdempotentStartStop(t *testing.T) {
 	k.StartPropagationDaemon(time.Millisecond) // no double start
 	k.StopPropagationDaemon()
 	k.StopPropagationDaemon() // no double close panic
+}
+
+// TestStopPropagationDaemonJoins is the runtime regression test for the
+// daemon-join fix: StopPropagationDaemon must not return while the
+// daemon goroutine can still be running a drain. Many start/stop cycles
+// amplify any leak into a visible goroutine-count rise; the goroutinejoin
+// analyzer (TestRepositoryIsClean in internal/lint) guards the same
+// propWG wiring statically.
+func TestStopPropagationDaemonJoins(t *testing.T) {
+	c := newCluster(t, 1)
+	k := c.kernels[1]
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		k.StartPropagationDaemon(time.Millisecond)
+		k.StopPropagationDaemon()
+	}
+	// Every stop joined its daemon, so no cycle can leave a goroutine
+	// behind; allow a little slack for runtime helpers.
+	if n := runtime.NumGoroutine(); n > base+3 {
+		t.Fatalf("goroutines grew from %d to %d across start/stop cycles: daemon not joined", base, n)
+	}
 }

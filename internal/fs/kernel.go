@@ -238,6 +238,10 @@ type Kernel struct {
 	// propStop terminates the background propagation daemon, when one
 	// is running.
 	propStop chan struct{}
+	// propWG joins the daemon goroutine: StopPropagationDaemon returns
+	// only after the daemon has fully exited, so no drain can mutate
+	// kernel state after a caller tears the site down.
+	propWG sync.WaitGroup
 	// openFiles tracks US-side open handles for cleanup on partition
 	// change.
 	openFiles map[*File]bool

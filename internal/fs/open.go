@@ -238,7 +238,10 @@ func (k *Kernel) handleOpen(_ SiteID, p any) (any, error) {
 		}
 		r := resp.(*ssOpenResp)
 		register(cand)
-		return &openResp{SS: cand, Ino: r.Ino, ServeReady: true}, nil
+		// Clone at the boundary: the decoded inode aliases the SS's
+		// reply (in-memory transport passes pointers), and the US will
+		// treat the returned inode as its own in-core copy.
+		return &openResp{SS: cand, Ino: r.Ino.Clone(), ServeReady: true}, nil
 	}
 	rollback()
 	return nil, fmt.Errorf("%w: %v (latest %v)", ErrNoStorageSite, req.ID, latest)
@@ -500,7 +503,10 @@ func (k *Kernel) handleCreate(_ SiteID, p any) (any, error) {
 	k.mu.Lock()
 	k.cssState[id] = e
 	k.mu.Unlock()
-	return &createResp{ID: id, SS: birth, Ino: ino}, nil
+	// Clone at the boundary: ino aliases the birth SS's reply (or its
+	// local handler result); the creating US mutates its copy as the
+	// in-core inode of the open file.
+	return &createResp{ID: id, SS: birth, Ino: ino.Clone()}, nil
 }
 
 // chooseStorageSites applies the placement algorithm of §2.3.7:

@@ -262,7 +262,9 @@ func (k *Kernel) StartPropagationDaemon(interval time.Duration) {
 	if ivUs < 1 {
 		ivUs = 1
 	}
+	k.propWG.Add(1)
 	go func() {
+		defer k.propWG.Done()
 		for {
 			next := clk.NowUs() + ivUs
 			for attempt := 0; clk.NowUs() < next; attempt++ {
@@ -283,7 +285,10 @@ func (k *Kernel) StartPropagationDaemon(interval time.Duration) {
 	}()
 }
 
-// StopPropagationDaemon halts the background propagation process.
+// StopPropagationDaemon halts the background propagation process and
+// waits for it to exit: once this returns, no daemon-driven drain can
+// still be mutating kernel state. The wait happens with k.mu released
+// — a mid-drain daemon needs the mutex to finish.
 func (k *Kernel) StopPropagationDaemon() {
 	k.mu.Lock()
 	stop := k.propStop
@@ -292,6 +297,7 @@ func (k *Kernel) StopPropagationDaemon() {
 	if stop != nil {
 		close(stop)
 	}
+	k.propWG.Wait()
 }
 
 // RequeueStalledPropagations puts stalled pulls back on the queue

@@ -166,6 +166,10 @@ func (k *Kernel) ReconcileCommit(id storage.FileID, ino *storage.Inode, content 
 			}
 			pp, err := c.WritePage(content[off:end])
 			if err != nil {
+				// Pages written by earlier iterations are reachable only
+				// through newIno, which is being abandoned: free them or
+				// they linger until the next garbage collection.
+				c.FreePages(newIno.Pages...)
 				return err
 			}
 			newIno.Pages = append(newIno.Pages, pp)
@@ -174,6 +178,7 @@ func (k *Kernel) ReconcileCommit(id storage.FileID, ino *storage.Inode, content 
 		newIno.Size = 0
 	}
 	if err := c.CommitInode(newIno); err != nil {
+		c.FreePages(newIno.Pages...)
 		return err
 	}
 	k.notifyCommit(id, newIno, nil)

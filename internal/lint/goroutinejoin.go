@@ -1,0 +1,329 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// GoroutineJoinAnalyzer requires every `go` statement in the protocol
+// packages to be registered with a join its owner provably waits on.
+//
+// An unjoined goroutine in fs/proc/netsim is the lost-wakeup and
+// drain-nondeterminism class: a propagation worker that outlives
+// StopPropagationDaemon keeps mutating kernel state after the test
+// tore the site down, and a program body racing past exit makes
+// drain-order nondeterministic under the seeded chaos harness. The
+// repository's two sanctioned idioms are:
+//
+//   - WaitGroup lane: `wg.Add(1)` dominates the go statement (CFG
+//     dominance, so no path reaches the spawn without registering),
+//     and the spawned literal's first statement is `defer wg.Done()`.
+//     For a WaitGroup local to the function, a `wg.Wait()` must also
+//     appear in the same function; a WaitGroup reached through a field
+//     or free variable places the Wait obligation on the owning type
+//     (its Stop/Drain method), which the analyzer accepts.
+//   - Join counter: the first statement defers a negative Add on an
+//     atomic counter field named in Config.JoinFields (netsim's
+//     `active`, drained by Quiesce), with a positive Add dominating.
+//
+// Anything else — including `go f(x)` on a named function, where the
+// first-statement convention cannot be checked — is a finding; truly
+// fire-and-forget spawns take a `//locus:vet-allow goroutinejoin`
+// with the reason the goroutine cannot outlive anyone who cares.
+func GoroutineJoinAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutinejoin",
+		Doc:  "every go statement must register with a WaitGroup or lane-join counter its owner waits on",
+		Run:  runGoroutineJoin,
+	}
+}
+
+func runGoroutineJoin(prog *Program, cfg *Config) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Targets {
+		if !pkgInScope(pkg, cfg.GoJoinPackages) {
+			continue
+		}
+		sup := suppressionsFor(prog, pkg)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				bodies := []*ast.BlockStmt{fn.Body}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						bodies = append(bodies, lit.Body)
+					}
+					return true
+				})
+				for _, body := range bodies {
+					out = append(out, checkGoJoins(prog, cfg, pkg, sup, body)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGoJoins validates the go statements whose immediately enclosing
+// body is `body` (nested literals are handled as their own roots).
+func checkGoJoins(prog *Program, cfg *Config, pkg *Package, sup *suppressions, body *ast.BlockStmt) []Finding {
+	var gos []*ast.GoStmt
+	inspectNoFuncLit(body, func(n ast.Node) {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+		}
+	})
+	if len(gos) == 0 {
+		return nil
+	}
+	var out []Finding
+	var g *funcCFG
+	var dom map[*cfgBlock]map[*cfgBlock]bool
+	for _, gs := range gos {
+		pos := prog.Fset.Position(gs.Pos())
+		if sup.allowed(pos, "goroutinejoin") {
+			continue
+		}
+		join, joinExpr := joinRegistration(pkg, cfg, gs)
+		if join == joinWaitGroupLocal {
+			// A WaitGroup reached through a field or a free variable
+			// places the Wait obligation on the owning type's Stop/Drain
+			// method; only a body-local WaitGroup must Wait here.
+			if id, ok := ast.Unparen(joinExpr).(*ast.Ident); !ok {
+				join = joinWaitGroupOwned
+			} else if obj := pkg.Info.Uses[id]; obj == nil || obj.Pos() < body.Pos() || obj.Pos() > body.End() {
+				join = joinWaitGroupOwned
+			}
+		}
+		if join == joinNone {
+			out = append(out, Finding{
+				Pos:      pos,
+				Analyzer: "goroutinejoin",
+				Message:  "goroutine has no join registration: first statement must defer a WaitGroup Done or a negative join-counter Add",
+			})
+			continue
+		}
+		// The matching Add must dominate the spawn so no path launches
+		// an unregistered goroutine.
+		if g == nil {
+			g = buildCFG(body, nil)
+			dom = g.dominators()
+		}
+		if !addDominates(pkg, g, dom, gs, join, joinExpr) {
+			out = append(out, Finding{
+				Pos:      pos,
+				Analyzer: "goroutinejoin",
+				Message:  "goroutine's join registration (Add) does not dominate the go statement; a path can spawn without registering",
+			})
+			continue
+		}
+		if join == joinWaitGroupLocal && !waitsOn(pkg, body, joinExpr) {
+			out = append(out, Finding{
+				Pos:      pos,
+				Analyzer: "goroutinejoin",
+				Message:  "goroutine registers with a local WaitGroup the function never Waits on",
+			})
+		}
+	}
+	return out
+}
+
+type joinKind int
+
+const (
+	joinNone joinKind = iota
+	joinWaitGroupLocal
+	joinWaitGroupOwned // field / free variable: Wait lives on the owner
+	joinCounter        // configured lane-join counter field
+)
+
+// joinRegistration classifies the spawned function's first statement.
+// It returns the join kind and the expression denoting the join object
+// (the WaitGroup or counter operand of the deferred call).
+func joinRegistration(pkg *Package, cfg *Config, gs *ast.GoStmt) (joinKind, ast.Expr) {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return joinNone, nil
+	}
+	if len(lit.Body.List) == 0 {
+		return joinNone, nil
+	}
+	df, ok := lit.Body.List[0].(*ast.DeferStmt)
+	if !ok {
+		return joinNone, nil
+	}
+	sel, ok := ast.Unparen(df.Call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return joinNone, nil
+	}
+	switch sel.Sel.Name {
+	case "Done":
+		if !isWaitGroup(pkg.Info.TypeOf(sel.X)) {
+			return joinNone, nil
+		}
+		// Locality (and therefore the Wait obligation) is decided by the
+		// caller, which knows the analyzed body's extent.
+		return joinWaitGroupLocal, sel.X
+	case "Add":
+		if len(df.Call.Args) != 1 || !negativeConst(pkg, df.Call.Args[0]) {
+			return joinNone, nil
+		}
+		if fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			for _, name := range cfg.JoinFields {
+				if fieldSel.Sel.Name == name {
+					return joinCounter, sel.X
+				}
+			}
+		}
+		return joinNone, nil
+	}
+	return joinNone, nil
+}
+
+// addDominates reports whether a registration call — Add(positive) on
+// the same join object — dominates the go statement's block.
+func addDominates(pkg *Package, g *funcCFG, dom map[*cfgBlock]map[*cfgBlock]bool, gs *ast.GoStmt, kind joinKind, joinExpr ast.Expr) bool {
+	goBlock := g.blockOf(gs)
+	if goBlock == nil {
+		return false
+	}
+	for _, blk := range g.blocks {
+		if !dom[goBlock][blk] {
+			continue
+		}
+		for _, atom := range blk.atoms {
+			found := false
+			ast.Inspect(atom, func(n ast.Node) bool {
+				// The spawned literal's own statements do not register
+				// the spawn; skip nested literals entirely.
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" {
+					return true
+				}
+				if len(call.Args) != 1 || negativeConst(pkg, call.Args[0]) {
+					return true
+				}
+				if sameJoinObject(pkg, sel.X, joinExpr) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				// A same-block Add counts only if it precedes the go
+				// statement; atom order within the block is execution
+				// order, so compare positions.
+				if blk == goBlock {
+					return addPrecedesInBlock(pkg, blk, gs, joinExpr)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// addPrecedesInBlock checks intra-block ordering of the Add and the go.
+func addPrecedesInBlock(pkg *Package, blk *cfgBlock, gs *ast.GoStmt, joinExpr ast.Expr) bool {
+	for _, atom := range blk.atoms {
+		if atom == ast.Node(gs) {
+			return false
+		}
+		ok := false
+		ast.Inspect(atom, func(n ast.Node) bool {
+			if n == ast.Node(gs) {
+				return false
+			}
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if isSel && sel.Sel.Name == "Add" && len(call.Args) == 1 &&
+				!negativeConst(pkg, call.Args[0]) && sameJoinObject(pkg, sel.X, joinExpr) {
+				ok = true
+			}
+			return !ok
+		})
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// waitsOn reports whether the body calls Wait() on the same local
+// WaitGroup.
+func waitsOn(pkg *Package, body *ast.BlockStmt, joinExpr ast.Expr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Wait" && sameJoinObject(pkg, sel.X, joinExpr) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sameJoinObject compares two join-object expressions: identical local
+// identifiers, or selector chains with the same field path.
+func sameJoinObject(pkg *Package, a, b ast.Expr) bool {
+	return joinObjectKey(pkg, a) != "" && joinObjectKey(pkg, a) == joinObjectKey(pkg, b)
+}
+
+func joinObjectKey(pkg *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[x]; obj != nil {
+			return fmt.Sprintf("%s@%d", x.Name, obj.Pos())
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		base := joinObjectKey(pkg, x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return joinObjectKey(pkg, x.X)
+	}
+	return ""
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n := namedOrNil(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}
+
+// negativeConst reports whether e is a negative integer constant.
+func negativeConst(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v < 0
+}

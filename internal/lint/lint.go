@@ -78,6 +78,14 @@ type LockClass struct {
 
 func (c LockClass) String() string { return c.PkgSuffix + "." + c.Type }
 
+// TypeSpec names a type by defining-package suffix and type name.
+type TypeSpec struct {
+	PkgSuffix string
+	Type      string
+}
+
+func (t TypeSpec) String() string { return t.PkgSuffix + "." + t.Type }
+
 // Config parameterizes the analyzers. Production runs use
 // DefaultConfig; fixture tests substitute fixture packages and types.
 type Config struct {
@@ -102,6 +110,60 @@ type Config struct {
 	// RawCallTransport are the transport methods counted as raw uses
 	// inside RawCallWrapped packages.
 	RawCallTransport []MethodSpec
+
+	// PageAlloc lists calls that hand the caller a storage resource
+	// (shadow page, reserved inode number) that must be released,
+	// committed, or staged on every path (pageleak analyzer).
+	PageAlloc []MethodSpec
+	// FreshFuncs are method names whose results are freshly owned
+	// values; a local assigned from one is an "owned root" that page
+	// facts may be parked in without counting as a release.
+	FreshFuncs []string
+
+	// AliasTypes are pointer types that must be Cloned before mutation
+	// or escape when obtained from an RPC decode (inodealias analyzer).
+	AliasTypes []TypeSpec
+	// AliasCloneMethods are the methods that produce an owned copy of an
+	// AliasTypes value ("Clone").
+	AliasCloneMethods []string
+	// AliasPackages scopes the inodealias analyzer.
+	AliasPackages []string
+
+	// GoJoinPackages scopes the goroutinejoin analyzer: every `go`
+	// statement there must be registered with a join the function (or
+	// the owning struct) provably waits on.
+	GoJoinPackages []string
+	// JoinFields are field names of lane-join counters (atomic counters
+	// drained by a quiesce loop elsewhere); a goroutine whose first
+	// statement defers a negative Add on one is considered joined.
+	JoinFields []string
+
+	// RPCMethodPrefixes identify protocol method-string constants by
+	// value prefix ("fs.", "proc.") — rpcconsistency analyzer.
+	RPCMethodPrefixes []string
+	// RPCRegister are the handler-registration calls (Node.Handle).
+	RPCRegister []MethodSpec
+	// RPCInvoke are the transports and wrappers whose string argument
+	// names a protocol method.
+	RPCInvoke []MethodSpec
+	// RPCTwoWay is the subset of RPCInvoke doing request/response
+	// exchanges subject to at-most-once classification.
+	RPCTwoWay []MethodSpec
+	// RPCMutatingVar names the package-level set of deduplicated
+	// (sequence-numbered) methods; two-way methods must appear there or
+	// in RPCIdempotent.
+	RPCMutatingVar string
+	// RPCIdempotent lists method strings exempt from dedup because
+	// replaying them is harmless.
+	RPCIdempotent []string
+
+	// BlockingCalls are primitives that block on concurrent progress
+	// (network exchanges, simulated-clock backoff); the blockinglock
+	// analyzer forbids reaching one while holding a BlockingGuard mutex.
+	BlockingCalls []MethodSpec
+	// BlockingGuard are the lock classes that must never be held across
+	// a blocking call.
+	BlockingGuard []LockClass
 }
 
 // DefaultConfig is the production configuration for this repository.
@@ -146,6 +208,58 @@ func DefaultConfig() *Config {
 			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "CallSeq"},
 			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Cast"},
 		},
+
+		PageAlloc: []MethodSpec{
+			{PkgSuffix: "internal/storage", Recv: "Container", Name: "WritePage"},
+			{PkgSuffix: "internal/storage", Recv: "Container", Name: "AllocInode"},
+		},
+		FreshFuncs: []string{"Clone"},
+
+		AliasTypes:        []TypeSpec{{PkgSuffix: "internal/storage", Type: "Inode"}},
+		AliasCloneMethods: []string{"Clone"},
+		AliasPackages:     []string{"internal/fs", "internal/proc"},
+
+		GoJoinPackages: []string{"internal/fs", "internal/proc", "internal/netsim"},
+		JoinFields:     []string{"active"},
+
+		RPCMethodPrefixes: []string{"fs.", "proc."},
+		RPCRegister: []MethodSpec{
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Handle"},
+		},
+		RPCInvoke: []MethodSpec{
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Call"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "CallSeq"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Cast"},
+			{PkgSuffix: "internal/fs", Recv: "Kernel", Name: "call"},
+			{PkgSuffix: "internal/fs", Recv: "Kernel", Name: "cast"},
+			{PkgSuffix: "internal/proc", Recv: "Manager", Name: "call"},
+			{PkgSuffix: "internal/proc", Recv: "Manager", Name: "cast"},
+			{PkgSuffix: "internal/proc", Recv: "Manager", Name: "pipeCall"},
+		},
+		RPCTwoWay: []MethodSpec{
+			{PkgSuffix: "internal/fs", Recv: "Kernel", Name: "call"},
+		},
+		RPCMutatingVar: "mutating",
+		// Replaying these two-way methods is harmless: reads, version
+		// probes, pull-protocol fetches, and the best-effort revoke
+		// (revoking twice leaves the same state).
+		RPCIdempotent: []string{
+			"fs.read", "fs.getvv", "fs.pullopen", "fs.readphys",
+			"fs.pullpages", "fs.listinodes", "fs.probeopen", "fs.revokeserve",
+		},
+
+		BlockingCalls: []MethodSpec{
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Call"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "CallSeq"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Cast"},
+			{PkgSuffix: "internal/simclock", Recv: "Clock", Name: "Backoff"},
+		},
+		BlockingGuard: []LockClass{
+			{PkgSuffix: "internal/fs", Type: "Kernel"},
+			{PkgSuffix: "internal/proc", Type: "Manager"},
+			{PkgSuffix: "internal/storage", Type: "Store"},
+			{PkgSuffix: "internal/storage", Type: "Container"},
+		},
 	}
 }
 
@@ -157,6 +271,11 @@ func Analyzers() []*Analyzer {
 		LockOrderAnalyzer(),
 		PanicDisciplineAnalyzer(),
 		RawCallAnalyzer(),
+		PageLeakAnalyzer(),
+		InodeAliasAnalyzer(),
+		GoroutineJoinAnalyzer(),
+		RPCConsistencyAnalyzer(),
+		BlockingLockAnalyzer(),
 	}
 }
 
@@ -227,25 +346,116 @@ func suppressionsFor(prog *Program, pkg *Package) *suppressions {
 // `//nolint:errcheck` is treated as allowing uncheckedcall, matching
 // the convention already used in this repository.
 func directiveNames(text string) []string {
-	var names []string
-	if i := strings.Index(text, "locusvet:allow"); i >= 0 {
-		rest := text[i+len("locusvet:allow"):]
-		// The directive's argument list ends at the first space;
-		// anything after is justification prose.
-		rest = strings.TrimLeft(rest, " \t")
-		if j := strings.IndexAny(rest, " \t"); j >= 0 {
-			rest = rest[:j]
-		}
-		for _, n := range strings.Split(rest, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				names = append(names, n)
-			}
-		}
-	}
+	names, _ := parseAllowDirective(text)
 	if strings.Contains(text, "nolint:errcheck") {
 		names = append(names, "uncheckedcall")
 	}
 	return names
+}
+
+// allowMarkers are the recognized suppression directive spellings:
+// the original `//locusvet:allow` and the auditable
+// `//locus:vet-allow <analyzer> <reason>` form.
+var allowMarkers = []string{"locus:vet-allow", "locusvet:allow"}
+
+// parseAllowDirective splits a suppression comment into analyzer names
+// and the trailing justification. The argument list ends at the first
+// space; everything after is the reason. The marker must open the
+// comment body — prose that merely mentions the directive syntax (an
+// analyzer's doc comment, say) is not itself a directive.
+func parseAllowDirective(text string) (names []string, reason string) {
+	body := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"))
+	body = strings.TrimSpace(strings.TrimPrefix(body, "//"))
+	for _, marker := range allowMarkers {
+		rest, ok := strings.CutPrefix(body, marker)
+		if !ok {
+			continue
+		}
+		rest = strings.TrimLeft(rest, " \t")
+		args := rest
+		if j := strings.IndexAny(rest, " \t"); j >= 0 {
+			args = rest[:j]
+			reason = strings.TrimSpace(rest[j:])
+		}
+		for _, n := range strings.Split(args, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names, reason
+	}
+	return nil, ""
+}
+
+// Allow is one audited suppression directive found in the tree.
+type Allow struct {
+	Pos       token.Position `json:"pos"`
+	Analyzers []string       `json:"analyzers"`
+	Reason    string         `json:"reason"`
+	// Legacy marks a grandfathered `//nolint:errcheck` comment. Those
+	// still suppress uncheckedcall findings, but the reason audit
+	// applies only to the locus directive spellings.
+	Legacy bool `json:"legacy,omitempty"`
+}
+
+// CollectAllows scans every target package for allow directives so the
+// driver can count them and enforce that each carries a reason.
+// `//nolint:errcheck` comments are counted as uncheckedcall allows.
+func CollectAllows(prog *Program) []Allow {
+	var out []Allow
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, reason := parseAllowDirective(c.Text)
+					legacy := false
+					if len(names) == 0 && strings.Contains(c.Text, "nolint:errcheck") {
+						names = []string{"uncheckedcall"}
+						legacy = true
+						if i := strings.Index(c.Text, "nolint:errcheck"); i >= 0 {
+							reason = strings.TrimSpace(strings.TrimPrefix(
+								strings.TrimSpace(c.Text[i+len("nolint:errcheck"):]), "//"))
+						}
+					}
+					if len(names) == 0 {
+						continue
+					}
+					out = append(out, Allow{
+						Pos:       prog.Fset.Position(c.Pos()),
+						Analyzers: names,
+						Reason:    reason,
+						Legacy:    legacy,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// AllowPolicyFindings flags allow directives that carry no reason: a
+// suppression without a justification is unauditable. Grandfathered
+// `//nolint:errcheck` comments are exempt.
+func AllowPolicyFindings(prog *Program) []Finding {
+	var out []Finding
+	for _, a := range CollectAllows(prog) {
+		if a.Reason != "" || a.Legacy {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:      a.Pos,
+			Analyzer: "vet-allow",
+			Message: fmt.Sprintf("allow directive for %s carries no reason; write `//locus:vet-allow %s <why>`",
+				strings.Join(a.Analyzers, ","), strings.Join(a.Analyzers, ",")),
+		})
+	}
+	return out
 }
 
 // allowed reports whether a finding by analyzer at pos is suppressed.

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -12,7 +13,10 @@ import (
 // per `// want "regexp"` comment. They are loaded as extra targets on
 // top of the real module so analyzer behavior is tested against the
 // same whole-program view locus-vet uses.
-var fixtureLeaves = []string{"simclock_f", "unchecked_f", "lockorder_f", "panic_f", "rawcall_f"}
+var fixtureLeaves = []string{
+	"simclock_f", "unchecked_f", "lockorder_f", "panic_f", "rawcall_f",
+	"pageleak_f", "inodealias_f", "gojoin_f", "rpcconsist_f", "blockinglock_f",
+}
 
 var (
 	progOnce sync.Once
@@ -166,6 +170,62 @@ func TestPanicDisciplineFixture(t *testing.T) {
 	checkFixture(t, PanicDisciplineAnalyzer(), DefaultConfig(), "panic_f")
 }
 
+func TestPageLeakFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{
+		PageAlloc: []MethodSpec{
+			{PkgSuffix: "pageleak_f", Recv: "Container", Name: "WritePage"},
+			{PkgSuffix: "pageleak_f", Recv: "Container", Name: "AllocInode"},
+		},
+		FreshFuncs: []string{"Clone"},
+	}
+	checkFixture(t, PageLeakAnalyzer(), cfg, "pageleak_f")
+}
+
+func TestInodeAliasFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{
+		AliasTypes:        []TypeSpec{{PkgSuffix: "inodealias_f", Type: "Inode"}},
+		AliasCloneMethods: []string{"Clone"},
+		AliasPackages:     []string{"inodealias_f"},
+	}
+	checkFixture(t, InodeAliasAnalyzer(), cfg, "inodealias_f")
+}
+
+func TestGoroutineJoinFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{
+		GoJoinPackages: []string{"gojoin_f"},
+		JoinFields:     []string{"active"},
+	}
+	checkFixture(t, GoroutineJoinAnalyzer(), cfg, "gojoin_f")
+}
+
+func TestRPCConsistencyFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{
+		RPCMethodPrefixes: []string{"rpx."},
+		RPCRegister:       []MethodSpec{{PkgSuffix: "rpcconsist_f", Recv: "Node", Name: "Handle"}},
+		RPCInvoke: []MethodSpec{
+			{PkgSuffix: "rpcconsist_f", Recv: "Conn", Name: "Call"},
+			{PkgSuffix: "rpcconsist_f", Recv: "Conn", Name: "Cast"},
+		},
+		RPCTwoWay:      []MethodSpec{{PkgSuffix: "rpcconsist_f", Recv: "Conn", Name: "Call"}},
+		RPCMutatingVar: "mutating",
+		RPCIdempotent:  []string{"rpx.ping"},
+	}
+	checkFixture(t, RPCConsistencyAnalyzer(), cfg, "rpcconsist_f")
+}
+
+func TestBlockingLockFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{
+		BlockingCalls: []MethodSpec{{PkgSuffix: "blockinglock_f", Recv: "Node", Name: "Call"}},
+		BlockingGuard: []LockClass{{PkgSuffix: "blockinglock_f", Type: "Kernel"}},
+	}
+	checkFixture(t, BlockingLockAnalyzer(), cfg, "blockinglock_f")
+}
+
 // TestRepositoryIsClean is the lint gate inside the test suite: the
 // production configuration must report nothing on the real module, so
 // `go test ./...` alone catches regressions even when locus-vet is not
@@ -179,6 +239,48 @@ func TestRepositoryIsClean(t *testing.T) {
 			continue
 		}
 		t.Errorf("repository not lint-clean: %s", f)
+	}
+	// Every allow directive in production code must carry a reason; an
+	// unaudited suppression is itself a finding.
+	for _, f := range AllowPolicyFindings(p) {
+		if strings.Contains(f.Pos.Filename, testdata) {
+			continue
+		}
+		t.Errorf("unauditable allow directive: %s", f)
+	}
+}
+
+// TestLoadSurfacesTypeErrors exercises the load-failure path: a package
+// that fails to type-check must produce a structured LoadError naming
+// the package and its first error, never a silent skip.
+func TestLoadSurfacesTypeErrors(t *testing.T) {
+	t.Parallel()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokenPath := module + "/internal/lint/testdata/src/broken_f"
+	_, err = LoadAll(root, []string{brokenPath})
+	if err == nil {
+		t.Fatal("LoadAll succeeded with a package that cannot type-check")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("LoadAll error is %T, want *LoadError: %v", err, err)
+	}
+	if len(le.Packages) != 1 {
+		t.Fatalf("LoadError lists %d packages, want 1: %+v", len(le.Packages), le.Packages)
+	}
+	pe := le.Packages[0]
+	if pe.Path != brokenPath {
+		t.Errorf("failure path = %q, want %q", pe.Path, brokenPath)
+	}
+	if !strings.Contains(pe.Err, "undefinedIdentifier") {
+		t.Errorf("failure error %q does not mention the undefined identifier", pe.Err)
 	}
 }
 

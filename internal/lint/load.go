@@ -44,6 +44,29 @@ type Program struct {
 	ByPath map[string]*Package
 }
 
+// PackageError describes one package that failed to load: the first
+// parse or type error the checker reported for it.
+type PackageError struct {
+	Path string `json:"path"`
+	Err  string `json:"error"`
+}
+
+// LoadError aggregates every target package that failed to parse or
+// type-check. Broken packages are never silently dropped from the
+// analysis set: the caller gets the full failure list (first error per
+// package) and must treat the run as a load failure, not a clean one.
+type LoadError struct {
+	Packages []PackageError
+}
+
+func (e *LoadError) Error() string {
+	if len(e.Packages) == 1 {
+		return fmt.Sprintf("lint: loading %s: %s", e.Packages[0].Path, e.Packages[0].Err)
+	}
+	return fmt.Sprintf("lint: %d packages failed to load (first: %s: %s)",
+		len(e.Packages), e.Packages[0].Path, e.Packages[0].Err)
+}
+
 // loader resolves imports: module-local packages are parsed and
 // type-checked from source (recursively), everything else is delegated
 // to the stdlib source importer. It implements types.Importer.
@@ -55,6 +78,9 @@ type loader struct {
 	tags    map[string]bool
 	pkgs    map[string]*Package
 	loading map[string]bool
+	// failed caches module-local load failures so every dependent sees
+	// the same first error and broken packages are parsed only once.
+	failed map[string]error
 }
 
 // LoadAll loads every package of the module rooted at root (skipping
@@ -78,6 +104,7 @@ func LoadAll(root string, extra []string) (*Program, error) {
 		tags:    map[string]bool{runtime.GOOS: true, runtime.GOARCH: true, "gc": true},
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
+		failed:  make(map[string]error),
 	}
 	paths, err := walkPackages(root, module)
 	if err != nil {
@@ -86,6 +113,7 @@ func LoadAll(root string, extra []string) (*Program, error) {
 	paths = append(paths, extra...)
 	prog := &Program{Fset: fset, Module: module, Root: root, ByPath: l.pkgs}
 	seen := make(map[string]bool)
+	var le *LoadError
 	for _, p := range paths {
 		if seen[p] {
 			continue
@@ -93,9 +121,18 @@ func LoadAll(root string, extra []string) (*Program, error) {
 		seen[p] = true
 		pkg, err := l.Import(p)
 		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", p, err)
+			// Keep loading the remaining targets so one broken package
+			// reports alongside — not instead of — the others.
+			if le == nil {
+				le = &LoadError{}
+			}
+			le.Packages = append(le.Packages, PackageError{Path: p, Err: err.Error()})
+			continue
 		}
 		prog.Targets = append(prog.Targets, l.pkgs[pkg.Path()])
+	}
+	if le != nil {
+		return nil, le
 	}
 	sort.Slice(prog.Targets, func(i, j int) bool { return prog.Targets[i].Path < prog.Targets[j].Path })
 	return prog, nil
@@ -179,6 +216,9 @@ func (l *loader) Import(path string) (*types.Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p.Types, nil
 	}
+	if err, ok := l.failed[path]; ok {
+		return nil, err
+	}
 	if path != l.module && !strings.HasPrefix(path, l.module+"/") {
 		return l.std.Import(path)
 	}
@@ -191,10 +231,13 @@ func (l *loader) Import(path string) (*types.Package, error) {
 	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")))
 	files, err := l.parseDir(dir)
 	if err != nil {
+		l.failed[path] = err
 		return nil, err
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+		err := fmt.Errorf("no buildable Go files in %s", dir)
+		l.failed[path] = err
+		return nil, err
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -203,9 +246,12 @@ func (l *loader) Import(path string) (*types.Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
 	}
+	// The default checker stops at the first error, which is exactly the
+	// "first error per package" LoadError reports.
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
+		l.failed[path] = err
 		return nil, err
 	}
 	l.pkgs[path] = &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}

@@ -36,16 +36,12 @@ func LockOrderAnalyzer() *Analyzer {
 type lockAnalysis struct {
 	prog *Program
 	cfg  *Config
+	// graph is the shared call-graph summary (bodies, callees, interface
+	// dispatch by name); see callsummary.go.
+	graph *callGraph
 	// acquires is each analyzed function's transitive may-acquire set of
 	// hierarchy class indices.
 	acquires map[*types.Func]map[int]bool
-	// callees records each analyzed function's statically resolved calls.
-	callees map[*types.Func][]*types.Func
-	// methodsByName resolves interface-method calls: every analyzed
-	// method with a given name may be the dynamic target.
-	methodsByName map[string][]*types.Func
-	// bodies maps analyzed functions to their bodies for the report pass.
-	bodies map[*types.Func]*funcBody
 }
 
 type funcBody struct {
@@ -56,101 +52,36 @@ type funcBody struct {
 
 func runLockOrder(prog *Program, cfg *Config) []Finding {
 	a := &lockAnalysis{
-		prog:          prog,
-		cfg:           cfg,
-		acquires:      make(map[*types.Func]map[int]bool),
-		callees:       make(map[*types.Func][]*types.Func),
-		methodsByName: make(map[string][]*types.Func),
-		bodies:        make(map[*types.Func]*funcBody),
+		prog:     prog,
+		cfg:      cfg,
+		acquires: make(map[*types.Func]map[int]bool),
 	}
-	a.collect()
-	a.fixpoint()
+	// Direct acquire sets are seeded during the call-graph walk: mutex
+	// operations are claimed here so they are not recorded as callees,
+	// then fixpointSets closes the sets transitively. Function literals
+	// are not propagated (they usually run as goroutines with no
+	// inherited locks).
+	a.graph = buildCallGraph(prog, func(pkg *Package, fn *types.Func, call *ast.CallExpr) bool {
+		class, op, ok := a.lockOp(pkg, call)
+		if !ok {
+			return false
+		}
+		if op == "Lock" || op == "RLock" {
+			if a.acquires[fn] == nil {
+				a.acquires[fn] = make(map[int]bool)
+			}
+			a.acquires[fn][class] = true
+		}
+		return true
+	})
+	a.graph.fixpointSets(a.acquires)
 	return a.report()
 }
 
-// collect builds per-function direct acquire sets and callee lists.
-// Function literals are separate analysis roots keyed by synthetic
-// *types.Func-less entries — they share the enclosing function's
-// package but not its held-set, so they are summarized under the
-// enclosing function for call-graph purposes only if invoked; to stay
-// conservative and simple we do not propagate literal bodies at all.
-func (a *lockAnalysis) collect() {
-	for _, pkg := range a.prog.Targets {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				a.bodies[obj] = &funcBody{pkg: pkg, body: fn.Body, name: funcDisplayName(obj)}
-				a.acquires[obj] = make(map[int]bool)
-				if fn.Recv != nil {
-					a.methodsByName[fn.Name.Name] = append(a.methodsByName[fn.Name.Name], obj)
-				}
-				pkg := pkg
-				ast.Inspect(fn.Body, func(n ast.Node) bool {
-					if _, ok := n.(*ast.FuncLit); ok {
-						return false
-					}
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					if class, op, ok := a.lockOp(pkg, call); ok {
-						if op == "Lock" || op == "RLock" {
-							a.acquires[obj][class] = true
-						}
-						return true
-					}
-					if callee := funcFor(pkg.Info, call); callee != nil {
-						a.callees[obj] = append(a.callees[obj], callee)
-					}
-					return true
-				})
-			}
-		}
-	}
-}
-
-// fixpoint closes the acquire sets over the call graph.
-func (a *lockAnalysis) fixpoint() {
-	for changed := true; changed; {
-		changed = false
-		for fn, set := range a.acquires {
-			for _, callee := range a.callees[fn] {
-				for _, target := range a.resolveTargets(callee) {
-					for class := range a.acquires[target] {
-						if !set[class] {
-							set[class] = true
-							changed = true
-						}
-					}
-				}
-			}
-		}
-	}
-}
-
 // resolveTargets maps a statically resolved callee to the analyzed
-// functions it may dispatch to. Concrete functions resolve to
-// themselves; interface methods resolve to every analyzed method with
-// the same name.
+// functions it may dispatch to.
 func (a *lockAnalysis) resolveTargets(callee *types.Func) []*types.Func {
-	if _, ok := a.bodies[callee]; ok {
-		return []*types.Func{callee}
-	}
-	sig, ok := callee.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return nil
-	}
-	if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); !isIface {
-		return nil
-	}
-	return a.methodsByName[callee.Name()]
+	return a.graph.resolveTargets(callee)
 }
 
 // report walks every analyzed body in source order with a held-set and
@@ -158,7 +89,7 @@ func (a *lockAnalysis) resolveTargets(callee *types.Func) []*types.Func {
 func (a *lockAnalysis) report() []Finding {
 	var out []Finding
 	sups := make(map[*Package]*suppressions)
-	for fn, fb := range a.bodies {
+	for fn, fb := range a.graph.bodies {
 		sup := sups[fb.pkg]
 		if sup == nil {
 			sup = suppressionsFor(a.prog, fb.pkg)
@@ -238,11 +169,17 @@ func (a *lockAnalysis) report() []Finding {
 }
 
 // lockOp recognizes Lock/RLock/Unlock/RUnlock calls on a mutex owned by
-// a hierarchy class, returning the class index and operation name. Both
-// the named-field form (owner.mu.Lock()) and the embedded form
-// (owner.Lock()) are matched; mutexes not attached to a hierarchy class
-// are ignored.
+// a hierarchy class, returning the class index and operation name.
 func (a *lockAnalysis) lockOp(pkg *Package, call *ast.CallExpr) (int, string, bool) {
+	return lockOpOn(pkg, call, a.cfg.LockHierarchy)
+}
+
+// lockOpOn recognizes Lock/RLock/Unlock/RUnlock calls on a mutex owned
+// by one of the given classes, returning the class index and operation
+// name. Both the named-field form (owner.mu.Lock()) and the embedded
+// form (owner.Lock()) are matched; mutexes not attached to a listed
+// class are ignored. Shared by lockorder and blockinglock.
+func lockOpOn(pkg *Package, call *ast.CallExpr, classes []LockClass) (int, string, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return 0, "", false
@@ -264,13 +201,13 @@ func (a *lockAnalysis) lockOp(pkg *Package, call *ast.CallExpr) (int, string, bo
 			return 0, "", false
 		}
 		ownerType := pkg.Info.TypeOf(owner.X)
-		if class, ok := a.classIndex(ownerType); ok {
+		if class, ok := classIndexIn(ownerType, classes); ok {
 			return class, op, true
 		}
 		return 0, "", false
 	}
 	// owner.Lock() via an embedded mutex: the receiver itself is the class.
-	if class, ok := a.classIndex(recvType); ok {
+	if class, ok := classIndexIn(recvType, classes); ok {
 		if f, ok := pkg.Info.Selections[sel]; ok {
 			if m, ok := f.Obj().(*types.Func); ok && m.Pkg() != nil && m.Pkg().Path() == "sync" {
 				return class, op, true
@@ -280,6 +217,19 @@ func (a *lockAnalysis) lockOp(pkg *Package, call *ast.CallExpr) (int, string, bo
 	return 0, "", false
 }
 
+// classIndexIn finds the class of a (possibly pointer) type in a list.
+func classIndexIn(t types.Type, classes []LockClass) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	for i, c := range classes {
+		if typeMatches(t, c.PkgSuffix, c.Type) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 func isSyncLocker(t types.Type) bool {
 	n := namedOrNil(t)
 	if n == nil || n.Obj().Pkg() == nil {
@@ -287,19 +237,6 @@ func isSyncLocker(t types.Type) bool {
 	}
 	return n.Obj().Pkg().Path() == "sync" &&
 		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
-}
-
-// classIndex finds the hierarchy class of a (possibly pointer) type.
-func (a *lockAnalysis) classIndex(t types.Type) (int, bool) {
-	if t == nil {
-		return 0, false
-	}
-	for i, c := range a.cfg.LockHierarchy {
-		if typeMatches(t, c.PkgSuffix, c.Type) {
-			return i, true
-		}
-	}
-	return 0, false
 }
 
 func (a *lockAnalysis) className(i int) string {

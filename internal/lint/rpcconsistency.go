@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RPCConsistencyAnalyzer cross-checks the protocol method namespace:
+// the method-string constants (protocol.go and friends), the handlers
+// registered for them, the wrapper call sites that invoke them, and
+// the at-most-once classification of the mutating ones.
+//
+// Protocol drift is the scale killer PAPERS.md's Lustre retrospective
+// calls out: a method constant with no handler fails at the first
+// 1000-site fan-out, a raw string literal silently forks the
+// namespace, and a mutating two-way method missing from the dedup set
+// replays its mutation under message loss. The checks:
+//
+//   - every method constant (a string constant whose value carries an
+//     RPCMethodPrefixes prefix) is registered by exactly one
+//     RPCRegister call and invoked by at least one RPCInvoke call;
+//   - registration and invocation sites name the constant — a raw
+//     string literal is a finding even when the spelling matches;
+//   - in a package with an RPCMutatingVar set, every method invoked
+//     through a two-way wrapper is either a key of that set or listed
+//     in Config.RPCIdempotent, and every key of the set is a declared
+//     constant naming a registered method.
+func RPCConsistencyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "rpcconsistency",
+		Doc:  "method constants, handler registrations, wrapper call sites, and dedup classification must agree",
+		Run:  runRPCConsistency,
+	}
+}
+
+// rpcMethod accumulates everything known about one method string.
+type rpcMethod struct {
+	value      string
+	constPos   token.Position // declaration of the constant ("" value if none)
+	hasConst   bool
+	registered []token.Position
+	invoked    []token.Position
+	twoWay     []token.Position // invocations through a two-way wrapper
+	mutating   bool             // key of the dedup set
+}
+
+func runRPCConsistency(prog *Program, cfg *Config) []Finding {
+	if len(cfg.RPCMethodPrefixes) == 0 {
+		return nil
+	}
+	methods := make(map[string]*rpcMethod)
+	get := func(v string) *rpcMethod {
+		m := methods[v]
+		if m == nil {
+			m = &rpcMethod{value: v}
+			methods[v] = m
+		}
+		return m
+	}
+	var out []Finding
+	sups := make(map[*Package]*suppressions)
+	sup := func(pkg *Package) *suppressions {
+		s := sups[pkg]
+		if s == nil {
+			s = suppressionsFor(prog, pkg)
+			sups[pkg] = s
+		}
+		return s
+	}
+	report := func(pkg *Package, pos token.Position, msg string) {
+		if sup(pkg).allowed(pos, "rpcconsistency") {
+			return
+		}
+		out = append(out, Finding{Pos: pos, Analyzer: "rpcconsistency", Message: msg})
+	}
+
+	// mutatingByPkg remembers which packages declare a dedup set.
+	mutatingByPkg := make(map[*Package]bool)
+
+	for _, pkg := range prog.Targets {
+		// Pass 1: constants and the dedup set.
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				switch gd.Tok {
+				case token.CONST:
+					for _, spec := range gd.Specs {
+						vs := spec.(*ast.ValueSpec)
+						for _, name := range vs.Names {
+							obj, ok := pkg.Info.Defs[name].(*types.Const)
+							if !ok || obj.Val().Kind() != constant.String {
+								continue
+							}
+							v := constant.StringVal(obj.Val())
+							if !hasRPCPrefix(v, cfg.RPCMethodPrefixes) {
+								continue
+							}
+							m := get(v)
+							m.hasConst = true
+							m.constPos = prog.Fset.Position(name.Pos())
+						}
+					}
+				case token.VAR:
+					if cfg.RPCMutatingVar == "" {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						vs := spec.(*ast.ValueSpec)
+						for i, name := range vs.Names {
+							if name.Name != cfg.RPCMutatingVar || i >= len(vs.Values) {
+								continue
+							}
+							lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit)
+							if !ok {
+								continue
+							}
+							mutatingByPkg[pkg] = true
+							for _, el := range lit.Elts {
+								kv, ok := el.(*ast.KeyValueExpr)
+								if !ok {
+									continue
+								}
+								pos := prog.Fset.Position(kv.Key.Pos())
+								v, named := stringConstValue(pkg, kv.Key)
+								if v == "" {
+									continue
+								}
+								if !named {
+									report(pkg, pos, fmt.Sprintf("dedup set %s keys %q with a raw string; name the method constant", cfg.RPCMutatingVar, v))
+								}
+								get(v).mutating = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: registration and invocation sites.
+	for _, pkg := range prog.Targets {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				isReg := matchesSpecs(pkg.Info, call, cfg.RPCRegister)
+				isInv := matchesSpecs(pkg.Info, call, cfg.RPCInvoke)
+				if !isReg && !isInv {
+					return true
+				}
+				arg := methodStringArg(pkg, call)
+				if arg == nil {
+					return true
+				}
+				pos := prog.Fset.Position(arg.Pos())
+				v, named := stringConstValue(pkg, arg)
+				if v == "" || !hasRPCPrefix(v, cfg.RPCMethodPrefixes) {
+					// Non-constant or out-of-namespace method expressions
+					// (tests invent ad-hoc methods) are out of scope.
+					return true
+				}
+				if !named {
+					report(pkg, pos, fmt.Sprintf("uses raw method string %q; name the protocol constant so the namespace stays greppable", v))
+				}
+				m := get(v)
+				if isReg {
+					m.registered = append(m.registered, pos)
+				}
+				if isInv {
+					m.invoked = append(m.invoked, pos)
+					if matchesSpecs(pkg.Info, call, cfg.RPCTwoWay) && mutatingByPkg[pkg] {
+						m.twoWay = append(m.twoWay, pos)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: cross-checks, reported at the constant's declaration.
+	keys := make([]string, 0, len(methods))
+	for v := range methods {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		m := methods[v]
+		if !m.hasConst {
+			continue // raw-string uses already reported in place
+		}
+		pkg := pkgForPosition(prog, m.constPos)
+		if pkg == nil {
+			continue
+		}
+		switch {
+		case len(m.registered) == 0:
+			report(pkg, m.constPos, fmt.Sprintf("method %q has no registered handler; a call to it fails at every site", v))
+		case len(m.registered) > 1:
+			report(pkg, m.constPos, fmt.Sprintf("method %q is registered %d times; the last registration silently wins", v, len(m.registered)))
+		}
+		if len(m.invoked) == 0 {
+			report(pkg, m.constPos, fmt.Sprintf("method %q is never invoked through a protocol wrapper; dead protocol surface", v))
+		}
+		if len(m.twoWay) > 0 && !m.mutating && !contains(cfg.RPCIdempotent, v) {
+			report(pkg, m.constPos, fmt.Sprintf("two-way method %q is neither in the dedup set nor declared idempotent; a retry replays its effect", v))
+		}
+		if m.mutating && len(m.registered) == 0 {
+			report(pkg, m.constPos, fmt.Sprintf("dedup set lists %q but no handler is registered for it", v))
+		}
+	}
+	return out
+}
+
+func hasRPCPrefix(v string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if len(v) > len(p) && v[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesSpecs reports whether the call resolves to any of the specs.
+func matchesSpecs(info *types.Info, call *ast.CallExpr, specs []MethodSpec) bool {
+	_, ok := matchMustCheck(info, call, specs)
+	return ok
+}
+
+// methodStringArg returns the call's first argument of type string —
+// the method name in every transport and wrapper signature.
+func methodStringArg(pkg *Package, call *ast.CallExpr) ast.Expr {
+	for _, arg := range call.Args {
+		t := pkg.Info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			return arg
+		}
+	}
+	return nil
+}
+
+// stringConstValue evaluates a constant string expression and reports
+// whether it is spelled as a named constant reference.
+func stringConstValue(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	v := constant.StringVal(tv.Value)
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, isConst := pkg.Info.Uses[x].(*types.Const)
+		return v, isConst
+	case *ast.SelectorExpr:
+		_, isConst := pkg.Info.Uses[x.Sel].(*types.Const)
+		return v, isConst
+	}
+	return v, false
+}
+
+// pkgForPosition finds the target package owning a file position.
+func pkgForPosition(prog *Program, pos token.Position) *Package {
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			if prog.Fset.Position(f.Pos()).Filename == pos.Filename {
+				return pkg
+			}
+		}
+	}
+	return nil
+}

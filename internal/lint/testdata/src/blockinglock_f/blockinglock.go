@@ -1,0 +1,49 @@
+// Package blockinglock_f is a locus-vet fixture for the blockinglock
+// analyzer: no Node.Call exchange may run while a Kernel mutex is
+// held, directly or through any statically resolvable callee.
+package blockinglock_f
+
+import "sync"
+
+type Node struct{}
+
+func (n *Node) Call(method string, payload any) (any, error) { return nil, nil }
+
+type Kernel struct {
+	mu   sync.Mutex
+	node *Node
+	size int
+}
+
+// okReleaseFirst snapshots under the mutex, releases, then exchanges.
+func (k *Kernel) okReleaseFirst() (any, error) {
+	k.mu.Lock()
+	size := k.size
+	k.mu.Unlock()
+	return k.node.Call("probe", size)
+}
+
+// exchange blocks; callers holding the mutex inherit the violation
+// through the call-graph fixpoint.
+func (k *Kernel) exchange() {
+	k.node.Call("probe", nil)
+}
+
+func (k *Kernel) badDirect() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.node.Call("probe", nil) // want "blocks on concurrent progress while holding blockinglock_f.Kernel"
+}
+
+func (k *Kernel) badTransitive() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.exchange() // want "may transitively block on concurrent progress while holding blockinglock_f.Kernel"
+}
+
+// allowedProbe exercises the suppression path.
+func (k *Kernel) allowedProbe() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.node.Call("probe", nil) //locus:vet-allow blockinglock fixture: the held-lock probe is this case's point
+}

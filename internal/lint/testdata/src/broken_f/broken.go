@@ -1,0 +1,8 @@
+// Package broken_f deliberately fails to type-check. The load-error
+// test asserts the failure is surfaced as a structured per-package
+// load error rather than silently dropping the package from analysis.
+package broken_f
+
+func Boom() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,99 @@
+// Package gojoin_f is a locus-vet fixture for the goroutinejoin
+// analyzer: every go statement must register with a WaitGroup whose
+// owner provably waits, or with a lane-join counter field ("active"),
+// and the registration must dominate the spawn.
+package gojoin_f
+
+import "sync"
+
+// okLocalWaitGroup: Add dominates the spawn, the first statement defers
+// Done, and the function Waits.
+func okLocalWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+type Server struct {
+	wg sync.WaitGroup
+}
+
+// okOwnedWaitGroup registers with a field WaitGroup; the Wait
+// obligation lives on Stop, which the analyzer accepts for non-local
+// WaitGroups.
+func (s *Server) okOwnedWaitGroup(work func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+func (s *Server) Stop() { s.wg.Wait() }
+
+type counter struct{ n int64 }
+
+func (c *counter) Add(d int64) { c.n += d }
+
+type Pump struct {
+	active counter
+}
+
+// okCounterLane: the netsim idiom — a positive Add on the lane counter
+// before the spawn, a deferred negative Add first thing inside it.
+func (p *Pump) okCounterLane(work func()) {
+	p.active.Add(1)
+	go func() {
+		defer p.active.Add(-1)
+		work()
+	}()
+}
+
+func badUnregisteredNamed(work func()) {
+	go work() // want "goroutine has no join registration"
+}
+
+func badUnregisteredLiteral(work func()) {
+	go func() { work() }() // want "goroutine has no join registration"
+}
+
+func badNoWait(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "local WaitGroup the function never Waits on"
+		defer wg.Done()
+		work()
+	}()
+}
+
+// badConditionalAdd: a path reaches the spawn without registering.
+func badConditionalAdd(spawn bool, work func()) {
+	var wg sync.WaitGroup
+	if spawn {
+		wg.Add(1)
+	}
+	go func() { // want "does not dominate the go statement"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// badCounterAddAfterSpawn: registering after the spawn races the
+// drain loop.
+func (p *Pump) badCounterAddAfterSpawn(work func()) {
+	go func() { // want "does not dominate the go statement"
+		defer p.active.Add(-1)
+		work()
+	}()
+	p.active.Add(1)
+}
+
+// allowedFireAndForget exercises the suppression path.
+func allowedFireAndForget(work func()) {
+	go work() //locus:vet-allow goroutinejoin fixture: fire-and-forget spawn outlives nothing that cares
+}

@@ -1,0 +1,92 @@
+// Package inodealias_f is a locus-vet fixture for the inodealias
+// analyzer: an *Inode pulled out of a decoded RPC response aliases the
+// sender's copy and must be Cloned before it is mutated or escapes.
+package inodealias_f
+
+type VV map[int]int
+
+type Inode struct {
+	Num  int
+	Size int64
+	VV   VV
+}
+
+func (i *Inode) Clone() *Inode {
+	out := *i
+	return &out
+}
+
+type openResp struct {
+	Ino *Inode
+}
+
+var cache = map[int]*Inode{}
+
+func use(*Inode) {}
+
+// okReads: reading decoded metadata in place is legitimate; plain call
+// arguments are not escapes either.
+func okReads(resp any) int64 {
+	ino := resp.(*openResp).Ino
+	use(ino)
+	return ino.Size
+}
+
+// okClones: a Clone result is an owned copy; mutation and return are
+// fine.
+func okClones(resp any) *Inode {
+	ino := resp.(*openResp).Ino.Clone()
+	ino.Size = 7
+	return ino
+}
+
+// okCloneBeforeEscape: reassigning the identifier from Clone kills the
+// taint before the mutation and the forward.
+func okCloneBeforeEscape(resp any) *openResp {
+	ino := resp.(*openResp).Ino
+	ino = ino.Clone()
+	ino.Size = 9
+	return &openResp{Ino: ino}
+}
+
+func badMutates(resp any) {
+	ino := resp.(*openResp).Ino
+	ino.Size = 7 // want "mutates an RPC-decoded Inode without Clone"
+}
+
+func badMutatesInline(resp any) {
+	resp.(*openResp).Ino.Size = 7 // want "mutates an RPC-decoded Inode without Clone"
+}
+
+// badTwoStepReturn: the decode-root shape — the type assertion is bound
+// first and the field read happens later.
+func badTwoStepReturn(resp any) *Inode {
+	r := resp.(*openResp)
+	return r.Ino // want "returns an RPC-decoded Inode without Clone"
+}
+
+func badStores(resp any) {
+	ino := resp.(*openResp).Ino
+	cache[ino.Num] = ino // want "stores an RPC-decoded Inode into shared state without Clone"
+}
+
+func badForwards(resp any) *openResp {
+	ino := resp.(*openResp).Ino
+	return &openResp{Ino: ino} // want "forwards an RPC-decoded Inode into a composite literal without Clone"
+}
+
+func badSends(resp any, ch chan *Inode) {
+	ino := resp.(*openResp).Ino
+	ch <- ino // want "sends an RPC-decoded Inode without Clone"
+}
+
+func badShares(resp any) {
+	ino := resp.(*openResp).Ino
+	go func() { cache[0] = ino }() // want "shares an RPC-decoded Inode with a goroutine without Clone"
+}
+
+// allowedReturn exercises the suppression path.
+func allowedReturn(resp any) *Inode {
+	ino := resp.(*openResp).Ino
+	return ino //locus:vet-allow inodealias fixture: forwarding the alias is this case's point
+}

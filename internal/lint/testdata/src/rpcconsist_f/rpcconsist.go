@@ -1,0 +1,55 @@
+// Package rpcconsist_f is a locus-vet fixture for the rpcconsistency
+// analyzer: method constants (prefix "rpx."), handler registrations,
+// wrapper invocations, and the dedup set must agree. The test config
+// declares Node.Handle as the registration call, Conn.Call/Conn.Cast
+// as invocations (Call two-way), and "rpx.ping" as idempotent.
+package rpcconsist_f
+
+type Node struct{}
+
+func (n *Node) Handle(method string, h func(any) (any, error)) {}
+
+type Conn struct{}
+
+func (c *Conn) Call(method string, payload any) (any, error) { return nil, nil }
+
+func (c *Conn) Cast(method string, payload any) error { return nil }
+
+const (
+	mPing   = "rpx.ping"   // registered, invoked two-way, idempotent: clean
+	mWrite  = "rpx.write"  // registered, invoked two-way, deduplicated: clean
+	mOrphan = "rpx.orphan" // want "has no registered handler"
+	mDead   = "rpx.dead"   // want "is never invoked through a protocol wrapper"
+	mDouble = "rpx.double" // want "is registered 2 times"
+	mRisky  = "rpx.risky"  // want "neither in the dedup set nor declared idempotent"
+	mGhost  = "rpx.ghost"  // want "rpx.ghost"
+)
+
+// mLoose exercises the suppression path: a deliberately unwired
+// constant whose findings the directive must silence.
+const mLoose = "rpx.loose" //locus:vet-allow rpcconsistency fixture: deliberately unwired constant tests the allow path
+
+var mutating = map[string]bool{
+	mWrite:    true,
+	mGhost:    true,
+	"rpx.raw": true, // want "keys .rpx.raw. with a raw string"
+}
+
+func registerAll(n *Node) {
+	h := func(any) (any, error) { return nil, nil }
+	n.Handle(mPing, h)
+	n.Handle(mWrite, h)
+	n.Handle(mDead, h)
+	n.Handle(mDouble, h)
+	n.Handle(mDouble, h)
+	n.Handle(mRisky, h)
+}
+
+func invokeAll(c *Conn) {
+	c.Call(mPing, nil)
+	c.Call(mWrite, nil)
+	c.Call(mRisky, nil)
+	c.Cast(mOrphan, nil)
+	c.Cast(mDouble, nil)
+	c.Call("rpx.ping", nil) // want "uses raw method string"
+}

@@ -467,7 +467,7 @@ func (nw *Network) AddSite(id SiteID) *Node {
 		}
 	}
 	nw.publishLocked()
-	go n.dispatch()
+	go n.dispatch() //locus:vet-allow goroutinejoin per-node message pump: exits when Close closes quit, and Quiesce accounts for every message it services via the active counter
 	return n
 }
 
@@ -1105,12 +1105,12 @@ func (n *Node) dispatch() {
 				n.nw.active.Add(-1)
 			case kindRequest:
 				if env.tracked {
-					go func() {
+					go func() { //locus:vet-allow goroutinejoin the matching active.Add(1) ran at the send site when the fault plane marked this delivery tracked; the deferred Add(-1) is its join half, drained by Quiesce
 						defer n.nw.active.Add(-1)
 						n.serve(env)
 					}()
 				} else {
-					go n.serve(env)
+					go n.serve(env) //locus:vet-allow goroutinejoin the requester's pending-exchange entry joins the reply, and circuit teardown fails the pending call, so nothing waits on this goroutine after close
 				}
 			}
 		}

@@ -188,6 +188,11 @@ type Manager struct {
 	// devices holds this site's character device drivers.
 	devMu   sync.Mutex
 	devices map[string]DeviceDriver
+
+	// programs joins every spawned program goroutine (start); a test or
+	// teardown path calls DrainPrograms so no program body races past
+	// the site's shutdown.
+	programs sync.WaitGroup
 }
 
 // Protocol method names.
@@ -377,12 +382,25 @@ func (m *Manager) loadModule(cred *fs.Cred, path string, args []string) (Program
 	return prog, append([]string{path}, args...), nil
 }
 
-// start runs a program in the process.
+// start runs a program in the process. The goroutine is registered
+// with m.programs before it spawns; DrainPrograms joins it after the
+// program body and its exit processing have completed.
 func (m *Manager) start(p *Process, prog Program, args []string) {
+	m.programs.Add(1)
 	go func() {
+		defer m.programs.Done()
 		code := prog(&Ctx{M: m, Self: p, Args: args, Env: p.env})
 		m.exit(p, ExitStatus{Code: code})
 	}()
+}
+
+// DrainPrograms blocks until every spawned program goroutine — the
+// program body plus its exit processing — has finished. Tests and
+// teardown paths call this so a program cannot keep mutating process
+// or kernel state after the site is torn down; without the join,
+// drain order under the chaos harness is nondeterministic.
+func (m *Manager) DrainPrograms() {
+	m.programs.Wait()
 }
 
 // Exec replaces the process's program: resolve the load module (through

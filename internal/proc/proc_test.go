@@ -454,3 +454,51 @@ func TestExecNotExecutable(t *testing.T) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }
+
+// TestDrainProgramsJoinsProgramBodies is the runtime regression test
+// for the program-join fix: DrainPrograms must block until every
+// spawned program body and its exit processing have completed, and
+// must return promptly once they have. The goroutinejoin analyzer
+// (TestRepositoryIsClean in internal/lint) guards the same
+// m.programs wiring statically.
+func TestDrainProgramsJoinsProgramBodies(t *testing.T) {
+	h := newHarness(t, 1)
+	installModule(t, h.c.K(1), "/blocker", "blocker")
+	h.c.Settle()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h.mgrs[1].Register("blocker", func(*proc.Ctx) int {
+		close(started)
+		<-release
+		return 7
+	})
+	shell := h.mgrs[1].InitProcess(cred())
+	pid, err := h.mgrs[1].Run(shell, "/blocker", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	drained := make(chan struct{})
+	go func() {
+		h.mgrs[1].DrainPrograms()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("DrainPrograms returned while a program body was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("DrainPrograms did not return after the program exited")
+	}
+	// The join covers exit processing too: the status is already
+	// recorded by the time DrainPrograms returns.
+	if st := h.mgrs[1].Wait(shell, pid); st.Code != 7 {
+		t.Fatalf("exit status %+v, want code 7", st)
+	}
+}
