@@ -460,12 +460,71 @@ func BenchmarkE11_SequentialRemoteScan(b *testing.B) {
 	})
 }
 
+// BenchmarkE14_HotFileOpenStorm measures the repeat open+read+close
+// cycle of a hot remotely stored file with and without the lease/intent
+// layer: without leases every cycle pays the CSS round trip; under a
+// read delegation every cycle after the first is served site-locally
+// with zero wire messages.
+func BenchmarkE14_HotFileOpenStorm(b *testing.B) {
+	setup := func(b *testing.B, leases bool) (*locus.Cluster, *fs.Kernel, storage.FileID) {
+		b.Helper()
+		c := mustSimple(b, 3)
+		if leases {
+			for _, id := range c.Sites() {
+				c.Site(id).FS.SetLeases(true)
+			}
+		}
+		u := c.Site(1).Login("u")
+		mustWrite(b, u, "/hot", pageOf('h'))
+		if err := c.Site(1).FS.SetReplication(u.Cred(), "/hot", []fs.SiteID{1}); err != nil {
+			b.Fatal(err)
+		}
+		c.Settle()
+		r, err := c.Site(1).FS.Resolve(u.Cred(), "/hot")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c, c.Site(2).FS, r.ID
+	}
+	cycle := func(b *testing.B, k *fs.Kernel, id storage.FileID, buf []byte) {
+		b.Helper()
+		f, err := k.OpenID(id, fs.ModeRead)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, leases := range []bool{false, true} {
+		name := "no-leases"
+		if leases {
+			name = "delegated"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, k, id := setup(b, leases)
+			buf := make([]byte, storage.PageSize)
+			cycle(b, k, id, buf) // first open: grants the delegation
+			start := c.Stats().Msgs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cycle(b, k, id, buf)
+			}
+			b.StopTimer()
+			reportSim(b, c, start, int64(b.N))
+		})
+	}
+}
+
 // TestExperimentTables runs the full experiment suite and asserts the
 // headline shapes the paper reports.
 func TestExperimentTables(t *testing.T) {
 	tables := bench.All()
-	if len(tables) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(tables))
 	}
 	byID := map[string]*bench.Table{}
 	for _, tb := range tables {
@@ -616,6 +675,36 @@ func TestExperimentTables(t *testing.T) {
 	if serialWins != "0" || parPages != 2*32 {
 		t.Errorf("E13 window counters: serial windows=%s (want 0), parallel pages=%d (want 64)", serialWins, parPages)
 	}
+
+	// E14: under read delegations the 28 reopens of the hot file must
+	// cost exactly zero wire messages (the ablation pays per open), the
+	// four reader sites must each have been granted a lease, and the
+	// writer transition must recall all four delegations in exactly one
+	// batched revoke round while closing more cheaply than the legacy
+	// close protocol.
+	e14 := byID["E14"]
+	if len(e14.Rows) != 2 {
+		t.Fatalf("E14: %d rows, want 2 (regimes)", len(e14.Rows))
+	}
+	offRow, onRow := e14.Rows[0], e14.Rows[1]
+	if onRow[2] != "0" {
+		t.Errorf("E14 delegated reopens = %s msgs, want 0 (the lease fast path regressed)", onRow[2])
+	}
+	offReopen, _ := strconv.ParseInt(offRow[2], 10, 64)
+	if offReopen == 0 {
+		t.Errorf("E14 ablation reopens = 0 msgs: the no-lease regime is not exercising the wire protocol")
+	}
+	if onRow[4] != "4" {
+		t.Errorf("E14 leases granted = %s, want 4 (one read delegation per reader site)", onRow[4])
+	}
+	if onRow[6] != "1" {
+		t.Errorf("E14 revoke rounds = %s, want 1 (batched recall per writer transition)", onRow[6])
+	}
+	onClose, _ := strconv.ParseInt(onRow[7], 10, 64)
+	offClose, _ := strconv.ParseInt(offRow[7], 10, 64)
+	if onClose >= offClose {
+		t.Errorf("E14 leased writer commit+close = %d msgs vs legacy %d: the writer lease no longer skips the wire close", onClose, offClose)
+	}
 }
 
 // TestBenchSmoke is the CI smoke entry point: it runs the cache/
@@ -631,6 +720,13 @@ func TestBenchSmoke(t *testing.T) {
 	}
 	if res.CacheHits == 0 || res.CacheHitRate <= 0 || res.RAPagesSent == 0 {
 		t.Fatalf("cache/readahead counters missing: %+v", res)
+	}
+	tbl14, res14 := bench.RunWithMetrics(bench.Experiment{ID: "E14", Run: bench.E14})
+	if tbl14 == nil || len(tbl14.Rows) != 2 {
+		t.Fatalf("E14 table malformed: %+v", tbl14)
+	}
+	if res14.LeasesGranted == 0 || res14.LeasesRevoked == 0 || res14.BatchedRevokes == 0 {
+		t.Fatalf("lease counters not aggregated: %+v", res14)
 	}
 	var buf bytes.Buffer
 	if err := bench.WriteJSON(&buf, []bench.Result{res}); err != nil {

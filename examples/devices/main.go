@@ -74,7 +74,7 @@ func main() {
 	scan := func(ra bool) int64 {
 		f, err := reader.Open("/big.dat", locus.Read)
 		must(err)
-		defer f.Close() //nolint:errcheck
+		defer f.Close() //locus:vet-allow uncheckedcall example: read-only handle, nothing to lose
 		f.SetReadahead(ra)
 		before := c.Stats().Msgs
 		buf := make([]byte, storage.PageSize)
@@ -119,7 +119,7 @@ func main() {
 	// just /hot forward on demand.
 	c.Network().HealAll()
 	c.Network().Quiesce()
-	c.Site(1).Topo.RunMergeProtocol() //nolint:errcheck
+	c.Site(1).Topo.RunMergeProtocol() //locus:vet-allow uncheckedcall example: merge outcome is shown by the reads below
 	c.Network().Quiesce()
 	c.Settle()
 	rep, err := c.Site(1).Recon.DemandReconcilePath(op.Cred(), "/hot")

@@ -20,7 +20,7 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
 		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
-		{"E11", E11}, {"E12", E12}, {"E13", E13},
+		{"E11", E11}, {"E12", E12}, {"E13", E13}, {"E14", E14},
 	}
 }
 
@@ -52,6 +52,11 @@ type Result struct {
 	// triggers windowed replica pulls).
 	PullWindowsSent int64 `json:"pull_windows_sent"`
 	PullPagesSent   int64 `json:"pull_pages_sent"`
+	// Lease-layer counters (nonzero once an experiment's workload runs
+	// with the lease/intent layer enabled, i.e. E14).
+	LeasesGranted  int64 `json:"leases_granted"`
+	LeasesRevoked  int64 `json:"leases_revoked"`
+	BatchedRevokes int64 `json:"batched_revokes"`
 	// Fault-plane counters (nonzero only for experiments that inject
 	// faults, i.e. E12).
 	MsgsDropped   int64 `json:"msgs_dropped"`
@@ -83,6 +88,9 @@ func RunWithMetrics(e Experiment) (*Table, Result) {
 		res.RAPagesUsed += s.RAPagesUsed
 		res.PullWindowsSent += s.PullWindowsSent
 		res.PullPagesSent += s.PullPagesSent
+		res.LeasesGranted += s.LeasesGranted
+		res.LeasesRevoked += s.LeasesRevoked
+		res.BatchedRevokes += s.BatchedRevokes
 		res.MsgsDropped += s.MsgsDropped
 		res.MsgsDuped += s.MsgsDuped
 		res.MsgsDelayed += s.MsgsDelayed

@@ -44,6 +44,11 @@ type Config struct {
 	// forcing the legacy one-exchange-per-page pull path, so the pinned
 	// seeds exercise both protocol variants under faults.
 	SerialPull bool
+	// Leases enables the lease/intent layer at every site, so the pinned
+	// seeds exercise delegation grants, batched revocation, and lease
+	// reclaim across crashes and partitions. The post-heal fsck then also
+	// checks for stranded lease records.
+	Leases bool
 }
 
 func (c *Config) fill() {
@@ -140,6 +145,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.SerialPull {
 		for _, id := range c.Sites() {
 			c.Site(id).FS.SetBulkPull(false)
+		}
+	}
+	if cfg.Leases {
+		for _, id := range c.Sites() {
+			c.Site(id).FS.SetLeases(true)
 		}
 	}
 

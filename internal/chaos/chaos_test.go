@@ -57,6 +57,31 @@ func TestChaosSerialPullSeeds(t *testing.T) {
 	}
 }
 
+// TestChaosLeaseSeeds reruns the fixed seeds with the lease/intent
+// layer enabled at every site: delegation grants, batched revocations,
+// writer-lease recalls, and lease reclaim across crashes, partitions,
+// and fault bursts must uphold the same invariants — including the
+// fsck stranded-lease check, which fails any run that ends with a
+// lease held at a site the CSS no longer tracks.
+func TestChaosLeaseSeeds(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		seed := seed
+		t.Run(fmtSeed(seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: seed, Leases: true})
+			if err != nil {
+				t.Fatalf("chaos run failed to execute: %v", err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("invariants violated with leases on:\n%s", res)
+			}
+			if res.Stats.LeasesGranted == 0 {
+				t.Errorf("seed %d granted no leases; the schedule never exercised the lease layer", seed)
+			}
+		})
+	}
+}
+
 // TestChaosExtraSeed lets a failing seed from anywhere (CI, fuzzing, a
 // bug report) be replayed directly:
 //

@@ -1,6 +1,8 @@
 package fs
 
 import (
+	"sort"
+
 	"repro/internal/storage"
 	"repro/internal/vclock"
 )
@@ -22,6 +24,12 @@ type CleanupReport struct {
 	ServesDiscarded int
 	// LocksReleased counts CSS lock-table records for lost sites.
 	LocksReleased int
+	// LeasesReclaimed counts leases and delegate records discarded by
+	// the conservative merge rule: after a partition change the merged
+	// version vector may no longer support a lease's stamp, so all of
+	// them are released (idle writer leases perform their deferred
+	// close; read delegations are returned to the CSS best-effort).
+	LeasesReclaimed int
 }
 
 // CleanupAfterPartitionChange installs a new partition view and runs
@@ -35,6 +43,31 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 		in[s] = true
 	}
 	var rep CleanupReport
+
+	// --- Lease layer: discard every held lease (§5.6 applied to the
+	// lease table — leases are reclaimed exactly like lock-table
+	// records). Releasing is best-effort: an unreachable CSS or SS runs
+	// its own cleanup, which drops the matching records for sites
+	// outside *its* partition.
+	k.mu.Lock()
+	var heldLeases []*usLease
+	for _, l := range k.leases {
+		heldLeases = append(heldLeases, l)
+	}
+	k.leases = make(map[storage.FileID]*usLease)
+	k.leaseDropped = make(map[storage.FileID]bool)
+	k.mu.Unlock()
+	sort.Slice(heldLeases, func(i, j int) bool {
+		a, b := heldLeases[i].id, heldLeases[j].id
+		if a.FG != b.FG {
+			return a.FG < b.FG
+		}
+		return a.Inode < b.Inode
+	})
+	for _, l := range heldLeases {
+		k.releaseLease(l)
+		rep.LeasesReclaimed++
+	}
 
 	// --- US side: open files whose storage site left the partition.
 	k.mu.Lock()
@@ -111,6 +144,13 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 		if err != nil || css != k.site {
 			delete(k.cssState, id)
 			continue
+		}
+		// Conservative merge rule, CSS side: all delegate records are
+		// discarded (the in-partition holders discard their own copies
+		// in their cleanup; out-of-partition holders cannot be revoked).
+		if n := len(e.delegates); n > 0 {
+			e.delegates = nil
+			rep.LeasesReclaimed += n
 		}
 		if e.writerUS == vclock.NoSite && len(e.readers) == 0 {
 			// No ongoing opens: drop the entry so the first open after
@@ -189,7 +229,7 @@ func (k *Kernel) reopenElsewhere(f *File) bool {
 	// Same version required: the paper substitutes only equal versions
 	// for a continuing read.
 	if !g.ino.VV.Equal(f.ino.VV) {
-		g.Close() //nolint:errcheck // substitute rejected
+		g.Close() //locus:vet-allow uncheckedcall substitute rejected
 		return false
 	}
 	f.ss = g.ss

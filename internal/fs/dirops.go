@@ -29,7 +29,7 @@ func (k *Kernel) Stat(cred *Cred, path string) (*storage.Inode, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close() //nolint:errcheck // internal close
+	defer f.Close() //locus:vet-allow uncheckedcall internal close
 	return f.Inode(), nil
 }
 
@@ -58,7 +58,7 @@ func (k *Kernel) updateDir(id storage.FileID, mutate func(*format.Directory) err
 	if err != nil {
 		return err
 	}
-	defer f.Close() //nolint:errcheck // commit already happened or failed below
+	defer f.Close() //locus:vet-allow uncheckedcall commit already happened or failed below
 	raw, err := f.ReadAll()
 	if err != nil {
 		return err
@@ -68,7 +68,7 @@ func (k *Kernel) updateDir(id storage.FileID, mutate func(*format.Directory) err
 		return err
 	}
 	if err := mutate(d); err != nil {
-		f.Abort() //nolint:errcheck // best-effort rollback
+		f.Abort() //locus:vet-allow uncheckedcall best-effort rollback
 		return err
 	}
 	if err := f.WriteAll(format.EncodeDir(d)); err != nil {
@@ -152,8 +152,8 @@ func (k *Kernel) Create(cred *Cred, path string, typ storage.FileType, mode uint
 	if err := k.dirInsert(parent, name, f.id.Inode); err != nil {
 		// Roll the create back: mark the orphan inode deleted.
 		f.setAttr(&setAttrReq{ID: f.id, Nlink: 0, Mode: -1, SetDeleted: true})
-		f.Commit() //nolint:errcheck // rollback
-		f.Close()  //nolint:errcheck // rollback
+		f.Commit() //locus:vet-allow uncheckedcall rollback
+		f.Close()  //locus:vet-allow uncheckedcall rollback
 		return nil, err
 	}
 	return f, nil
@@ -214,7 +214,7 @@ func (k *Kernel) Mknod(cred *Cred, path string, host SiteID, devName string, mod
 		},
 	})
 	if err != nil {
-		f.Close() //nolint:errcheck // abandoning
+		f.Close() //locus:vet-allow uncheckedcall abandoning
 		return err
 	}
 	return f.Close()
@@ -310,7 +310,7 @@ func (k *Kernel) attrOp(cred *Cred, path string, req *setAttrReq) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close() //nolint:errcheck // commit below is the real barrier
+	defer f.Close() //locus:vet-allow uncheckedcall commit below is the real barrier
 	req.ID = f.id
 	if err := f.setAttr(req); err != nil {
 		return err
@@ -352,11 +352,11 @@ func (k *Kernel) Unlink(cred *Cred, path string) error {
 		err = f.setAttr(&setAttrReq{ID: f.id, Nlink: 0, Mode: -1, SetDeleted: true})
 	}
 	if err != nil {
-		f.Close() //nolint:errcheck // nothing more to do
+		f.Close() //locus:vet-allow uncheckedcall nothing more to do
 		return err
 	}
 	if err := f.Commit(); err != nil {
-		f.Close() //nolint:errcheck // see above
+		f.Close() //locus:vet-allow uncheckedcall see above
 		return err
 	}
 	delVV = f.ino.VV.Copy()
@@ -385,11 +385,11 @@ func (k *Kernel) Link(cred *Cred, oldpath, newpath string) error {
 		return err
 	}
 	if err := f.setAttr(&setAttrReq{ID: f.id, Nlink: f.ino.Nlink + 1, Mode: -1}); err != nil {
-		f.Close() //nolint:errcheck // abandoning
+		f.Close() //locus:vet-allow uncheckedcall abandoning
 		return err
 	}
 	if err := f.Commit(); err != nil {
-		f.Close() //nolint:errcheck // abandoning
+		f.Close() //locus:vet-allow uncheckedcall abandoning
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -398,9 +398,9 @@ func (k *Kernel) Link(cred *Cred, oldpath, newpath string) error {
 	if err := k.dirInsert(parent, name, r.ID.Inode); err != nil {
 		// Roll back the link count.
 		if g, e2 := k.OpenID(r.ID, ModeModify); e2 == nil {
-			g.setAttr(&setAttrReq{ID: g.id, Nlink: g.ino.Nlink - 1, Mode: -1}) //nolint:errcheck // rollback
-			g.Commit()                                                         //nolint:errcheck // rollback
-			g.Close()                                                          //nolint:errcheck // rollback
+			g.setAttr(&setAttrReq{ID: g.id, Nlink: g.ino.Nlink - 1, Mode: -1}) //locus:vet-allow uncheckedcall rollback
+			g.Commit()                                                         //locus:vet-allow uncheckedcall rollback
+			g.Close()                                                          //locus:vet-allow uncheckedcall rollback
 		}
 		return err
 	}
@@ -430,13 +430,13 @@ func (k *Kernel) Rename(cred *Cred, oldpath, newpath string) error {
 	var vv vclock.VV
 	if err == nil {
 		vv = f.ino.VV.Copy()
-		f.Close() //nolint:errcheck // internal close
+		f.Close() //locus:vet-allow uncheckedcall internal close
 	} else {
 		vv = vclock.New()
 	}
 	if err := k.dirRemove(r.Parent, r.Name, vv); err != nil {
 		// Roll back the insert.
-		k.dirRemove(newParent, newName, vv) //nolint:errcheck // rollback
+		k.dirRemove(newParent, newName, vv) //locus:vet-allow uncheckedcall rollback
 		return err
 	}
 	return nil

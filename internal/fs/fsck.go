@@ -34,7 +34,7 @@ import (
 type FsckFinding struct {
 	Site SiteID
 	ID   storage.FileID
-	Kind string // page-leak | orphan-inode | dangling-entry | corrupt-directory | vv-divergence | content-divergence | conflict
+	Kind string // page-leak | orphan-inode | dangling-entry | corrupt-directory | vv-divergence | content-divergence | conflict | stranded-lease
 	Msg  string
 }
 
@@ -208,6 +208,58 @@ func FsckCluster(kernels []*Kernel, opts FsckOptions) []FsckFinding {
 			if errA != nil || errB != nil || !bytes.Equal(a, b) {
 				out = append(out, FsckFinding{Site: cp.site, ID: id, Kind: "content-divergence",
 					Msg: fmt.Sprintf("equal VV %v but content differs between sites %d and %d", cp.ino.VV, ref.site, cp.site)})
+			}
+		}
+	}
+
+	// Stranded leases: every lease held at a using site must be backed
+	// by the matching record at the file's CSS. The dangerous direction
+	// is a holder the CSS no longer tracks — it would serve stale reads
+	// (or squat the writer slot) unsupervised, since no revoke round
+	// will ever visit it. The reverse direction (a CSS record with no
+	// holder) is self-healing — the next conflicting open revokes it
+	// and the holder answers Released — so it is not flagged.
+	byID := make(map[SiteID]*Kernel, len(kernels))
+	for _, k := range kernels {
+		byID[k.site] = k
+	}
+	for _, k := range kernels {
+		held := k.Leases()
+		hids := make([]storage.FileID, 0, len(held))
+		for id := range held {
+			hids = append(hids, id)
+		}
+		sort.Slice(hids, func(i, j int) bool {
+			if hids[i].FG != hids[j].FG {
+				return hids[i].FG < hids[j].FG
+			}
+			return hids[i].Inode < hids[j].Inode
+		})
+		for _, id := range hids {
+			mode := held[id]
+			css, err := k.CSSOf(id.FG)
+			if err != nil {
+				out = append(out, FsckFinding{Site: k.site, ID: id, Kind: "stranded-lease",
+					Msg: fmt.Sprintf("%v lease held with no CSS reachable in the partition", mode)})
+				continue
+			}
+			ck := byID[css]
+			if ck == nil {
+				continue // CSS outside the checked set; nothing to compare against
+			}
+			ck.mu.Lock()
+			ok := false
+			if e := ck.cssState[id]; e != nil {
+				if mode == ModeModify {
+					ok = e.writerUS == k.site
+				} else {
+					_, ok = e.delegates[k.site]
+				}
+			}
+			ck.mu.Unlock()
+			if !ok {
+				out = append(out, FsckFinding{Site: k.site, ID: id, Kind: "stranded-lease",
+					Msg: fmt.Sprintf("%v lease held at site %d but CSS site %d has no matching record", mode, k.site, css)})
 			}
 		}
 	}

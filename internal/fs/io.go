@@ -550,11 +550,11 @@ func (k *Kernel) notifyCommit(id storage.FileID, ino *storage.Inode, pages []sto
 	for _, s := range ino.Sites {
 		if !sent[s] && k.inPartition(s) {
 			sent[s] = true
-			k.cast(s, mPropNotify, note) //nolint:errcheck // unreachable peers pull at merge
+			k.cast(s, mPropNotify, note) //locus:vet-allow uncheckedcall unreachable peers pull at merge
 		}
 	}
 	if css, err := k.CSSOf(id.FG); err == nil && !sent[css] {
-		k.cast(css, mPropNotify, note) //nolint:errcheck // see above
+		k.cast(css, mPropNotify, note) //locus:vet-allow uncheckedcall see above
 	}
 	// The committing site applies its own notification locally (updates
 	// CSS knowledge if this site is the CSS; the pull is a no-op since
@@ -587,6 +587,14 @@ func (f *File) Close() error {
 		}
 	}
 	if f.internal {
+		return nil
+	}
+	if (f.delegated || f.leased) && k.closeUnderLease(f) {
+		// Zero wire messages: a delegated reader holds no serving
+		// state, and a leased writer's commit is already durable — the
+		// serving state stays live for the next local open and the CSS
+		// recalls it with fs.leaserevoke when a conflicting open needs
+		// it.
 		return nil
 	}
 	req := &closeReq{ID: f.id, US: f.us, Mode: f.mode}

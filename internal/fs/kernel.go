@@ -187,6 +187,11 @@ type cssEntry struct {
 	// version of the file is").
 	latestVV vclock.VV
 	sites    []SiteID // packs storing the file, from the disk inode
+	// delegates maps using sites holding a read delegation to the VV it
+	// was stamped with. A delegate is not in readers: it opens, reads,
+	// and closes locally, and the CSS only hears from it again on a
+	// revoke round or a voluntary release.
+	delegates map[SiteID]vclock.VV
 }
 
 // propTask is one queued propagation pull (§2.3.6: "A queue of
@@ -250,6 +255,15 @@ type Kernel struct {
 	// (mProbeOpen) arriving between the CSS's grant and our receipt of
 	// the response does not mistake the open for a stale lock.
 	inflightOpens map[storage.FileID]int
+	// leases is the US-side lease table: files this site may re-open,
+	// read, and close locally without contacting the CSS (read
+	// delegations and held writer leases).
+	leases map[storage.FileID]*usLease
+	// leaseDropped remembers files whose lease was revoked before the
+	// grant arrived (the two travel on independent exchanges); the
+	// late grant is declined instead of installing a lease the CSS no
+	// longer tracks.
+	leaseDropped map[storage.FileID]bool
 
 	// mail delivers system notification mail (wired by the recon
 	// layer); nil-safe.
@@ -263,6 +277,11 @@ type Kernel struct {
 	noOpenOpt     bool // disable the §2.3.3 US-is-SS / CSS-is-SS shortcuts
 	noLocalSearch bool // disable the §2.3.4 local unsynchronized search
 	noBulkPull    bool // disable the windowed fs.pullpages propagation protocol
+	// noLeases disables the lease/intent layer. Unlike the other
+	// switches this one defaults *on* (leases off): the paper's
+	// protocol, and every pinned message count derived from it, is the
+	// lease-free one. SetLeases(true) opts a kernel in.
+	noLeases bool
 	// pathShip enables the §2.3.4 "ship partial pathnames" strategy.
 	pathShip bool
 	// propWorkers bounds the parallel pull-worker pool DrainPropagation
@@ -332,7 +351,10 @@ func NewKernel(node *netsim.Node, store *storage.Store, cfg *Config) *Kernel {
 		pendingProp:   make(map[storage.FileID]*propTask),
 		openFiles:     make(map[*File]bool),
 		inflightOpens: make(map[storage.FileID]int),
+		leases:        make(map[storage.FileID]*usLease),
+		leaseDropped:  make(map[storage.FileID]bool),
 		propWorkers:   defaultPropWorkers,
+		noLeases:      true, // lease layer is opt-in (SetLeases)
 	}
 	k.cache = newPageCache(node.Network().Meter())
 	seen := map[SiteID]bool{}
@@ -368,6 +390,8 @@ func (k *Kernel) crashLocal() {
 	k.inflightOpens = make(map[storage.FileID]int)
 	k.ssState = make(map[storage.FileID]*ssServe)
 	k.cssState = make(map[storage.FileID]*cssEntry)
+	k.leases = make(map[storage.FileID]*usLease)
+	k.leaseDropped = make(map[storage.FileID]bool)
 	// Shadow pages staged by interrupted pulls are durable but
 	// unreferenced; reclaim them the way a reboot-time fsck would, or
 	// they leak when the queue state dies with the crash.
@@ -531,6 +555,16 @@ type File struct {
 	// paper's cleanup table calls this "set error in local file
 	// descriptor" (§5.6).
 	stale bool
+	// delegated marks a read handle opened under a held read
+	// delegation: it was built from the lease's frozen inode snapshot,
+	// holds no CSS lock entry and no SS serving state, and its close is
+	// pure local bookkeeping.
+	delegated bool
+	// leased marks a modify handle opened under this site's writer
+	// lease: its close commits as usual but skips the wire close,
+	// leaving the SS serving state and CSS writer slot in place for the
+	// next local open.
+	leased bool
 	// readahead enables adaptive streaming readahead (§2.3.3): the SS
 	// piggybacks up to raWindow following pages on each read response,
 	// deposited into the using-site page cache.

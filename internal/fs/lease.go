@@ -1,0 +1,425 @@
+package fs
+
+// Lease/intent layer: collapse the per-open CSS round trip.
+//
+// LOCUS routes every open and close through the CSS (§2.3.3), which the
+// pinned protocol costs make explicit: 4 messages per open, 4 per
+// close. That is the scaling bottleneck for hot files. Following the
+// Lustre intent-lock design, the open request already carries the
+// caller's intent (OpenMode), and the CSS reply piggybacks a lease:
+//
+//   - A read open with no writer present is answered with a *read
+//     delegation*: a VV-stamped grant letting the US re-open, read
+//     (through its page cache), and close the file locally — zero wire
+//     messages — for as long as the delegation is valid. The CSS
+//     records the delegate instead of a per-open reader entry, and the
+//     polled SS installs no reader serving state (committed pages are
+//     served statelessly anyway).
+//
+//   - A modify open is answered with an exclusive *writer lease*: the
+//     close commits as usual but skips the 4-message close protocol,
+//     leaving the SS serving state and the CSS writer slot in place so
+//     the next local modify open costs zero wire messages.
+//
+// Revocation is the VV-stamped fs.leaserevoke callback, pushed through
+// the ordinary at-most-once RPC wrappers. A modify open recalls all
+// read delegations in one *batched* round (one round per writer
+// transition, however many delegates exist) and recalls a previous
+// writer lease with a single callback whose response carries the
+// holder's committed VV — the lease-layer analogue of the close
+// protocol's VV piggyback, folded into the lock table before the
+// conflicting open proceeds.
+//
+// Failure handling reuses the existing reclaim machinery: a crashed
+// holder loses its lease table with the rest of its volatile state and
+// the CSS record self-heals on the next revoke (no lease, no live
+// handle → released); partition changes drop all leases and delegate
+// records on both sides (CleanupAfterPartitionChange), exactly like
+// lock-table records; a propagation notification whose VV dominates a
+// delegation's stamp invalidates it.
+//
+// The layer is strictly opt-in: noLeases defaults to true, and with
+// SetLeases(false) every pinned message count of the paper's protocol
+// is reproduced exactly (protocolcost_test.go re-pins this).
+
+import (
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// usLease is a lease held at the using site: a read delegation or a
+// writer lease for one file.
+type usLease struct {
+	id   storage.FileID
+	mode OpenMode // ModeRead: read delegation; ModeModify: writer lease
+	// vv is the committed version the lease serves locally: the grant
+	// stamp for a delegation, refreshed at each close for a writer
+	// lease.
+	vv    vclock.VV
+	sites []SiteID
+	ss    SiteID // storage site serving opens under this lease
+	css   SiteID // grantor
+	// ino is the committed inode snapshot local re-opens are built from.
+	ino *storage.Inode
+	// opens counts live local handles opened under the lease.
+	opens int
+}
+
+// SetLeases enables/disables the lease/intent layer for this kernel.
+// Unlike the other ablation switches the layer defaults *off*: the
+// paper's protocol (and every message count pinned from it) is the
+// lease-free one. Disabling releases all held leases: read delegations
+// are returned to the CSS and writer leases perform their deferred
+// close, so the cluster drops back to exactly the legacy protocol
+// state.
+func (k *Kernel) SetLeases(on bool) {
+	k.mu.Lock()
+	k.noLeases = !on
+	var drop []*usLease
+	if !on {
+		for _, l := range k.leases {
+			drop = append(drop, l)
+		}
+		k.leases = make(map[storage.FileID]*usLease)
+	}
+	k.mu.Unlock()
+	sort.Slice(drop, func(i, j int) bool {
+		a, b := drop[i].id, drop[j].id
+		if a.FG != b.FG {
+			return a.FG < b.FG
+		}
+		return a.Inode < b.Inode
+	})
+	for _, l := range drop {
+		k.releaseLease(l)
+	}
+}
+
+func (k *Kernel) leasesEnabled() bool {
+	k.mu.Lock()
+	on := !k.noLeases
+	k.mu.Unlock()
+	return on
+}
+
+// releaseLease voluntarily returns one lease. A read delegation is
+// returned to the CSS with fs.leaserelease; a writer lease performs
+// the deferred legacy close (which carries the committed VV to the CSS
+// exactly like any close) — unless a live local handle still uses the
+// lease, in which case that handle's own close will run the legacy
+// protocol now that the lease record is gone.
+func (k *Kernel) releaseLease(l *usLease) {
+	if l.mode == ModeModify {
+		k.mu.Lock()
+		live := false
+		for f := range k.openFiles {
+			if f.id == l.id && f.mode == ModeModify && !f.closed && !f.stale {
+				live = true
+				break
+			}
+		}
+		k.mu.Unlock()
+		if live {
+			return
+		}
+		req := &closeReq{ID: l.id, US: k.site, Mode: ModeModify}
+		if l.ss == k.site {
+			k.handleClose(k.site, req) //locus:vet-allow uncheckedcall best-effort deferred close; partition cleanup reclaims on failure
+			return
+		}
+		k.call(l.ss, mClose, req) //locus:vet-allow uncheckedcall best-effort deferred close; partition cleanup reclaims on failure
+		return
+	}
+	req := &leaseReleaseReq{ID: l.id, US: k.site}
+	if l.css == k.site {
+		k.handleLeaseRelease(k.site, req) //locus:vet-allow uncheckedcall release of a local delegation cannot fail
+		return
+	}
+	k.call(l.css, mLeaseRelease, req) //locus:vet-allow uncheckedcall best-effort return; the CSS record self-heals on its next revoke round
+}
+
+// handleLeaseRelease is the CSS side of a voluntary delegation return.
+func (k *Kernel) handleLeaseRelease(_ SiteID, p any) (any, error) {
+	req := p.(*leaseReleaseReq)
+	k.mu.Lock()
+	if e := k.cssState[req.ID]; e != nil {
+		delete(e.delegates, req.US)
+	}
+	k.mu.Unlock()
+	return nil, nil
+}
+
+// handleLeaseRevoke is the holder side of the revocation callback. A
+// writer-lease revoke doubles as the lock-table validation probe: a
+// live (or in-flight) modify handle refuses the revoke and the
+// conflicting open fails busy, exactly as the legacy probeWriterOpen
+// path would have refused. Releasing returns the holder's committed
+// VV so the CSS can fold the final writer state into its lock table.
+func (k *Kernel) handleLeaseRevoke(_ SiteID, p any) (any, error) {
+	req := p.(*leaseRevokeReq)
+	k.mu.Lock()
+	if req.Mode == ModeModify {
+		floor := 0
+		if req.SelfProbe {
+			floor = 1
+		}
+		if k.inflightOpens[req.ID] > floor {
+			k.mu.Unlock()
+			return &leaseRevokeResp{}, nil
+		}
+		for f := range k.openFiles {
+			if f.id == req.ID && f.mode == ModeModify && !f.closed && !f.stale {
+				k.mu.Unlock()
+				return &leaseRevokeResp{}, nil
+			}
+		}
+	}
+	l := k.leases[req.ID]
+	if l != nil && l.mode == req.Mode {
+		delete(k.leases, req.ID)
+	} else {
+		l = nil
+		// Remember the revoke so a grant still in flight to this site
+		// is declined when it arrives (the grant and the revoke travel
+		// on independent exchanges and may be reordered).
+		k.leaseDropped[req.ID] = true
+	}
+	k.mu.Unlock()
+
+	resp := &leaseRevokeResp{Released: true}
+	switch {
+	case l != nil:
+		resp.VV = l.vv.Copy()
+		resp.Sites = append([]SiteID(nil), l.sites...)
+	default:
+		if r := k.localGetVV(req.ID); r.Has {
+			resp.VV = r.VV.Copy()
+			resp.Sites = append([]SiteID(nil), r.Sites...)
+		}
+	}
+	return resp, nil
+}
+
+// revokeWriterLease recalls the writer lease (or validates a stale
+// writer record) at holder on behalf of a conflicting open. It returns
+// true when the writer slot may be reclaimed: the holder released the
+// lease (its committed VV has been absorbed) and the serving state it
+// left at ssHolder has been torn down. An unreachable holder counts as
+// still holding, exactly like the legacy probe.
+func (k *Kernel) revokeWriterLease(id storage.FileID, e *cssEntry, holder, ssHolder SiteID, selfProbe bool) bool {
+	req := &leaseRevokeReq{ID: id, Mode: ModeModify, SelfProbe: selfProbe}
+	var resp *leaseRevokeResp
+	if holder == k.site {
+		r, err := k.handleLeaseRevoke(k.site, req)
+		if err != nil {
+			return false
+		}
+		resp = r.(*leaseRevokeResp)
+	} else {
+		r, err := k.call(holder, mLeaseRevoke, req)
+		if err != nil {
+			return false
+		}
+		resp = r.(*leaseRevokeResp)
+	}
+	if !resp.Released {
+		return false
+	}
+	k.meter().AddLeasesRevoked(1)
+	k.mu.Lock()
+	if resp.VV != nil && resp.VV.Compare(e.latestVV) == vclock.Dominates {
+		e.latestVV = resp.VV.Copy()
+		if resp.Sites != nil {
+			e.sites = append([]SiteID(nil), resp.Sites...)
+		}
+	}
+	k.mu.Unlock()
+	if ssHolder != vclock.NoSite {
+		// Tear down the serving state the skipped close left behind.
+		rreq := &revokeServeReq{ID: id, US: holder}
+		if ssHolder == k.site {
+			k.handleRevokeServe(k.site, rreq) //locus:vet-allow uncheckedcall best effort: the SS validates the writer itself on the next open
+		} else {
+			k.call(ssHolder, mRevokeServe, rreq) //locus:vet-allow uncheckedcall best effort: the SS validates the writer itself on the next open
+		}
+	}
+	return true
+}
+
+// revokeDelegates runs one batched revoke round over every read
+// delegation of e except the opener's own (the opener discarded its
+// local record before contacting the CSS, so its entry is just
+// dropped). However many delegates exist, one writer transition
+// triggers exactly one round. Unreachable delegates are dropped
+// without an answer: a partitioned delegate reads stale committed data
+// until its own partition-change cleanup fires, which LOCUS partition
+// semantics already permit.
+func (k *Kernel) revokeDelegates(id storage.FileID, e *cssEntry, except SiteID) {
+	k.mu.Lock()
+	var targets []SiteID
+	for us := range e.delegates {
+		if us != except {
+			targets = append(targets, us)
+		}
+	}
+	e.delegates = nil
+	k.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, us := range targets {
+		req := &leaseRevokeReq{ID: id, Mode: ModeRead}
+		if us == k.site {
+			k.handleLeaseRevoke(k.site, req) //locus:vet-allow uncheckedcall read-delegation revokes always release
+			continue
+		}
+		k.call(us, mLeaseRevoke, req) //locus:vet-allow uncheckedcall unreachable delegates are reclaimed by partition cleanup
+	}
+	k.meter().AddLeasesRevoked(len(targets))
+	k.meter().AddBatchedRevoke()
+}
+
+// recordLease installs a granted lease at the using site. The grant is
+// declined when the layer was switched off while the open was in
+// flight, or when a revoke overtook the grant (leaseDropped).
+func (k *Kernel) recordLease(id storage.FileID, mode OpenMode, g *leaseGrant, ss, css SiteID, ino *storage.Inode) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.noLeases || k.leaseDropped[id] {
+		delete(k.leaseDropped, id)
+		return false
+	}
+	k.leases[id] = &usLease{
+		id:    id,
+		mode:  mode,
+		vv:    g.VV.Copy(),
+		sites: append([]SiteID(nil), g.Sites...),
+		ss:    ss,
+		css:   css,
+		ino:   ino.Clone(),
+		opens: 1,
+	}
+	return true
+}
+
+// openUnderLease serves an open locally under a held lease, with zero
+// wire messages: any mode under this site's writer lease, read mode
+// under a read delegation. It returns nil when the open must go to the
+// CSS (no lease, layer off, or a delegation being upgraded to modify —
+// in which case the delegation is discarded first, since the CSS will
+// drop its record when the modify open arrives).
+func (k *Kernel) openUnderLease(id storage.FileID, mode OpenMode) *File {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.noLeases {
+		return nil
+	}
+	l := k.leases[id]
+	if l == nil {
+		return nil
+	}
+	if l.mode == ModeRead && mode == ModeModify {
+		// Upgrade: the delegation cannot serve a writer. Drop it; the
+		// CSS drops its own record as part of granting the writer.
+		delete(k.leases, id)
+		return nil
+	}
+	if mode != ModeRead && mode != ModeModify {
+		return nil // internal opens take the unsynchronized path
+	}
+	if mode == ModeModify && l.mode != ModeModify {
+		return nil
+	}
+	f := &File{
+		k: k, id: id, mode: mode, us: k.site, ss: l.ss, css: l.css,
+		ino:   l.ino.Clone(),
+		dirty: make(map[storage.PageNo]bool),
+	}
+	if mode == ModeModify {
+		f.leased = true
+	} else {
+		f.delegated = true
+	}
+	l.opens++
+	k.openFiles[f] = true
+	return f
+}
+
+// closeUnderLease finishes the close of a handle that was opened under
+// a lease (delegated reader or leased writer) with zero wire messages.
+// It reports false when the lease is gone — revoked or released while
+// the handle was open — and the caller must fall back to the legacy
+// close protocol so the serving state is actually torn down.
+func (k *Kernel) closeUnderLease(f *File) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	l := k.leases[f.id]
+	if f.delegated {
+		// A delegated reader holds no serving state and no CSS lock
+		// entry: its close is pure local bookkeeping even if the lease
+		// was revoked while it read its frozen snapshot.
+		if l != nil && l.opens > 0 {
+			l.opens--
+		}
+		return true
+	}
+	if l == nil || l.mode != ModeModify {
+		return false
+	}
+	if l.opens > 0 {
+		l.opens--
+	}
+	// Refresh the snapshot the next local open is built from: the
+	// handle committed before closing, so f.ino carries the newest
+	// committed version.
+	l.ino = f.ino.Clone()
+	l.vv = f.ino.VV.Copy()
+	return true
+}
+
+// dropLeaseIfStale discards a read delegation whose stamp a newer
+// committed version has overtaken (propagation notifications carry the
+// new VV). Writer leases are not dropped here: the writer itself is
+// the source of new versions.
+func (k *Kernel) dropLeaseIfStale(id storage.FileID, vv vclock.VV) {
+	k.mu.Lock()
+	if l := k.leases[id]; l != nil && l.mode == ModeRead && vv.Compare(l.vv) == vclock.Dominates {
+		delete(k.leases, id)
+	}
+	k.mu.Unlock()
+}
+
+// Leases reports the files this kernel currently holds leases for
+// (fsck and tests).
+func (k *Kernel) Leases() map[storage.FileID]OpenMode {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make(map[storage.FileID]OpenMode, len(k.leases))
+	for id, l := range k.leases {
+		out[id] = l.mode
+	}
+	return out
+}
+
+// Delegates reports the read delegations this kernel has granted as
+// CSS, per file (fsck and tests).
+func (k *Kernel) Delegates() map[storage.FileID][]SiteID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make(map[storage.FileID][]SiteID)
+	for id, e := range k.cssState {
+		if len(e.delegates) == 0 {
+			continue
+		}
+		sites := make([]SiteID, 0, len(e.delegates))
+		for us := range e.delegates {
+			sites = append(sites, us)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		out[id] = sites
+	}
+	return out
+}

@@ -38,6 +38,12 @@ func (k *Kernel) handleProbeOpen(_ SiteID, p any) (any, error) {
 			return &probeOpenResp{Open: true}, nil
 		}
 	}
+	// A held writer lease is a live claim on the writer slot even with
+	// no handle open: the legacy probe must not reclaim it (the lease
+	// layer's own revocation callback is the way to take it back).
+	if l := k.leases[req.ID]; l != nil && l.mode == ModeModify {
+		return &probeOpenResp{Open: true}, nil
+	}
 	return &probeOpenResp{Open: false}, nil
 }
 
@@ -112,7 +118,7 @@ func (k *Kernel) writerVanished(id storage.FileID, holder, ssHolder SiteID, self
 		} else {
 			// Best effort: if the revoke is lost too, the SS validates
 			// the writer itself on the next open (setupServe).
-			k.call(ssHolder, mRevokeServe, &revokeServeReq{ID: id, US: holder}) //nolint:errcheck
+			k.call(ssHolder, mRevokeServe, &revokeServeReq{ID: id, US: holder}) //locus:vet-allow uncheckedcall best-effort revoke: an unreachable SS is reclaimed by the partition protocol
 		}
 	}
 	return true

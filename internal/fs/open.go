@@ -27,6 +27,8 @@ func (k *Kernel) registerHandlers() {
 	k.node.Handle(mResolveShip, k.handleResolveShip)
 	k.node.Handle(mProbeOpen, k.handleProbeOpen)
 	k.node.Handle(mRevokeServe, k.handleRevokeServe)
+	k.node.Handle(mLeaseRevoke, k.handleLeaseRevoke)
+	k.node.Handle(mLeaseRelease, k.handleLeaseRelease)
 	k.registerReconHandlers()
 }
 
@@ -132,14 +134,23 @@ func (k *Kernel) handleOpen(_ SiteID, p any) (any, error) {
 
 	// Policy check + writer reservation.
 	k.mu.Lock()
+	leasesOn := !k.noLeases
 	if req.Mode == ModeModify {
 		if holder := e.writerUS; holder != vclock.NoSite {
 			ssHolder := e.writerSS
 			k.mu.Unlock()
-			// Before refusing, validate the record: a close lost to the
+			// Before refusing, validate the record. Under leases the
+			// revocation callback recalls the holder's writer lease (or
+			// proves a live handle); without them, a close lost to the
 			// network (with no partition change to trigger §5.6 cleanup)
 			// strands the writer slot forever otherwise.
-			if !k.writerVanished(req.ID, holder, ssHolder, holder == req.US) {
+			var reclaimed bool
+			if leasesOn {
+				reclaimed = k.revokeWriterLease(req.ID, e, holder, ssHolder, holder == req.US)
+			} else {
+				reclaimed = k.writerVanished(req.ID, holder, ssHolder, holder == req.US)
+			}
+			if !reclaimed {
 				return nil, fmt.Errorf("%w: %v open for modification at site %d", ErrBusy, req.ID, holder)
 			}
 			k.mu.Lock()
@@ -155,9 +166,43 @@ func (k *Kernel) handleOpen(_ SiteID, p any) (any, error) {
 		}
 		e.writerUS = req.US
 	}
+	// Under leases a recorded writer hides the newest committed version
+	// from the lock table (its close was skipped), and its presence
+	// blocks read delegations. A read open first tries to recall the
+	// writer lease — an idle writer releases in one revoke exchange and
+	// the read proceeds with full delegation economics. A refused
+	// revoke means the writer handle is genuinely live: the read is
+	// then served through the writer's SS (the commit point), where the
+	// §2.3.3 shortcuts are unsafe and no delegation is granted.
+	pollFirst := vclock.NoSite
+	if leasesOn && req.Mode != ModeModify && e.writerUS != vclock.NoSite {
+		holder, ssHolder := e.writerUS, e.writerSS
+		if req.Mode == ModeRead && holder != req.US {
+			k.mu.Unlock()
+			revoked := k.revokeWriterLease(req.ID, e, holder, ssHolder, false)
+			k.mu.Lock()
+			if revoked && e.writerUS == holder {
+				e.writerUS = vclock.NoSite
+				e.writerSS = vclock.NoSite
+			}
+		}
+		if e.writerUS != vclock.NoSite {
+			pollFirst = e.writerSS
+		}
+	}
 	latest := e.latestVV.Copy()
 	sites := append([]SiteID(nil), e.sites...)
 	k.mu.Unlock()
+
+	if req.Mode == ModeModify && leasesOn {
+		// Recall every outstanding read delegation in one batched round
+		// before the writer proceeds (the opener's own record, if any,
+		// is dropped without a callback).
+		k.revokeDelegates(req.ID, e, req.US)
+	}
+	// wantDelegate: answer this read open with a read delegation
+	// piggybacked on the reply (zero extra messages).
+	wantDelegate := leasesOn && req.Mode == ModeRead && pollFirst == vclock.NoSite
 
 	rollback := func() {
 		if req.Mode == ModeModify {
@@ -170,18 +215,36 @@ func (k *Kernel) handleOpen(_ SiteID, p any) (any, error) {
 		}
 	}
 
-	register := func(ss SiteID) {
+	// register records the open in the lock table and returns the lease
+	// to piggyback on the reply, if any. The delegation decision is
+	// re-checked under the lock: if a writer claimed the slot while
+	// this open was being served, the US is recorded as a plain reader
+	// and no lease is granted.
+	register := func(ss SiteID) *leaseGrant {
 		if req.Mode == ModeInternal {
-			return // unsynchronized: no lock-table record
+			return nil // unsynchronized: no lock-table record
 		}
 		k.mu.Lock()
+		defer k.mu.Unlock()
 		if req.Mode == ModeModify {
 			e.writerSS = ss
-		} else {
-			e.readers[req.US]++
-			e.readerSS[req.US] = ss
+			if !leasesOn {
+				return nil
+			}
+			k.meter().AddLeaseGranted()
+			return &leaseGrant{VV: e.latestVV.Copy(), Sites: append([]SiteID(nil), e.sites...)}
 		}
-		k.mu.Unlock()
+		if wantDelegate && e.writerUS == vclock.NoSite {
+			if e.delegates == nil {
+				e.delegates = make(map[SiteID]vclock.VV)
+			}
+			e.delegates[req.US] = e.latestVV.Copy()
+			k.meter().AddLeaseGranted()
+			return &leaseGrant{VV: e.latestVV.Copy(), Sites: append([]SiteID(nil), e.sites...)}
+		}
+		e.readers[req.US]++
+		e.readerSS[req.US] = ss
+		return nil
 	}
 
 	k.mu.Lock()
@@ -190,58 +253,71 @@ func (k *Kernel) handleOpen(_ SiteID, p any) (any, error) {
 
 	// Optimization 1 (§2.3.3): the US's own copy is the latest — tell
 	// it to serve itself; no storage-site message needed.
-	if !noOpt && req.USVV != nil && req.USVV.DominatesOrEqual(latest) && containsSite(sites, req.US) {
-		register(req.US)
-		return &openResp{SS: req.US}, nil
+	if !noOpt && pollFirst == vclock.NoSite && req.USVV != nil && req.USVV.DominatesOrEqual(latest) && containsSite(sites, req.US) {
+		return &openResp{SS: req.US, Delegation: register(req.US)}, nil
 	}
 
 	// Optimization 2: the CSS itself stores the latest version.
-	if r := k.localGetVV(req.ID); !noOpt && r.Has && !r.Deleted && r.VV.DominatesOrEqual(latest) {
-		if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
-			rollback()
-			return nil, err
+	if r := k.localGetVV(req.ID); !noOpt && pollFirst == vclock.NoSite && r.Has && !r.Deleted && r.VV.DominatesOrEqual(latest) {
+		// A delegated read installs no serving state: committed pages
+		// are served statelessly and the delegate closes locally.
+		if !wantDelegate {
+			if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
+				rollback()
+				return nil, err
+			}
 		}
 		ino, err := k.container(req.ID.FG).GetInode(req.ID.Inode)
 		if err != nil {
 			rollback()
 			return nil, err
 		}
-		register(k.site)
-		return &openResp{SS: k.site, Ino: ino, ServeReady: true}, nil
+		return &openResp{SS: k.site, Ino: ino, ServeReady: true, Delegation: register(k.site)}, nil
 	}
 
 	// General case: poll potential storage sites (§2.3.3: "The
 	// potential sites are polled to see if they will act as storage
-	// sites").
-	for _, cand := range sites {
-		if !noOpt && (cand == k.site || cand == req.US) {
+	// sites"). A read under a held writer lease polls the writer's SS
+	// first — the commit point holds the newest committed version.
+	order := sites
+	if pollFirst != vclock.NoSite {
+		order = append([]SiteID{pollFirst}, sites...)
+	}
+	polled := map[SiteID]bool{}
+	for _, cand := range order {
+		if polled[cand] {
+			continue
+		}
+		polled[cand] = true
+		if !noOpt && pollFirst == vclock.NoSite && (cand == k.site || cand == req.US) {
 			continue // both already ruled out above
 		}
 		if !k.inPartition(cand) {
 			continue // unreachable
 		}
 		if cand == k.site {
-			// Ablation path: CSS as SS through the local handler.
-			if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
-				continue
+			// CSS as SS through the local handler (ablation path, or a
+			// read forced onto the writer's SS).
+			if !wantDelegate {
+				if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
+					continue
+				}
 			}
 			ino, err := k.container(req.ID.FG).GetInode(req.ID.Inode)
 			if err != nil {
 				continue
 			}
-			register(k.site)
-			return &openResp{SS: k.site, Ino: ino, ServeReady: true}, nil
+			return &openResp{SS: k.site, Ino: ino, ServeReady: true, Delegation: register(k.site)}, nil
 		}
-		resp, err := k.call(cand, mSSOpen, &ssOpenReq{ID: req.ID, Mode: req.Mode, US: req.US, NeedVV: latest})
+		resp, err := k.call(cand, mSSOpen, &ssOpenReq{ID: req.ID, Mode: req.Mode, US: req.US, NeedVV: latest, Delegated: wantDelegate})
 		if err != nil {
 			continue
 		}
 		r := resp.(*ssOpenResp)
-		register(cand)
 		// Clone at the boundary: the decoded inode aliases the SS's
 		// reply (in-memory transport passes pointers), and the US will
 		// treat the returned inode as its own in-core copy.
-		return &openResp{SS: cand, Ino: r.Ino.Clone(), ServeReady: true}, nil
+		return &openResp{SS: cand, Ino: r.Ino.Clone(), ServeReady: true, Delegation: register(cand)}, nil
 	}
 	rollback()
 	return nil, fmt.Errorf("%w: %v (latest %v)", ErrNoStorageSite, req.ID, latest)
@@ -263,8 +339,12 @@ func (k *Kernel) handleSSOpen(_ SiteID, p any) (any, error) {
 		// Our copy is out of date: refuse to act as storage site.
 		return nil, fmt.Errorf("%w: site %d stores %v, need %v", ErrNoStorageSite, k.site, ino.VV, req.NeedVV)
 	}
-	if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
-		return nil, err
+	if !req.Delegated {
+		// A delegated read installs no reader serving state: committed
+		// pages are served statelessly and the delegate closes locally.
+		if err := k.setupServe(req.ID, req.Mode, req.US); err != nil {
+			return nil, err
+		}
 	}
 	return &ssOpenResp{Ino: ino}, nil
 }
@@ -359,6 +439,17 @@ func (k *Kernel) OpenID(id storage.FileID, mode OpenMode) (*File, error) {
 			}
 		}
 	}
+	// Lease fast path: a held writer lease serves any open, a read
+	// delegation serves read opens — zero wire messages, no CSS round
+	// trip (the point of the lease layer).
+	if mode != ModeInternal {
+		if f := k.openUnderLease(id, mode); f != nil {
+			if mode == ModeModify {
+				k.cache.invalidateFile(id)
+			}
+			return f, nil
+		}
+	}
 	css, err := k.CSSOf(id.FG)
 	if err != nil {
 		return nil, err
@@ -400,11 +491,15 @@ func (k *Kernel) OpenID(id storage.FileID, mode OpenMode) (*File, error) {
 		dirty:    make(map[storage.PageNo]bool),
 		internal: mode == ModeInternal,
 	}
+	// A read open answered with a delegation holds no serving state
+	// anywhere; don't install any locally either.
+	delegatedRead := r.Delegation != nil && mode == ModeRead
 	if r.SS == k.site {
 		// We are our own storage site. Unless the CSS already installed
 		// the serving state (it did when this site is also the CSS and
-		// selected itself), set it up now.
-		if !r.ServeReady {
+		// selected itself) or the open is a delegated read, set it up
+		// now.
+		if !r.ServeReady && !delegatedRead {
 			if err := k.setupServe(id, mode, k.site); err != nil {
 				k.releaseCSSLock(css, id, mode)
 				return nil, err
@@ -418,6 +513,13 @@ func (k *Kernel) OpenID(id storage.FileID, mode OpenMode) (*File, error) {
 		f.ino = ino
 	} else {
 		f.ino = r.Ino.Clone()
+	}
+	if r.Delegation != nil && k.recordLease(id, mode, r.Delegation, r.SS, css, f.ino) {
+		if mode == ModeModify {
+			f.leased = true
+		} else {
+			f.delegated = true
+		}
 	}
 	k.mu.Lock()
 	k.openFiles[f] = true
@@ -433,10 +535,10 @@ func (k *Kernel) releaseCSSLock(css SiteID, id storage.FileID, mode OpenMode) {
 	}
 	req := &ssCloseReq{ID: id, SS: k.site, US: k.site, Mode: mode}
 	if css == k.site {
-		k.handleSSClose(k.site, req) //nolint:errcheck // best-effort release
+		k.handleSSClose(k.site, req) //locus:vet-allow uncheckedcall best-effort release
 		return
 	}
-	k.call(css, mSSClose, req) //nolint:errcheck // best-effort release
+	k.call(css, mSSClose, req) //locus:vet-allow uncheckedcall best-effort release
 }
 
 // tryLocalInternal returns a zero-message internal handle when the

@@ -67,7 +67,7 @@ func (k *Kernel) readDirByID(id storage.FileID) (*format.Directory, *storage.Ino
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close() //nolint:errcheck // internal close is local bookkeeping
+	defer f.Close() //locus:vet-allow uncheckedcall internal close is local bookkeeping
 	if f.ino.Type != storage.TypeDirectory && f.ino.Type != storage.TypeHiddenDir {
 		return nil, nil, fmt.Errorf("%w: %v is %v", ErrNotDir, id, f.ino.Type)
 	}
@@ -96,7 +96,7 @@ func (k *Kernel) statType(id storage.FileID) (storage.FileType, error) {
 		return 0, err
 	}
 	t := f.ino.Type
-	f.Close() //nolint:errcheck // internal close
+	f.Close() //locus:vet-allow uncheckedcall internal close
 	return t, nil
 }
 
@@ -248,6 +248,6 @@ func (k *Kernel) fileSites(id storage.FileID) []SiteID {
 		return nil
 	}
 	sites := append([]SiteID(nil), f.ino.Sites...)
-	f.Close() //nolint:errcheck // internal close
+	f.Close() //locus:vet-allow uncheckedcall internal close
 	return sites
 }

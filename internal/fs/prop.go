@@ -32,6 +32,10 @@ func (k *Kernel) applyPropNotify(_ SiteID, note *propNotify) {
 	// through an already-open handle is impossible once the
 	// notification arrives (§2.3.6).
 	k.cache.invalidateFile(note.ID)
+	// A read delegation stamped with an older VV no longer serves the
+	// current version: drop it, so the next open revalidates at the
+	// CSS.
+	k.dropLeaseIfStale(note.ID, note.VV)
 	// CSS bookkeeping: remember the most current version and storage
 	// sites.
 	if css, err := k.CSSOf(note.ID.FG); err == nil && css == k.site {
@@ -41,6 +45,11 @@ func (k *Kernel) applyPropNotify(_ SiteID, note *propNotify) {
 				e.latestVV = note.VV.Copy()
 				e.sites = append([]SiteID(nil), note.Sites...)
 			}
+			// Delegate records stamped with an older VV are *not*
+			// pruned here: the CSS must stay conservative (a record
+			// without a holder is healed by the next revoke round, but
+			// a holder without a record would serve stale reads
+			// unsupervised).
 		}
 		k.mu.Unlock()
 	}

@@ -51,6 +51,15 @@ const (
 	// mRevokeServe is CSS → SS: discard serving state for a writer whose
 	// handle is gone (its close was lost to the network).
 	mRevokeServe = "fs.revokeserve"
+	// mLeaseRevoke is CSS → lease holder: a VV-stamped callback demanding
+	// a read delegation or writer lease back (the Lustre-style intent
+	// lock revocation). The holder answers with its committed version so
+	// the CSS can fold the writer's final state into its lock table
+	// before granting the conflicting open.
+	mLeaseRevoke = "fs.leaserevoke"
+	// mLeaseRelease is US → CSS: voluntary return of a lease (ablation
+	// switch-off, or a delegate upgrading itself to a writer).
+	mLeaseRelease = "fs.leaserelease"
 )
 
 type openReq struct {
@@ -72,6 +81,12 @@ type openResp struct {
 	// only when the CSS selects the US itself must the US install its
 	// own serving state.
 	ServeReady bool
+	// Delegation, when non-nil, piggybacks a lease on the open reply:
+	// the US may re-open, read, and close this file locally without
+	// contacting the CSS for as long as the lease is held (read
+	// delegation on a read open; exclusive writer lease on a modify
+	// open). Only granted when the lease layer is enabled.
+	Delegation *leaseGrant
 }
 
 type ssOpenReq struct {
@@ -83,6 +98,11 @@ type ssOpenReq struct {
 	// yet store the latest version, they refuse to act as a storage
 	// site").
 	NeedVV vclock.VV
+	// Delegated marks the poll of a read open that will be answered
+	// with a read delegation: the SS returns its inode snapshot but
+	// installs no reader serving state, because the delegate reads
+	// committed pages (which need none) and closes locally.
+	Delegated bool
 }
 
 type ssOpenResp struct {
@@ -197,6 +217,43 @@ type revokeServeReq struct {
 	// US is the writer whose serving state is to be discarded; a
 	// revoke for any other writer is ignored (the state was already
 	// reclaimed and possibly re-acquired).
+	US SiteID
+}
+
+// leaseGrant is the VV-stamped lease piggybacked on an open reply. The
+// stamp freezes the version the holder may serve locally: a propagation
+// notification carrying a dominating VV invalidates the delegation.
+type leaseGrant struct {
+	VV    vclock.VV
+	Sites []SiteID
+}
+
+type leaseRevokeReq struct {
+	ID storage.FileID
+	// Mode says what is being recalled: ModeRead for a delegate entry
+	// in a batched round, ModeModify for the writer lease. A writer
+	// revoke doubles as the lock-table validation probe, so a live
+	// modify handle at the holder refuses it.
+	Mode OpenMode
+	// SelfProbe marks a writer revoke performed on behalf of a new
+	// open from the probed site itself (see probeOpenReq.SelfProbe).
+	SelfProbe bool
+}
+
+type leaseRevokeResp struct {
+	// Released reports the lease is gone; false means a live modify
+	// handle still holds it and the revoking open must fail busy.
+	Released bool
+	// VV/Sites are the holder's committed version and storage-site list
+	// at release time — the writer-lease analogue of the close
+	// protocol's VV piggyback, folded into the CSS lock table before
+	// the conflicting open proceeds.
+	VV    vclock.VV
+	Sites []SiteID
+}
+
+type leaseReleaseReq struct {
+	ID storage.FileID
 	US SiteID
 }
 

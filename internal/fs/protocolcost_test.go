@@ -15,7 +15,7 @@ import (
 // close = 4) via Snapshot.Sub, so transport-layer refactors provably
 // change no wire traffic.
 func TestProtocolMessageCostsPinned(t *testing.T) {
-	pinProtocolCosts(t, false)
+	pinProtocolCosts(t, false, nil)
 }
 
 // TestProtocolCostsUnchangedWithFaultPlaneArmed re-pins the same exact
@@ -24,13 +24,72 @@ func TestProtocolMessageCostsPinned(t *testing.T) {
 // numbers on every mutating call, and the callee-side dedup tables must
 // add zero wire messages and zero fault events.
 func TestProtocolCostsUnchangedWithFaultPlaneArmed(t *testing.T) {
-	pinProtocolCosts(t, true)
+	pinProtocolCosts(t, true, nil)
 }
 
-func pinProtocolCosts(t *testing.T, armFaultPlane bool) {
+// TestProtocolCostsUnchangedAfterLeaseCycle re-pins the exact legacy
+// counts on a cluster that ran a full lease cycle first — delegations
+// granted and revoked, a writer lease taken and released — and was then
+// switched back with SetLeases(false). The ablation must reproduce the
+// paper's protocol byte for byte: no lease state may linger and change
+// a single wire message.
+func TestProtocolCostsUnchangedAfterLeaseCycle(t *testing.T) {
+	pinProtocolCosts(t, false, func(c *testCluster) {
+		for _, k := range c.kernels {
+			k.SetLeases(true)
+		}
+		writeFile(t, c.kernels[1], "/warm", bytes.Repeat([]byte{'w'}, storage.PageSize))
+		c.settle(t)
+		r, err := c.kernels[2].Resolve(cred(), "/warm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read delegation at site 2: grant, local reopen, local closes.
+		for i := 0; i < 2; i++ {
+			f, err := c.kernels[2].OpenID(r.ID, fs.ModeRead)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Writer lease at site 3: recalls the delegation, then a leased
+		// (wire-free) close.
+		w, err := c.kernels[3].OpenID(r.ID, fs.ModeModify)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteAt(bytes.Repeat([]byte{'x'}, storage.PageSize), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Ablation: drop back to the paper's protocol. Disabling releases
+		// every held lease (the writer lease performs its deferred close).
+		for _, k := range c.kernels {
+			k.SetLeases(false)
+		}
+		c.settle(t)
+		for site, k := range c.kernels {
+			if n := len(k.Leases()); n != 0 {
+				t.Fatalf("site %d still holds %d lease(s) after SetLeases(false)", site, n)
+			}
+			if n := len(k.Delegates()); n != 0 {
+				t.Fatalf("site %d still records %d delegate file(s) after SetLeases(false)", site, n)
+			}
+		}
+	})
+}
+
+func pinProtocolCosts(t *testing.T, armFaultPlane bool, prepare func(c *testCluster)) {
 	c := newCluster(t, 4) // CSS = site 1
 	if armFaultPlane {
 		c.net.EnableFaults(netsim.FaultConfig{Seed: 1})
+	}
+	if prepare != nil {
+		prepare(c)
 	}
 	writeFile(t, c.kernels[3], "/pin", bytes.Repeat([]byte{'p'}, 2*storage.PageSize))
 	// Store the file at sites 3 and 4 only: the CSS (1) holds no copy

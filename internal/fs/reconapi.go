@@ -191,11 +191,11 @@ func (k *Kernel) ReconcileCommit(id storage.FileID, ino *storage.Inode, content 
 func (k *Kernel) MarkConflict(id storage.FileID, sites []SiteID) {
 	for _, s := range sites {
 		if s == k.site {
-			k.handleMarkConflict(k.site, &markConflictReq{ID: id}) //nolint:errcheck // local marking cannot fail usefully
+			k.handleMarkConflict(k.site, &markConflictReq{ID: id}) //locus:vet-allow uncheckedcall local marking cannot fail usefully
 			continue
 		}
 		if k.inPartition(s) {
-			k.cast(s, mMarkConflict, &markConflictReq{ID: id}) //nolint:errcheck // unreachable packs marked at next merge
+			k.cast(s, mMarkConflict, &markConflictReq{ID: id}) //locus:vet-allow uncheckedcall unreachable packs marked at next merge
 		}
 	}
 }
@@ -227,7 +227,7 @@ func (k *Kernel) SchedulePullAt(sites []SiteID, id storage.FileID, vv vclock.VV,
 		if s == k.site {
 			k.applyPropNotify(k.site, note)
 		} else if k.inPartition(s) {
-			k.cast(s, mPropNotify, note) //nolint:errcheck // unreachable sites retry at next merge
+			k.cast(s, mPropNotify, note) //locus:vet-allow uncheckedcall unreachable sites retry at next merge
 		}
 	}
 }

@@ -39,14 +39,16 @@ const rpcRetryBudget = 8
 // idempotent reads of immutable snapshot pages, and exempting them
 // keeps page payloads out of the dedup tables.
 var mutating = map[string]bool{
-	mOpen:        true, // installs CSS lock-table + SS serving state
-	mSSOpen:      true, // installs SS serving state
-	mCommit:      true, // bumps the version vector, commits the shadow inode
-	mClose:       true, // tears down serving state
-	mSSClose:     true, // releases the CSS lock entry
-	mCreate:      true, // allocates a FileID
-	mSSCreate:    true, // durably commits the birth inode
-	mResolveShip: true, // may perform dirops at the shipped-to site
+	mOpen:         true, // installs CSS lock-table + SS serving state
+	mSSOpen:       true, // installs SS serving state
+	mCommit:       true, // bumps the version vector, commits the shadow inode
+	mClose:        true, // tears down serving state
+	mSSClose:      true, // releases the CSS lock entry
+	mCreate:       true, // allocates a FileID
+	mSSCreate:     true, // durably commits the birth inode
+	mResolveShip:  true, // may perform dirops at the shipped-to site
+	mLeaseRevoke:  true, // tears down lease state at the holder
+	mLeaseRelease: true, // removes the CSS delegate record
 }
 
 // call is the kernel's RPC entry point: Node.Call with LOCUS retry

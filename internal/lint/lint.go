@@ -25,9 +25,11 @@
 //     spuriously or replays a mutation.
 //
 // Findings are suppressed line-by-line with a trailing
-// `//locusvet:allow <analyzer>` comment (uncheckedcall also honors the
-// pre-existing `//nolint:errcheck` convention). Every suppression
-// should carry a justification after the directive.
+// `//locus:vet-allow <analyzer> <reason>` comment (the original
+// `//locusvet:allow` spelling is also recognized). Every suppression
+// must carry a justification; the pre-history `//nolint:errcheck`
+// convention no longer suppresses anything and is itself flagged by
+// the allow-directive audit.
 package lint
 
 import (
@@ -343,13 +345,10 @@ func suppressionsFor(prog *Program, pkg *Package) *suppressions {
 }
 
 // directiveNames extracts analyzer names from a suppression comment.
-// `//nolint:errcheck` is treated as allowing uncheckedcall, matching
-// the convention already used in this repository.
+// Only the locus directive spellings suppress; `//nolint:errcheck` was
+// grandfathered once but is now inert (and flagged by the audit).
 func directiveNames(text string) []string {
 	names, _ := parseAllowDirective(text)
-	if strings.Contains(text, "nolint:errcheck") {
-		names = append(names, "uncheckedcall")
-	}
 	return names
 }
 
@@ -392,15 +391,16 @@ type Allow struct {
 	Pos       token.Position `json:"pos"`
 	Analyzers []string       `json:"analyzers"`
 	Reason    string         `json:"reason"`
-	// Legacy marks a grandfathered `//nolint:errcheck` comment. Those
-	// still suppress uncheckedcall findings, but the reason audit
-	// applies only to the locus directive spellings.
+	// Legacy marks a `//nolint:errcheck` comment. Those no longer
+	// suppress anything; CollectAllows still surfaces them so the
+	// policy audit can point each one at the migration path.
 	Legacy bool `json:"legacy,omitempty"`
 }
 
 // CollectAllows scans every target package for allow directives so the
 // driver can count them and enforce that each carries a reason.
-// `//nolint:errcheck` comments are counted as uncheckedcall allows.
+// `//nolint:errcheck` comments are collected (as Legacy) purely so the
+// audit can flag them; they do not suppress findings.
 func CollectAllows(prog *Program) []Allow {
 	var out []Allow
 	for _, pkg := range prog.Targets {
@@ -409,12 +409,16 @@ func CollectAllows(prog *Program) []Allow {
 				for _, c := range cg.List {
 					names, reason := parseAllowDirective(c.Text)
 					legacy := false
-					if len(names) == 0 && strings.Contains(c.Text, "nolint:errcheck") {
-						names = []string{"uncheckedcall"}
-						legacy = true
-						if i := strings.Index(c.Text, "nolint:errcheck"); i >= 0 {
-							reason = strings.TrimSpace(strings.TrimPrefix(
-								strings.TrimSpace(c.Text[i+len("nolint:errcheck"):]), "//"))
+					if len(names) == 0 {
+						// Like parseAllowDirective, the marker must open
+						// the comment body: prose that merely mentions
+						// the retired spelling is not a directive.
+						body := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/"))
+						body = strings.TrimSpace(strings.TrimPrefix(body, "//"))
+						if rest, ok := strings.CutPrefix(body, "nolint:errcheck"); ok {
+							names = []string{"uncheckedcall"}
+							legacy = true
+							reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), "//"))
 						}
 					}
 					if len(names) == 0 {
@@ -439,21 +443,28 @@ func CollectAllows(prog *Program) []Allow {
 	return out
 }
 
-// AllowPolicyFindings flags allow directives that carry no reason: a
-// suppression without a justification is unauditable. Grandfathered
-// `//nolint:errcheck` comments are exempt.
+// AllowPolicyFindings flags allow directives that carry no reason — a
+// suppression without a justification is unauditable — and every
+// remaining `//nolint:errcheck` comment, which no longer suppresses
+// anything and must be migrated to the audited spelling.
 func AllowPolicyFindings(prog *Program) []Finding {
 	var out []Finding
 	for _, a := range CollectAllows(prog) {
-		if a.Reason != "" || a.Legacy {
-			continue
+		switch {
+		case a.Legacy:
+			out = append(out, Finding{
+				Pos:      a.Pos,
+				Analyzer: "vet-allow",
+				Message:  "legacy `//nolint:errcheck` directive suppresses nothing; migrate to `//locus:vet-allow uncheckedcall <reason>`",
+			})
+		case a.Reason == "":
+			out = append(out, Finding{
+				Pos:      a.Pos,
+				Analyzer: "vet-allow",
+				Message: fmt.Sprintf("allow directive for %s carries no reason; write `//locus:vet-allow %s <why>`",
+					strings.Join(a.Analyzers, ","), strings.Join(a.Analyzers, ",")),
+			})
 		}
-		out = append(out, Finding{
-			Pos:      a.Pos,
-			Analyzer: "vet-allow",
-			Message: fmt.Sprintf("allow directive for %s carries no reason; write `//locus:vet-allow %s <why>`",
-				strings.Join(a.Analyzers, ","), strings.Join(a.Analyzers, ",")),
-		})
 	}
 	return out
 }

@@ -250,6 +250,35 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 }
 
+// TestLegacyNolintIsPolicyFinding pins the retirement of the
+// grandfather clause: every surviving `//nolint:errcheck` comment is a
+// vet-allow policy finding directing the author to the audited
+// spelling, and none survive outside the lint fixtures.
+func TestLegacyNolintIsPolicyFinding(t *testing.T) {
+	t.Parallel()
+	p := sharedProgram(t)
+	testdata := string(filepath.Separator) + "testdata" + string(filepath.Separator)
+	found := false
+	for _, f := range AllowPolicyFindings(p) {
+		if !strings.Contains(f.Message, "nolint:errcheck") {
+			continue
+		}
+		if !strings.Contains(f.Pos.Filename, testdata) {
+			t.Errorf("legacy //nolint:errcheck directive in production code: %s", f)
+			continue
+		}
+		if strings.HasSuffix(f.Pos.Filename, "unchecked_f.go") {
+			found = true
+			if !strings.Contains(f.Message, "migrate to `//locus:vet-allow uncheckedcall <reason>`") {
+				t.Errorf("legacy finding does not point at the migration path: %s", f)
+			}
+		}
+	}
+	if !found {
+		t.Error("the unchecked_f fixture's //nolint:errcheck line produced no policy finding; the grandfather clause is back")
+	}
+}
+
 // TestLoadSurfacesTypeErrors exercises the load-failure path: a package
 // that fails to type-check must produce a structured LoadError naming
 // the package and its first error, never a silent skip.

@@ -34,9 +34,15 @@ func okChecked(c *Conn) error {
 	return err
 }
 
+func badLegacySuppression(c *Conn) {
+	// The retired //nolint:errcheck convention no longer suppresses
+	// anything (and the allow audit flags it for migration).
+	c.Cast("best-effort") //nolint:errcheck fixture: inert spelling // want "error result of Conn.Cast is discarded"
+}
+
 func okSuppressed(c *Conn) {
-	c.Cast("best-effort") //nolint:errcheck fixture: delivery is advisory here
-	c.Cast("best-effort") //locusvet:allow uncheckedcall fixture: same, new spelling
+	c.Cast("best-effort") //locus:vet-allow uncheckedcall fixture: delivery is advisory here
+	c.Cast("best-effort") //locusvet:allow uncheckedcall fixture: same, original spelling
 }
 
 // Unrelated methods with the same name on other types are not flagged.

@@ -14,8 +14,8 @@ import (
 // arrived, the shadow pages never became the committed image. Those
 // are precisely the conditions (§2.3.6, §5) LOCUS's recovery machinery
 // is built around, so callers must observe them. Deliberate discards
-// take a `//nolint:errcheck` or `//locusvet:allow uncheckedcall`
-// comment with a justification.
+// take a `//locus:vet-allow uncheckedcall <reason>` comment; the
+// justification is mandatory (the allow audit enforces it).
 func UncheckedCallAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "uncheckedcall",

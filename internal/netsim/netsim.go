@@ -138,6 +138,14 @@ type Stats struct {
 	pullWins  atomic.Int64
 	pullPages atomic.Int64
 
+	// Lease-layer counters, charged by the fs layer: delegations and
+	// writer leases granted by a CSS, leases recalled by revocation
+	// callbacks, and batched revoke rounds (one round per writer
+	// transition, however many delegates it recalls).
+	leasesGranted  atomic.Int64
+	leasesRevoked  atomic.Int64
+	batchedRevokes atomic.Int64
+
 	// Fault-plane counters: messages lost/duplicated/delayed by
 	// injected faults, and virtual-circuit resets (in-flight exchanges
 	// aborted by teardown or fault timeout).
@@ -176,6 +184,14 @@ type Snapshot struct {
 	PullWindowsSent int64
 	PullPagesSent   int64
 
+	// LeasesGranted counts read delegations and writer leases granted
+	// by a CSS; LeasesRevoked counts leases recalled by revocation
+	// callbacks; BatchedRevokes counts batched revoke rounds (leases
+	// revoked per round = LeasesRevoked/BatchedRevokes).
+	LeasesGranted  int64
+	LeasesRevoked  int64
+	BatchedRevokes int64
+
 	// MsgsDropped/MsgsDuped/MsgsDelayed count messages lost,
 	// duplicated, and delayed by the fault plane; CircuitResets counts
 	// virtual-circuit failures observed by in-flight exchanges
@@ -200,6 +216,8 @@ func (s *Stats) snapshot() Snapshot {
 		CacheInvals: s.cacheInvals.Load(),
 		RAPagesSent: s.raSent.Load(), RAPagesUsed: s.raUsed.Load(),
 		PullWindowsSent: s.pullWins.Load(), PullPagesSent: s.pullPages.Load(),
+		LeasesGranted: s.leasesGranted.Load(), LeasesRevoked: s.leasesRevoked.Load(),
+		BatchedRevokes: s.batchedRevokes.Load(),
 		MsgsDropped: s.fltDropped.Load(), MsgsDuped: s.fltDuped.Load(),
 		MsgsDelayed: s.fltDelayed.Load(), CircuitResets: s.resets.Load(),
 	}
@@ -273,6 +291,16 @@ func (s *Stats) AddPullWindow(n int) {
 	s.pullPages.Add(int64(n))
 }
 
+// AddLeaseGranted records one read delegation or writer lease granted
+// by a CSS.
+func (s *Stats) AddLeaseGranted() { s.leasesGranted.Add(1) }
+
+// AddLeasesRevoked records n leases recalled by revocation callbacks.
+func (s *Stats) AddLeasesRevoked(n int) { s.leasesRevoked.Add(int64(n)) }
+
+// AddBatchedRevoke records one batched revoke round.
+func (s *Stats) AddBatchedRevoke() { s.batchedRevokes.Add(1) }
+
 // addDropped counts a message lost to a closed circuit.
 func (s *Stats) addDropped() { s.dropped.Add(1) }
 
@@ -322,6 +350,9 @@ func (b Snapshot) Sub(a Snapshot) Snapshot {
 		RAPagesSent: b.RAPagesSent - a.RAPagesSent, RAPagesUsed: b.RAPagesUsed - a.RAPagesUsed,
 		PullWindowsSent: b.PullWindowsSent - a.PullWindowsSent,
 		PullPagesSent:   b.PullPagesSent - a.PullPagesSent,
+		LeasesGranted:   b.LeasesGranted - a.LeasesGranted,
+		LeasesRevoked:   b.LeasesRevoked - a.LeasesRevoked,
+		BatchedRevokes:  b.BatchedRevokes - a.BatchedRevokes,
 		MsgsDropped: b.MsgsDropped - a.MsgsDropped, MsgsDuped: b.MsgsDuped - a.MsgsDuped,
 		MsgsDelayed: b.MsgsDelayed - a.MsgsDelayed, CircuitResets: b.CircuitResets - a.CircuitResets,
 	}
@@ -1100,7 +1131,7 @@ func (n *Node) dispatch() {
 			switch env.kind {
 			case kindOneWay:
 				if h := n.handler(env.method); h != nil {
-					h(env.from, env.payload) //nolint:errcheck // one-way: no reply path
+					h(env.from, env.payload) //locus:vet-allow uncheckedcall one-way: no reply path
 				}
 				n.nw.active.Add(-1)
 			case kindRequest:

@@ -96,7 +96,7 @@ func (m *Manager) OpenDevice(p *Process, path string) (*DeviceHandle, error) {
 		return nil, err
 	}
 	ino := f.Inode()
-	f.Close() //nolint:errcheck // internal close
+	f.Close() //locus:vet-allow uncheckedcall internal close
 	hostStr := ino.Annotations[fs.DevSiteAnnotation]
 	name := ino.Annotations[fs.DevNameAnnotation]
 	host, err := strconv.Atoi(hostStr)

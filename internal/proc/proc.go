@@ -363,7 +363,7 @@ func (m *Manager) loadModule(cred *fs.Cred, path string, args []string) (Program
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close() //nolint:errcheck // read-only
+	defer f.Close() //locus:vet-allow uncheckedcall read-only
 	content, err := f.ReadAll()
 	if err != nil {
 		return nil, nil, err
@@ -453,14 +453,14 @@ func (m *Manager) exit(p *Process, st ExitStatus) {
 	p.fds = map[int]*FD{}
 	p.mu.Unlock()
 	for _, fd := range fds {
-		fd.Close() //nolint:errcheck // releasing on exit
+		fd.Close() //locus:vet-allow uncheckedcall releasing on exit
 	}
 	// The process stays in the table as a zombie until reaped by Wait.
 	p.done <- st
 	// Notify the parent's site so Wait unblocks across machines; a
 	// remotely-parented process has no local waiter, so reap it here.
 	if p.parent != (PID{}) && p.parent.Site != m.site {
-		m.cast(p.parent.Site, mChildExit, &childExitMsg{ //nolint:errcheck // parent site failure handled by its own cleanup
+		m.cast(p.parent.Site, mChildExit, &childExitMsg{ //locus:vet-allow uncheckedcall parent site failure handled by its own cleanup
 			Child: p.pid, Parent: p.parent, Code: st.Code,
 		})
 		m.mu.Lock()
@@ -608,10 +608,10 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
 		parentLost := p.parent != (PID{}) && p.parent.Site != m.site && !in[p.parent.Site]
 		p.mu.Unlock()
 		for _, child := range lostChildren {
-			m.signalInfo(p.pid, SIGCHILDERR, fmt.Sprintf("child %v lost: site failed", child)) //nolint:errcheck // local delivery
+			m.signalInfo(p.pid, SIGCHILDERR, fmt.Sprintf("child %v lost: site failed", child)) //locus:vet-allow uncheckedcall local delivery
 		}
 		if parentLost {
-			m.signalInfo(p.pid, SIGPARENTERR, fmt.Sprintf("parent %v lost: site failed", p.parent)) //nolint:errcheck // local delivery
+			m.signalInfo(p.pid, SIGPARENTERR, fmt.Sprintf("parent %v lost: site failed", p.parent)) //locus:vet-allow uncheckedcall local delivery
 		}
 	}
 }

@@ -61,7 +61,7 @@ func (r *Reconciler) DeliverMail(user, from, body string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close() //nolint:errcheck // commit below is the durability point
+	defer f.Close() //locus:vet-allow uncheckedcall commit below is the durability point
 	raw, err := f.ReadAll()
 	if err != nil {
 		return err
@@ -88,7 +88,7 @@ func (r *Reconciler) DeleteMail(user, id string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close() //nolint:errcheck // commit below
+	defer f.Close() //locus:vet-allow uncheckedcall commit below
 	raw, err := f.ReadAll()
 	if err != nil {
 		return err
@@ -117,7 +117,7 @@ func (r *Reconciler) ReadMail(user string) ([]format.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close() //nolint:errcheck // read-only
+	defer f.Close() //locus:vet-allow uncheckedcall read-only
 	raw, err := f.ReadAll()
 	if err != nil {
 		return nil, err

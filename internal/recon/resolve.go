@@ -126,7 +126,7 @@ func (r *Reconciler) ResolveSplit(cred *fs.Cred, path string) ([]string, error) 
 		}
 		if len(c.Content) > 0 {
 			if err := f.WriteAll(c.Content); err != nil {
-				f.Close() //nolint:errcheck // abandoning
+				f.Close() //locus:vet-allow uncheckedcall abandoning
 				return names, err
 			}
 		}

@@ -413,7 +413,7 @@ func (m *Manager) announce(p []SiteID) {
 		if s == m.site {
 			continue
 		}
-		m.node.Call(s, mAnnounce, req) //nolint:errcheck // a site lost here is caught by the next protocol round
+		m.node.Call(s, mAnnounce, req) //locus:vet-allow uncheckedcall a site lost here is caught by the next protocol round
 	}
 	m.install(req.P, gen)
 }

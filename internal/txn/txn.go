@@ -200,7 +200,7 @@ func (t *Txn) touch(path string, create bool) (storage.FileID, error) {
 		}
 		base, err := handle.ReadAll()
 		if err != nil {
-			handle.Close() //nolint:errcheck // abandoning the lock
+			handle.Close() //locus:vet-allow uncheckedcall abandoning the lock
 			return storage.FileID{}, err
 		}
 		id = handle.ID()
@@ -380,7 +380,7 @@ func (t *Txn) releaseAborted() error {
 		if err := lf.handle.Abort(); err != nil && firstErr == nil && !errors.Is(err, fs.ErrStale) {
 			firstErr = err
 		}
-		lf.handle.Close() //nolint:errcheck // releasing
+		lf.handle.Close() //locus:vet-allow uncheckedcall releasing
 		if lf.created {
 			if err := k.Unlink(t.cred, lf.path); err != nil && firstErr == nil {
 				firstErr = err
@@ -422,7 +422,7 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) int {
 		if t.state == Active {
 			t.state = Aborted
 			t.mu.Unlock()
-			t.releaseAborted() //nolint:errcheck // best-effort rollback during failure handling
+			t.releaseAborted() //locus:vet-allow uncheckedcall best-effort rollback during failure handling
 		} else {
 			t.mu.Unlock()
 		}

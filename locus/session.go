@@ -66,7 +66,7 @@ func (se *Session) WriteFile(path string, data []byte) error {
 		}
 	}
 	if err := f.WriteAll(data); err != nil {
-		f.Close() //nolint:errcheck // abandoning after failure
+		f.Close() //locus:vet-allow uncheckedcall abandoning after failure
 		return err
 	}
 	return f.Close() // closing a file commits it (§2.3.6)
@@ -78,7 +78,7 @@ func (se *Session) ReadFile(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close() //nolint:errcheck // read-only
+	defer f.Close() //locus:vet-allow uncheckedcall read-only
 	return f.ReadAll()
 }
 
