@@ -51,10 +51,13 @@ benchjson:
 benchdiff:
 	$(GO) run ./cmd/benchdiff
 
-# chaos runs the seeded chaos harness (internal/chaos) on its three
-# pinned seeds with the race detector and the runtime invariant layer
-# both enabled. Any failure prints the seed; rerun a single seed with
-#   go test -run 'TestChaosSeeds/seed=7' -race -tags locusinvariants ./internal/chaos
+# chaos runs the seeded chaos harness (internal/chaos) on its pinned
+# seeds — the workload-only regimes plus TestChaosProcSeeds, which adds
+# the process-level adversarial plane (remote run, cross-site signals,
+# pipes, migration, nested transactions) — with the race detector and
+# the runtime invariant layer both enabled. Any violation prints a
+# one-line replay command (copy-paste it to reproduce byte-identically);
+# set CHAOS_ARTIFACT_DIR to also write the failing op log to a file.
 chaos:
 	$(GO) test -run TestChaos -race -tags locusinvariants -count=1 ./internal/chaos
 

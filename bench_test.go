@@ -523,8 +523,8 @@ func BenchmarkE14_HotFileOpenStorm(b *testing.B) {
 // headline shapes the paper reports.
 func TestExperimentTables(t *testing.T) {
 	tables := bench.All()
-	if len(tables) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(tables))
 	}
 	byID := map[string]*bench.Table{}
 	for _, tb := range tables {
@@ -705,6 +705,44 @@ func TestExperimentTables(t *testing.T) {
 	if onClose >= offClose {
 		t.Errorf("E14 leased writer commit+close = %d msgs vs legacy %d: the writer lease no longer skips the wire close", onClose, offClose)
 	}
+
+	// E15: killing the executing site must fire every §5.6 failure
+	// action — orphan notices for the processes whose parents died,
+	// exactly one pipe endpoint torn down, the partitioned transaction
+	// aborted, all three signals to dead processes queued then expired
+	// at merge, and the cross-partition signal to a live process
+	// queued then replayed.
+	e15 := byID["E15"]
+	if len(e15.Rows) != 5 {
+		t.Fatalf("E15: %d rows, want 5 (stages)", len(e15.Rows))
+	}
+	e15At := func(row, col int) int64 {
+		v, err := strconv.ParseInt(e15.Rows[row][col], 10, 64)
+		if err != nil {
+			t.Fatalf("E15 row %d col %d = %q: %v", row, col, e15.Rows[row][col], err)
+		}
+		return v
+	}
+	if n := e15At(1, 2); n != 3 {
+		t.Errorf("E15 crash stage delivered %d orphan notices, want 3 (one per orphaned sitter)", n)
+	}
+	if n := e15At(1, 3); n != 1 {
+		t.Errorf("E15 crash stage tore down %d pipe endpoints, want 1 (the dead writer end)", n)
+	}
+	if n := e15At(1, 4); n != 1 {
+		t.Errorf("E15 crash stage aborted %d transactions, want 1 (the lock on the dead site's file)", n)
+	}
+	if q, x := e15At(2, 5), e15At(3, 7); q != 3 || x != 3 {
+		t.Errorf("E15 dead-target signals: %d queued, %d expired at merge — want 3 and 3", q, x)
+	}
+	if q, r := e15At(4, 5), e15At(4, 6); q != 1 || r != 1 {
+		t.Errorf("E15 live-target signal: %d queued, %d replayed at merge — want 1 and 1", q, r)
+	}
+	for _, note := range e15.Notes {
+		if strings.Contains(note, "eof=false") {
+			t.Errorf("E15: the pipe reader never reached io.EOF: %s", note)
+		}
+	}
 }
 
 // TestBenchSmoke is the CI smoke entry point: it runs the cache/
@@ -727,6 +765,14 @@ func TestBenchSmoke(t *testing.T) {
 	}
 	if res14.LeasesGranted == 0 || res14.LeasesRevoked == 0 || res14.BatchedRevokes == 0 {
 		t.Fatalf("lease counters not aggregated: %+v", res14)
+	}
+	tbl15, res15 := bench.RunWithMetrics(bench.Experiment{ID: "E15", Run: bench.E15})
+	if tbl15 == nil || len(tbl15.Rows) != 5 {
+		t.Fatalf("E15 table malformed: %+v", tbl15)
+	}
+	if res15.OrphanNotices == 0 || res15.PipeTeardowns == 0 || res15.TxnPartitionAborts == 0 ||
+		res15.SignalsQueued == 0 || res15.SignalsReplayed == 0 || res15.SignalsExpired == 0 {
+		t.Fatalf("§5.6 failure-action counters not aggregated: %+v", res15)
 	}
 	var buf bytes.Buffer
 	if err := bench.WriteJSON(&buf, []bench.Result{res}); err != nil {

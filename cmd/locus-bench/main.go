@@ -4,7 +4,7 @@
 // Usage:
 //
 //	locus-bench                       # run every experiment
-//	locus-bench -exp E2               # run one experiment (E1..E14)
+//	locus-bench -exp E2               # run one experiment (E1..E15)
 //	locus-bench -list                 # list experiments
 //	locus-bench -json BENCH_locus.json  # also write machine-readable results
 package main
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (E1..E14)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E15)")
 	list := flag.Bool("list", false, "list experiments")
 	jsonPath := flag.String("json", "", "write per-experiment results to FILE (BENCH_locus.json schema)")
 	flag.Parse()

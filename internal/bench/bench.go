@@ -12,6 +12,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -1225,8 +1226,158 @@ func E14() *Table {
 	return t
 }
 
+// E15 measures the §5.6 failure-action table end to end: kill the site
+// that is executing this user's work. A 3-site cluster runs three
+// remote processes at site 2 on behalf of a site-1 shell, three
+// processes at site 3 whose parents live at site 2, a cross-site named
+// pipe whose writer sits at site 2, and a site-1 transaction holding a
+// modify lock on a file stored only at site 2 — then site 2 crashes.
+// Every row is one stage of the §5.6 cleanup, reporting the message
+// bill and the failure-action counters: orphan notices delivered,
+// pipe endpoints torn down, transactions partition-aborted, and
+// cross-partition signals queued, then replayed or expired at merge.
+func E15() *Table {
+	const sitters = 3
+	c := mustCluster(3)
+	defer c.Close()
+	for _, id := range c.Sites() {
+		c.Site(id).Proc.Register("sit", func(ctx *proc.Ctx) int {
+			<-ctx.Signals()
+			return 0
+		})
+	}
+	u1 := c.Site(1).Login("u1")
+	u2 := c.Site(2).Login("u2")
+	u3 := c.Site(3).Login("u3")
+	must(u1.WriteFile("/sit", []byte("go:sit\n")))
+	must(u1.WriteFile("/victim", page('v')))
+	must(u1.SetReplication("/victim", 2))
+	must(u1.Mkfifo("/fifo"))
+	c.Settle()
+
+	t := &Table{
+		ID:    "E15",
+		Title: "§5.6 failure actions — kill the executing site: orphan notices, pipe EOF, txn aborts, signal queue/replay",
+		Paper: "remote operations return site-failure errors, orphaned processes are notified, pipes deliver EOF (never a hang), partitioned transactions abort, and undeliverable signals queue until merge",
+		Headers: []string{"stage", "msgs", "orphan notices", "pipe teardowns",
+			"txn aborts", "sigs queued", "sigs replayed", "sigs expired"},
+	}
+	before := c.Stats()
+	row := func(stage string) {
+		d := c.Stats().Sub(before)
+		before = c.Stats()
+		t.Rows = append(t.Rows, []string{
+			stage,
+			cell("%d", d.Msgs),
+			cell("%d", d.OrphanNotices),
+			cell("%d", d.PipeTeardowns),
+			cell("%d", d.TxnPartitionAborts),
+			cell("%d", d.SignalsQueued),
+			cell("%d", d.SignalsReplayed),
+			cell("%d", d.SignalsExpired),
+		})
+	}
+
+	// Stage 1: the doomed workload. Site 1 runs sitters at site 2;
+	// site 2 runs sitters at site 3 (their orphan notices will fire at
+	// the surviving site); the fifo's writer end lives at site 2 while
+	// its server and reader live at site 1; the site-1 transaction
+	// locks the file stored only at site 2.
+	u1.SetExecSite(2)
+	var remotePids []proc.PID
+	for i := 0; i < sitters; i++ {
+		pid, err := u1.Run("/sit")
+		must(err)
+		remotePids = append(remotePids, pid)
+	}
+	u1.SetExecSite()
+	u2.SetExecSite(3)
+	for i := 0; i < sitters; i++ {
+		_, err := u2.Run("/sit")
+		must(err)
+	}
+	u2.SetExecSite()
+	w, err := u2.OpenPipe("/fifo", true)
+	must(err)
+	rd, err := u1.OpenPipe("/fifo", false)
+	must(err)
+	must(w.Write(page('p')[:768]))
+	got, err := rd.Read(256)
+	must(err)
+	piped := len(got)
+	tx := u1.Begin()
+	must(tx.WriteFile("/victim", page('w')))
+	row("setup: 2x3 remote processes, cross-site pipe, txn locking a site-2 file")
+
+	// Stage 2: the executing site dies. The partition protocol drives
+	// every survivor's cleanup procedure; the orphaned sitters at
+	// site 3 are notified, wake, and exit.
+	c.Crash(2)
+	c.Site(3).Proc.DrainPrograms()
+	c.Network().Quiesce()
+	row("crash site 2: survivors run the §5.6 cleanup procedure")
+
+	// Stage 3: the survivors observe the failure synchronously — every
+	// wait fails with a site-failure error, the pipe drains its buffer
+	// to EOF instead of hanging, the commit reports the abort, and the
+	// signals to dead processes queue at the sender.
+	waitsFailed := 0
+	for _, pid := range remotePids {
+		if st := u1.Wait(pid); errors.Is(st.Err, proc.ErrSiteFailed) {
+			waitsFailed++
+		}
+	}
+	var eof bool
+	for i := 0; i < 100; i++ {
+		b, err := rd.Read(256)
+		if err == io.EOF {
+			eof = true
+			break
+		}
+		must(err)
+		piped += len(b)
+	}
+	commitErr := tx.Commit()
+	for _, pid := range remotePids {
+		if err := u1.Signal(pid, proc.SIGTERM); !errors.Is(err, proc.ErrSiteFailed) {
+			must(fmt.Errorf("signal to dead site = %v, want ErrSiteFailed", err))
+		}
+	}
+	row("survivors: waits fail, pipe drains to EOF, commit aborts, signals queue")
+
+	// Stage 4: the crashed site returns. The merge replays the queued
+	// signals; the targets died with the site, so all of them expire
+	// with a definitive no-such-process answer.
+	if _, err := c.Restart(2); err != nil {
+		must(err)
+	}
+	row("restart + merge: queued signals expire (targets died with the site)")
+
+	// Stage 5: the same queue delivers when the target survives — a
+	// sitter local to site 3 is signalled across a partition, and the
+	// merge replays the SIGTERM, which terminates it.
+	survivor, err := u3.Run("/sit")
+	must(err)
+	c.Partition([]SiteID{1, 2}, []SiteID{3})
+	if err := u1.Signal(survivor, proc.SIGTERM); !errors.Is(err, proc.ErrSiteFailed) {
+		must(fmt.Errorf("cross-partition signal = %v, want ErrSiteFailed", err))
+	}
+	if _, err := c.Merge(); err != nil {
+		must(err)
+	}
+	c.Site(3).Proc.DrainPrograms()
+	c.Network().Quiesce()
+	row("partition, signal a live process, merge: queued signal replays")
+
+	t.Notes = append(t.Notes,
+		cell("%d/%d waits on the dead site returned ErrSiteFailed; the reader drained %d buffered bytes then io.EOF (eof=%v, never a hang)",
+			waitsFailed, sitters, piped, eof),
+		cell("commit after the partition abort returned %q; the merge-replayed SIGTERM terminated the surviving sitter", commitErr))
+	return t
+}
+
 func All() []*Table {
-	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14()}
+	return []*Table{E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(), E14(), E15()}
 }
 
 // keep imports referenced in all build configurations

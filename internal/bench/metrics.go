@@ -21,6 +21,7 @@ func Experiments() []Experiment {
 		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
 		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
 		{"E11", E11}, {"E12", E12}, {"E13", E13}, {"E14", E14},
+		{"E15", E15},
 	}
 }
 
@@ -63,6 +64,14 @@ type Result struct {
 	MsgsDuped     int64 `json:"msgs_duped"`
 	MsgsDelayed   int64 `json:"msgs_delayed"`
 	CircuitResets int64 `json:"circuit_resets"`
+	// §5.6 failure-action cleanup counters (nonzero only for
+	// experiments that lose sites mid-workload, i.e. E15).
+	OrphanNotices      int64 `json:"orphan_notices"`
+	PipeTeardowns      int64 `json:"pipe_teardowns"`
+	TxnPartitionAborts int64 `json:"txn_partition_aborts"`
+	SignalsQueued      int64 `json:"signals_queued"`
+	SignalsReplayed    int64 `json:"signals_replayed"`
+	SignalsExpired     int64 `json:"signals_expired"`
 }
 
 // RunWithMetrics runs one experiment and aggregates the final traffic
@@ -95,6 +104,12 @@ func RunWithMetrics(e Experiment) (*Table, Result) {
 		res.MsgsDuped += s.MsgsDuped
 		res.MsgsDelayed += s.MsgsDelayed
 		res.CircuitResets += s.CircuitResets
+		res.OrphanNotices += s.OrphanNotices
+		res.PipeTeardowns += s.PipeTeardowns
+		res.TxnPartitionAborts += s.TxnPartitionAborts
+		res.SignalsQueued += s.SignalsQueued
+		res.SignalsReplayed += s.SignalsReplayed
+		res.SignalsExpired += s.SignalsExpired
 	}
 	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
 		res.CacheHitRate = math.Round(float64(res.CacheHits)/float64(lookups)*1e4) / 1e4

@@ -49,6 +49,13 @@ type Config struct {
 	// reclaim across crashes and partitions. The post-heal fsck then also
 	// checks for stranded lease records.
 	Leases bool
+	// Procs enables the process-level adversarial plane: remote run,
+	// cross-site signals, named pipes spanning sites, migration, and
+	// nested transactions interleave with the topology events, and a
+	// §5.6 failure-action shadow model checks every prescribed outcome
+	// (error to caller, EOF not hang, exactly-once abort, queued-signal
+	// replay) after each failure event and at final heal.
+	Procs bool
 }
 
 func (c *Config) fill() {
@@ -66,6 +73,9 @@ func (c *Config) fill() {
 // Result is the outcome of a chaos run.
 type Result struct {
 	Seed uint64
+	// Config is the filled configuration the run used; ReplayCommand
+	// renders it back into a copy-pasteable go test invocation.
+	Config Config
 	// Schedule is the replay log: one line per schedule step.
 	Schedule []string
 	// Violations are the invariant failures found after the final heal.
@@ -75,10 +85,43 @@ type Result struct {
 	Stats netsim.Snapshot
 }
 
-// String renders the failure report (seed, violations, schedule).
+// ReplayCommand renders the one-line command that re-runs exactly this
+// schedule: the seed plus every non-default Config toggle, mapped to the
+// -chaos.* flags TestChaosExtraSeed consumes.
+func (r *Result) ReplayCommand() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "go test ./internal/chaos -run TestChaosExtraSeed -chaos.seed=%d", r.Seed)
+	c := r.Config
+	if c.Sites != 3 {
+		fmt.Fprintf(&b, " -chaos.sites=%d", c.Sites)
+	}
+	if c.Steps != 80 {
+		fmt.Fprintf(&b, " -chaos.steps=%d", c.Steps)
+	}
+	if c.Drop != 0.05 || c.Dup != 0.05 || c.Delay != 0.10 {
+		fmt.Fprintf(&b, " -chaos.drop=%g -chaos.dup=%g -chaos.delay=%g", c.Drop, c.Dup, c.Delay)
+	}
+	if c.DisableDedup {
+		b.WriteString(" -chaos.dedupoff")
+	}
+	if c.SerialPull {
+		b.WriteString(" -chaos.serialpull")
+	}
+	if c.Leases {
+		b.WriteString(" -chaos.leases")
+	}
+	if c.Procs {
+		b.WriteString(" -chaos.procs")
+	}
+	return b.String()
+}
+
+// String renders the failure report (replay command, seed, violations,
+// schedule).
 func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos run seed=%d: %d violation(s)\n", r.Seed, len(r.Violations))
+	fmt.Fprintf(&b, "  replay: %s\n", r.ReplayCommand())
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "  violation: %s\n", v)
 	}
@@ -115,7 +158,44 @@ type run struct {
 	down      map[locus.SiteID]bool
 	parted    bool
 	faulted   bool
-	nextID    int
+	// strandRisk is set while a past fault burst may have stranded an
+	// async propagation beyond the retry budget: a name committed at one
+	// site might not be visible at another until the next topology
+	// change requeues stalled propagations. Merge and restart clear it.
+	strandRisk bool
+	nextID     int
+	// groups is the current partition (nil when whole), for reachability
+	// queries by the process plane.
+	groups [][]locus.SiteID
+	// plane is the process-level adversarial plane (nil unless
+	// Config.Procs).
+	plane *procPlane
+}
+
+// reachable reports whether sites a and b can currently exchange
+// messages, per the harness's own topology model.
+func (r *run) reachable(a, b locus.SiteID) bool {
+	if r.down[a] || r.down[b] {
+		return false
+	}
+	if a == b || r.groups == nil {
+		return true
+	}
+	for _, g := range r.groups {
+		ina, inb := false, false
+		for _, s := range g {
+			if s == a {
+				ina = true
+			}
+			if s == b {
+				inb = true
+			}
+		}
+		if ina || inb {
+			return ina && inb
+		}
+	}
+	return false
 }
 
 // disturbed reports whether the cluster is currently in a state where a
@@ -157,11 +237,18 @@ func Run(cfg Config) (*Result, error) {
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(int64(cfg.Seed))), //locusvet:allow simclock seeded schedule PRNG, not a clock
 		c:         c,
-		res:       &Result{Seed: cfg.Seed},
+		res:       &Result{Seed: cfg.Seed, Config: cfg},
 		files:     make(map[string]*fileState),
 		dirs:      []string{"/"},
 		dirtyDirs: make(map[string]bool),
 		down:      make(map[locus.SiteID]bool),
+	}
+	if cfg.Procs {
+		plane, err := newProcPlane(r)
+		if err != nil {
+			return nil, err
+		}
+		r.plane = plane
 	}
 
 	for step := 0; step < cfg.Steps; step++ {
@@ -209,7 +296,11 @@ func (r *run) step() {
 	case roll < 36:
 		r.log("settle (%d pulls)", r.c.Settle())
 	default:
-		r.workloadOp()
+		if r.plane != nil && r.rng.Intn(100) < 45 {
+			r.plane.op()
+		} else {
+			r.workloadOp()
+		}
 	}
 }
 
@@ -227,7 +318,11 @@ func (r *run) eventPartition() {
 	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
 	r.c.Partition(a, b)
 	r.parted = true
+	r.groups = [][]locus.SiteID{a, b}
 	r.log("partition %v | %v", a, b)
+	if r.plane != nil {
+		r.plane.afterFailure()
+	}
 }
 
 // eventMerge heals a partition (and any crashed-site cut) via the merge
@@ -240,6 +335,8 @@ func (r *run) eventMerge() {
 	// Merge restarts nothing, but HealAll reconnects only up sites;
 	// crashed sites stay down.
 	r.parted = false
+	r.groups = nil
+	r.strandRisk = r.faulted
 	r.log("merge (conflicts=%d, propagated=%d, err=%v)", rep.ConflictsReported, rep.Propagated, err)
 	r.resolveConflicts()
 }
@@ -257,6 +354,9 @@ func (r *run) eventCrash() {
 	// A crash severs the victim from everyone; from the survivors' view
 	// the network now has one active partition again.
 	r.log("crash site %d", id)
+	if r.plane != nil {
+		r.plane.afterFailure()
+	}
 }
 
 // eventRestart brings a random crashed site back (which also heals any
@@ -276,7 +376,12 @@ func (r *run) eventRestart() {
 	rep, err := r.c.Restart(id)
 	delete(r.down, id)
 	r.parted = false
+	r.groups = nil
+	r.strandRisk = r.faulted
 	r.log("restart site %d (conflicts=%d, err=%v)", id, rep.ConflictsReported, err)
+	if r.plane != nil {
+		r.plane.onRestart(id)
+	}
 	r.resolveConflicts()
 }
 
@@ -293,6 +398,7 @@ func (r *run) eventFaultBurst() {
 		Rates: netsim.FaultRates{Drop: r.cfg.Drop, Dup: r.cfg.Dup, Delay: r.cfg.Delay, DelayMaxUs: 2000},
 	})
 	r.faulted = true
+	r.strandRisk = true
 	r.log("faults on (drop=%.2f dup=%.2f delay=%.2f)", r.cfg.Drop, r.cfg.Dup, r.cfg.Delay)
 }
 
@@ -455,14 +561,23 @@ func (r *run) heal() {
 		rep, err := r.c.Restart(id)
 		delete(r.down, id)
 		r.log("final restart site %d (conflicts=%d, err=%v)", id, rep.ConflictsReported, err)
+		if r.plane != nil {
+			r.plane.onRestart(id)
+		}
 	}
 	rep, err := r.c.Merge()
 	r.parted = false
+	r.groups = nil
+	r.strandRisk = r.faulted
 	r.log("final merge (conflicts=%d, propagated=%d, err=%v)", rep.ConflictsReported, rep.Propagated, err)
 	if err != nil {
 		r.violate("final merge failed: %v", err)
 	}
 	r.resolveConflicts()
+	if r.plane != nil {
+		r.plane.finish()
+		r.c.Settle()
+	}
 	r.c.Settle()
 	r.c.Network().Quiesce()
 }
@@ -522,6 +637,32 @@ func (r *run) check() {
 				continue
 			}
 			r.violate("committed file %s lost at site %d: %v", p, id, err)
+		}
+	}
+
+	// No partial transaction effects: content written only inside an
+	// aborted (sub)transaction must not survive anywhere. Empty husks are
+	// tolerated — a crash discards the volatile undo log, so an unlink of
+	// a created-then-aborted file can be lost — but the aborted bytes
+	// themselves surviving means the abort leaked a write (§ nested
+	// transactions, exactly-once abort).
+	if r.plane != nil {
+		var apaths []string
+		for p := range r.plane.aborted {
+			apaths = append(apaths, p)
+		}
+		sort.Strings(apaths)
+		for _, p := range apaths {
+			want := r.plane.aborted[p]
+			if len(want) == 0 {
+				continue
+			}
+			for _, id := range r.c.Sites() {
+				se := r.c.Site(id).Login("checker")
+				if data, err := se.ReadFile(p); err == nil && string(data) == string(want) {
+					r.violate("aborted transaction content survived at site %d: %s (%d bytes)", id, p, len(want))
+				}
+			}
 		}
 	}
 }

@@ -2,7 +2,11 @@ package chaos
 
 import (
 	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -11,7 +15,37 @@ import (
 // partitions, merges, crashes, restarts, and fault bursts.
 var chaosSeeds = []uint64{1, 7, 11}
 
-var seedFlag = flag.Uint64("chaos.seed", 0, "run a single extra chaos seed (for reproducing failures)")
+// Replay flags: TestChaosExtraSeed rebuilds a Config from these, so
+// Result.ReplayCommand round-trips any failing run into one
+// copy-pasteable command.
+var (
+	seedFlag       = flag.Uint64("chaos.seed", 0, "run a single extra chaos seed (for reproducing failures)")
+	sitesFlag      = flag.Int("chaos.sites", 0, "cluster size for -chaos.seed (0 = default)")
+	stepsFlag      = flag.Int("chaos.steps", 0, "schedule steps for -chaos.seed (0 = default)")
+	dropFlag       = flag.Float64("chaos.drop", 0, "fault-burst drop rate for -chaos.seed (0 = default)")
+	dupFlag        = flag.Float64("chaos.dup", 0, "fault-burst dup rate for -chaos.seed (0 = default)")
+	delayFlag      = flag.Float64("chaos.delay", 0, "fault-burst delay rate for -chaos.seed (0 = default)")
+	dedupOffFlag   = flag.Bool("chaos.dedupoff", false, "disable at-most-once dedup for -chaos.seed")
+	serialPullFlag = flag.Bool("chaos.serialpull", false, "disable bulk propagation for -chaos.seed")
+	leasesFlag     = flag.Bool("chaos.leases", false, "enable the lease layer for -chaos.seed")
+	procsFlag      = flag.Bool("chaos.procs", false, "enable the process plane for -chaos.seed")
+)
+
+// reportFailure fails the test with the full replayable report and, when
+// CHAOS_ARTIFACT_DIR is set (CI), also writes the report to a file so
+// the failing run's op log survives as a build artifact.
+func reportFailure(t *testing.T, what string, res *Result) {
+	t.Helper()
+	if dir := os.Getenv("CHAOS_ARTIFACT_DIR"); dir != "" {
+		name := strings.NewReplacer("/", "_", "=", "").Replace(t.Name())
+		path := filepath.Join(dir, fmt.Sprintf("chaos-%s-seed%d.log", name, res.Seed))
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			_ = os.WriteFile(path, []byte(res.String()), 0o644)
+			t.Logf("wrote failing op log to %s", path)
+		}
+	}
+	t.Fatalf("%s:\n%s", what, res)
+}
 
 // TestChaosSeeds runs the fixed CI seeds: with the at-most-once plane
 // on, every randomized fault schedule must end with all invariants
@@ -26,7 +60,7 @@ func TestChaosSeeds(t *testing.T) {
 				t.Fatalf("chaos run failed to execute: %v", err)
 			}
 			if len(res.Violations) != 0 {
-				t.Fatalf("invariants violated:\n%s", res)
+				reportFailure(t, "invariants violated", res)
 			}
 			if res.Stats.MsgsDropped == 0 && res.Stats.MsgsDuped == 0 && res.Stats.MsgsDelayed == 0 {
 				t.Errorf("seed %d injected no faults (dropped=%d duped=%d delayed=%d); schedule never exercised the fault plane",
@@ -51,7 +85,7 @@ func TestChaosSerialPullSeeds(t *testing.T) {
 				t.Fatalf("chaos run failed to execute: %v", err)
 			}
 			if len(res.Violations) != 0 {
-				t.Fatalf("invariants violated with serial pull:\n%s", res)
+				reportFailure(t, "invariants violated with serial pull", res)
 			}
 		})
 	}
@@ -73,7 +107,7 @@ func TestChaosLeaseSeeds(t *testing.T) {
 				t.Fatalf("chaos run failed to execute: %v", err)
 			}
 			if len(res.Violations) != 0 {
-				t.Fatalf("invariants violated with leases on:\n%s", res)
+				reportFailure(t, "invariants violated with leases on", res)
 			}
 			if res.Stats.LeasesGranted == 0 {
 				t.Errorf("seed %d granted no leases; the schedule never exercised the lease layer", seed)
@@ -82,21 +116,88 @@ func TestChaosLeaseSeeds(t *testing.T) {
 	}
 }
 
+// TestChaosProcSeeds reruns the fixed seeds with the process plane on:
+// remote run, cross-site signals, named pipes spanning sites,
+// migration, and nested transactions interleave with the same topology
+// schedule, and the §5.6 failure-action checker must find every
+// prescribed outcome delivered (error to caller, EOF not hang,
+// exactly-once abort, queued-signal replay).
+func TestChaosProcSeeds(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		seed := seed
+		t.Run(fmtSeed(seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: seed, Procs: true})
+			if err != nil {
+				t.Fatalf("chaos run failed to execute: %v", err)
+			}
+			if len(res.Violations) != 0 {
+				reportFailure(t, "§5.6 checker violated", res)
+			}
+			procOps := 0
+			for _, line := range res.Schedule {
+				if strings.HasPrefix(line, "proc ") {
+					procOps++
+				}
+			}
+			if procOps == 0 {
+				t.Errorf("seed %d ran no process-plane ops; the schedule never exercised the §5.6 checker", seed)
+			}
+		})
+	}
+}
+
+// TestChaosProcReplayDeterminism runs the same proc-plane seed twice
+// and requires byte-identical schedules: the replay command printed on
+// failure is only useful if the schedule really is a pure function of
+// the seed, async Wait completions and all.
+func TestChaosProcReplayDeterminism(t *testing.T) {
+	run1, err := Run(Config{Seed: chaosSeeds[0], Procs: true})
+	if err != nil {
+		t.Fatalf("chaos run failed to execute: %v", err)
+	}
+	run2, err := Run(Config{Seed: chaosSeeds[0], Procs: true})
+	if err != nil {
+		t.Fatalf("chaos run failed to execute: %v", err)
+	}
+	if len(run1.Schedule) != len(run2.Schedule) {
+		t.Fatalf("schedule lengths differ across replays: %d vs %d", len(run1.Schedule), len(run2.Schedule))
+	}
+	for i := range run1.Schedule {
+		if run1.Schedule[i] != run2.Schedule[i] {
+			t.Fatalf("schedule diverges at step %d:\n  first:  %s\n  replay: %s",
+				i, run1.Schedule[i], run2.Schedule[i])
+		}
+	}
+}
+
 // TestChaosExtraSeed lets a failing seed from anywhere (CI, fuzzing, a
-// bug report) be replayed directly:
+// bug report) be replayed directly; the -chaos.* flags restore the
+// exact Config, so Result.ReplayCommand round-trips:
 //
-//	go test ./internal/chaos -run ExtraSeed -chaos.seed=123456
+//	go test ./internal/chaos -run ExtraSeed -chaos.seed=123456 -chaos.procs
 func TestChaosExtraSeed(t *testing.T) {
 	if *seedFlag == 0 {
 		t.Skip("no -chaos.seed given")
 	}
-	res, err := Run(Config{Seed: *seedFlag})
+	res, err := Run(Config{
+		Seed:         *seedFlag,
+		Sites:        *sitesFlag,
+		Steps:        *stepsFlag,
+		Drop:         *dropFlag,
+		Dup:          *dupFlag,
+		Delay:        *delayFlag,
+		DisableDedup: *dedupOffFlag,
+		SerialPull:   *serialPullFlag,
+		Leases:       *leasesFlag,
+		Procs:        *procsFlag,
+	})
 	if err != nil {
 		t.Fatalf("chaos run failed to execute: %v", err)
 	}
 	t.Logf("%s", res)
 	if len(res.Violations) != 0 {
-		t.Fatalf("invariants violated:\n%s", res)
+		reportFailure(t, "invariants violated", res)
 	}
 }
 

@@ -153,6 +153,19 @@ type Stats struct {
 	fltDuped   atomic.Int64
 	fltDelayed atomic.Int64
 	resets     atomic.Int64
+
+	// §5.6 failure-action cleanup counters, charged by the proc and
+	// txn layers when a partition change or crash forces resource
+	// teardown: orphaned-child notices (SIGPARENTERR/SIGCHILDERR),
+	// pipe endpoints torn down (EOF/broken delivered), transactions
+	// aborted by partition, and cross-partition signals queued,
+	// replayed after merge, or expired (target definitively dead).
+	orphanNotices atomic.Int64
+	pipeTeardowns atomic.Int64
+	txnPartAborts atomic.Int64
+	sigsQueued    atomic.Int64
+	sigsReplayed  atomic.Int64
+	sigsExpired   atomic.Int64
 }
 
 // Snapshot is an immutable copy of the counters at a point in time.
@@ -200,6 +213,22 @@ type Snapshot struct {
 	MsgsDuped     int64
 	MsgsDelayed   int64
 	CircuitResets int64
+
+	// §5.6 failure-action cleanup counters. OrphanNotices counts
+	// SIGPARENTERR/SIGCHILDERR orphan notifications generated by
+	// partition-change cleanup; PipeTeardowns counts pipe endpoints
+	// forcibly resolved (EOF or broken) after losing their far site;
+	// TxnPartitionAborts counts transactions aborted because a locked
+	// file's storage site left the partition; SignalsQueued/
+	// SignalsReplayed/SignalsExpired track cross-partition signal
+	// delivery (queued at the sender, replayed after merge, or dropped
+	// because the target process is definitively dead).
+	OrphanNotices      int64
+	PipeTeardowns      int64
+	TxnPartitionAborts int64
+	SignalsQueued      int64
+	SignalsReplayed    int64
+	SignalsExpired     int64
 }
 
 func (s *Stats) snapshot() Snapshot {
@@ -220,6 +249,10 @@ func (s *Stats) snapshot() Snapshot {
 		BatchedRevokes: s.batchedRevokes.Load(),
 		MsgsDropped: s.fltDropped.Load(), MsgsDuped: s.fltDuped.Load(),
 		MsgsDelayed: s.fltDelayed.Load(), CircuitResets: s.resets.Load(),
+		OrphanNotices: s.orphanNotices.Load(), PipeTeardowns: s.pipeTeardowns.Load(),
+		TxnPartitionAborts: s.txnPartAborts.Load(),
+		SignalsQueued:      s.sigsQueued.Load(),
+		SignalsReplayed:    s.sigsReplayed.Load(), SignalsExpired: s.sigsExpired.Load(),
 	}
 }
 
@@ -301,6 +334,29 @@ func (s *Stats) AddLeasesRevoked(n int) { s.leasesRevoked.Add(int64(n)) }
 // AddBatchedRevoke records one batched revoke round.
 func (s *Stats) AddBatchedRevoke() { s.batchedRevokes.Add(1) }
 
+// AddOrphanNotices records n SIGPARENTERR/SIGCHILDERR orphan notices
+// generated by §5.6 partition-change cleanup.
+func (s *Stats) AddOrphanNotices(n int) { s.orphanNotices.Add(int64(n)) }
+
+// AddPipeTeardowns records n pipe endpoints forcibly resolved (EOF or
+// broken) after losing their far site.
+func (s *Stats) AddPipeTeardowns(n int) { s.pipeTeardowns.Add(int64(n)) }
+
+// AddTxnPartitionAborts records n transactions aborted because a locked
+// file's storage site left the partition.
+func (s *Stats) AddTxnPartitionAborts(n int) { s.txnPartAborts.Add(int64(n)) }
+
+// AddSignalsQueued records one cross-partition signal queued at the
+// sender for replay after merge.
+func (s *Stats) AddSignalsQueued() { s.sigsQueued.Add(1) }
+
+// AddSignalsReplayed records n queued signals delivered after merge.
+func (s *Stats) AddSignalsReplayed(n int) { s.sigsReplayed.Add(int64(n)) }
+
+// AddSignalsExpired records n queued signals dropped because the target
+// process is definitively dead.
+func (s *Stats) AddSignalsExpired(n int) { s.sigsExpired.Add(int64(n)) }
+
 // addDropped counts a message lost to a closed circuit.
 func (s *Stats) addDropped() { s.dropped.Add(1) }
 
@@ -355,6 +411,12 @@ func (b Snapshot) Sub(a Snapshot) Snapshot {
 		BatchedRevokes:  b.BatchedRevokes - a.BatchedRevokes,
 		MsgsDropped: b.MsgsDropped - a.MsgsDropped, MsgsDuped: b.MsgsDuped - a.MsgsDuped,
 		MsgsDelayed: b.MsgsDelayed - a.MsgsDelayed, CircuitResets: b.CircuitResets - a.CircuitResets,
+		OrphanNotices: b.OrphanNotices - a.OrphanNotices,
+		PipeTeardowns: b.PipeTeardowns - a.PipeTeardowns,
+		TxnPartitionAborts: b.TxnPartitionAborts - a.TxnPartitionAborts,
+		SignalsQueued:      b.SignalsQueued - a.SignalsQueued,
+		SignalsReplayed:    b.SignalsReplayed - a.SignalsReplayed,
+		SignalsExpired:     b.SignalsExpired - a.SignalsExpired,
 	}
 }
 
@@ -754,8 +816,8 @@ type Node struct {
 	mu        sync.Mutex
 	handlers  map[string]Handler
 	onLink    func(peer SiteID)
-	onCrash   func()
-	onRestart func()
+	onCrash   []func()
+	onRestart []func()
 
 	// pendMu guards pending: the request/response exchanges this node
 	// originated that are still in flight. Keeping the registry per-node
@@ -816,17 +878,19 @@ func (n *Node) OnLinkDown(f func(peer SiteID)) {
 }
 
 // OnCrash registers a callback run when this site crashes; upper layers
-// discard volatile state there.
+// discard volatile state there. Multiple layers may register; callbacks
+// run in registration order.
 func (n *Node) OnCrash(f func()) {
 	n.mu.Lock()
-	n.onCrash = f
+	n.onCrash = append(n.onCrash, f)
 	n.mu.Unlock()
 }
 
-// OnRestart registers a callback run when this site restarts.
+// OnRestart registers a callback run when this site restarts. Multiple
+// layers may register; callbacks run in registration order.
 func (n *Node) OnRestart(f func()) {
 	n.mu.Lock()
-	n.onRestart = f
+	n.onRestart = append(n.onRestart, f)
 	n.mu.Unlock()
 }
 
@@ -858,18 +922,18 @@ func (n *Node) runCrash() {
 	n.dedup = make(map[SiteID]map[int64]*dedupEntry)
 	n.dedupMu.Unlock()
 	n.mu.Lock()
-	f := n.onCrash
+	fs := append([]func(){}, n.onCrash...)
 	n.mu.Unlock()
-	if f != nil {
+	for _, f := range fs {
 		f()
 	}
 }
 
 func (n *Node) runRestart() {
 	n.mu.Lock()
-	f := n.onRestart
+	fs := append([]func(){}, n.onRestart...)
 	n.mu.Unlock()
-	if f != nil {
+	for _, f := range fs {
 		f()
 	}
 }

@@ -42,7 +42,47 @@ var (
 	ErrSiteFailed = errors.New("proc: remote site failed")
 	// ErrNotExecutable: the file is not a valid load module.
 	ErrNotExecutable = errors.New("proc: not an executable load module")
+	// ErrPipeBroken: write to a pipe whose readers are all gone (closed
+	// or lost with their site) — the network EPIPE of §2.4.2.
+	ErrPipeBroken = errors.New("proc: pipe broken (no readers)")
+	// ErrMigrated: this incarnation of the process handed off to another
+	// site; the caller should retry against the new location. Surfaced
+	// only through ExitStatus during the migration handoff.
+	ErrMigrated = errors.New("proc: process migrated")
 )
+
+// wrapSiteErr converts a transport-level failure (unreachable,
+// circuit closed, or a retry budget exhausted by message loss) into the
+// §5.6 ErrSiteFailed sentinel: every "remote site fails -> return error
+// to caller" row of the failure-action table reports through it.
+// Application-level errors pass through unchanged.
+func wrapSiteErr(err error, site SiteID) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, netsim.ErrUnreachable) || errors.Is(err, netsim.ErrCircuitClosed) ||
+		errors.Is(err, netsim.ErrTimeout) || errors.Is(err, netsim.ErrSiteDown) {
+		return fmt.Errorf("%w: site %d: %v", ErrSiteFailed, site, err)
+	}
+	return err
+}
+
+// wrapFsSiteErr converts a filesystem error that was itself caused by a
+// site failure — the fs layer's own remote exchange failing mid-call, or
+// every storage/synchronization site for the file being unreachable —
+// into the §5.6 ErrSiteFailed sentinel. A local run call whose load
+// module lives on a crashed site fails exactly like a remote run to that
+// site. Genuine application errors (no such file, not executable, no
+// such program) pass through unchanged.
+func wrapFsSiteErr(err error) error {
+	if err == nil || errors.Is(err, ErrSiteFailed) {
+		return err
+	}
+	if isSiteFailure(err) || errors.Is(err, fs.ErrNoCSS) || errors.Is(err, fs.ErrNoStorageSite) {
+		return fmt.Errorf("%w: %v", ErrSiteFailed, err)
+	}
+	return err
+}
 
 // Signal numbers (Unix-compatible subset).
 type Signal int
@@ -61,6 +101,9 @@ const (
 	SIGCHILDERR Signal = 33
 	// SIGPARENTERR notifies a child that its parent's machine failed.
 	SIGPARENTERR Signal = 34
+	// SIGMIGRATE asks the old incarnation of a migrated process to wind
+	// down; cooperative program bodies return when they receive it.
+	SIGMIGRATE Signal = 35
 )
 
 // PID is a network-wide process identifier: creation site + local
@@ -123,6 +166,16 @@ type Process struct {
 	fds     map[int]*FD
 	nextFD  int
 	exited  bool
+	// prog/progName/args record the running load module so the process
+	// can be re-instantiated at another site by Migrate; started marks a
+	// process whose program body was actually spawned (shells are not).
+	prog     Program
+	progName string
+	args     []string
+	started  bool
+	// migrated marks the old incarnation after a migration handoff: its
+	// exit is a handoff, not a death, and must not notify the parent.
+	migrated bool
 	// waitFor registers channels for exit notifications of remote
 	// children.
 	waitFor map[PID]chan ExitStatus
@@ -182,6 +235,14 @@ type Manager struct {
 	pipes    map[storage.FileID]*pipeState
 	fdHomes  map[int]*fdHome
 	nextFDID int
+	// migratedTo is the origin-site forwarding table for migrated
+	// processes: local process number -> current host (plus the parent,
+	// so losing the host can still notify it). The origin site remains
+	// the network-wide name authority for the PID (§3.1).
+	migratedTo map[int]migrRecord
+	// migrants are foreign processes hosted here after migration, keyed
+	// by their unchanged network-wide PID.
+	migrants map[PID]*Process
 	// localFDStates indexes this site's shared-descriptor states for
 	// token yanks.
 	localFDStates []*fdState
@@ -193,18 +254,34 @@ type Manager struct {
 	// teardown path calls DrainPrograms so no program body races past
 	// the site's shutdown.
 	programs sync.WaitGroup
+
+	// sigMu guards sigQueue: cross-partition signals held at the sender
+	// for delivery after merge (§2.4.2: signals are supported across the
+	// network; a partition only defers them).
+	sigMu    sync.Mutex
+	sigQueue []*signalMsg
+}
+
+// migrRecord is one origin-side forwarding entry for a migrated
+// process.
+type migrRecord struct {
+	host   SiteID
+	parent PID
 }
 
 // Protocol method names.
 const (
-	mRun       = "proc.run"
-	mSignal    = "proc.signal"
-	mChildExit = "proc.childexit"
-	mFDToken   = "proc.fdtoken"
-	mFDYank    = "proc.fdyank"
-	mPipeRead  = "proc.piperead"
-	mPipeWrite = "proc.pipewrite"
-	mPipeClose = "proc.pipeclose"
+	mRun         = "proc.run"
+	mSignal      = "proc.signal"
+	mChildExit   = "proc.childexit"
+	mFDToken     = "proc.fdtoken"
+	mFDYank      = "proc.fdyank"
+	mPipeOpen    = "proc.pipeopen"
+	mPipeRead    = "proc.piperead"
+	mPipeWrite   = "proc.pipewrite"
+	mPipeClose   = "proc.pipeclose"
+	mMigrate     = "proc.migrate"
+	mMigrateGone = "proc.migrategone"
 )
 
 // NewManager creates the process manager for a site.
@@ -218,17 +295,25 @@ func NewManager(node *netsim.Node, kernel *fs.Kernel, machineType string) *Manag
 		registry:    make(map[string]Program),
 		pipes:       make(map[storage.FileID]*pipeState),
 		fdHomes:     make(map[int]*fdHome),
+		migratedTo:  make(map[int]migrRecord),
+		migrants:    make(map[PID]*Process),
 	}
 	node.Handle(mRun, m.handleRun)
 	node.Handle(mSignal, m.handleSignal)
 	node.Handle(mChildExit, m.handleChildExit)
 	node.Handle(mFDToken, m.handleFDToken)
 	node.Handle(mFDYank, m.handleFDYank)
+	node.Handle(mPipeOpen, m.handlePipeOpen)
 	node.Handle(mPipeRead, m.handlePipeRead)
 	node.Handle(mPipeWrite, m.handlePipeWrite)
 	node.Handle(mPipeClose, m.handlePipeClose)
+	node.Handle(mMigrate, m.handleMigrate)
+	node.Handle(mMigrateGone, m.handleMigrateGone)
 	node.Handle(mDevRead, m.handleDevRead)
 	node.Handle(mDevWrite, m.handleDevWrite)
+	// A crash loses every volatile process-table structure (§5.6):
+	// processes, pipe buffers, descriptor tokens, queued signals.
+	node.OnCrash(m.crashLocal)
 	return m
 }
 
@@ -317,19 +402,22 @@ func (m *Manager) Run(parent *Process, path string, args []string) (PID, error) 
 	if target == m.site {
 		r, err := m.handleRun(m.site, req)
 		if err != nil {
-			return PID{}, err
+			// Even a local run can fail because a site died: the load
+			// module's storage site or CSS may be gone (wrapFsSiteErr).
+			return PID{}, wrapFsSiteErr(err)
 		}
 		return r.(*runResp).PID, nil
 	}
 	resp, err := m.call(target, mRun, req)
 	if err != nil {
 		// §5.6: "Remote Fork/Exec, remote site fails -> return error to
-		// caller". Application-level failures (no such program, no such
-		// file) pass through unchanged.
-		if errors.Is(err, netsim.ErrUnreachable) || errors.Is(err, netsim.ErrCircuitClosed) {
-			return PID{}, fmt.Errorf("%w: site %d: %v", ErrSiteFailed, target, err)
-		}
-		return PID{}, err
+		// caller". wrapSiteErr also covers the retry budget exhausted by
+		// message loss (ErrTimeout), which previously leaked the raw
+		// transport error and lost the sentinel. Application-level
+		// failures (no such program, no such file) pass through
+		// unchanged — unless they are themselves a site failure the
+		// destination hit while resolving the load module.
+		return PID{}, wrapFsSiteErr(wrapSiteErr(err, target))
 	}
 	return resp.(*runResp).PID, nil
 }
@@ -337,21 +425,25 @@ func (m *Manager) Run(parent *Process, path string, args []string) (PID, error) 
 // handleRun allocates and starts the process at the destination site.
 func (m *Manager) handleRun(_ SiteID, p any) (any, error) {
 	req := p.(*runReq)
-	prog, args, err := m.loadModule(&req.Cred, req.Path, req.Args)
+	prog, name, args, err := m.loadModule(&req.Cred, req.Path, req.Args)
 	if err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
 	child := m.newProcessLocked(&req.Cred, req.Env, req.Parent)
 	m.mu.Unlock()
+	child.mu.Lock()
+	child.progName = name
+	child.mu.Unlock()
 	m.start(child, prog, args)
 	return &runResp{PID: child.pid}, nil
 }
 
 // loadModule resolves a pathname to an executable load module and the
-// registered program it names. Hidden directories make the same
+// registered program it names (returned by name so migration can
+// re-resolve it at the target site). Hidden directories make the same
 // command name resolve to the right per-machine-type module.
-func (m *Manager) loadModule(cred *fs.Cred, path string, args []string) (Program, []string, error) {
+func (m *Manager) loadModule(cred *fs.Cred, path string, args []string) (Program, string, []string, error) {
 	// "To get the proper load modules executed when the user types a
 	// command ... requires using the context of which machine the user
 	// is executing on" (§2.4.1): hidden directories resolve with the
@@ -361,31 +453,36 @@ func (m *Manager) loadModule(cred *fs.Cred, path string, args []string) (Program
 	execCred.HiddenCtx = append([]string{m.machineType}, cred.HiddenCtx...)
 	f, err := m.kernel.Open(&execCred, path, fs.ModeRead)
 	if err != nil {
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	defer f.Close() //locus:vet-allow uncheckedcall read-only
 	content, err := f.ReadAll()
 	if err != nil {
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	line := strings.TrimSpace(strings.SplitN(string(content), "\n", 2)[0])
 	if !strings.HasPrefix(line, "go:") {
-		return nil, nil, fmt.Errorf("%w: %s", ErrNotExecutable, path)
+		return nil, "", nil, fmt.Errorf("%w: %s", ErrNotExecutable, path)
 	}
 	name := strings.TrimPrefix(line, "go:")
 	m.mu.Lock()
 	prog, ok := m.registry[name]
 	m.mu.Unlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q at site %d (%s)", ErrNoProgram, name, m.site, m.machineType)
+		return nil, "", nil, fmt.Errorf("%w: %q at site %d (%s)", ErrNoProgram, name, m.site, m.machineType)
 	}
-	return prog, append([]string{path}, args...), nil
+	return prog, name, append([]string{path}, args...), nil
 }
 
 // start runs a program in the process. The goroutine is registered
 // with m.programs before it spawns; DrainPrograms joins it after the
 // program body and its exit processing have completed.
 func (m *Manager) start(p *Process, prog Program, args []string) {
+	p.mu.Lock()
+	p.prog = prog
+	p.args = append([]string(nil), args...)
+	p.started = true
+	p.mu.Unlock()
 	m.programs.Add(1)
 	go func() {
 		defer m.programs.Done()
@@ -408,9 +505,9 @@ func (m *Manager) DrainPrograms() {
 // Unlike Unix this simulation returns the program's exit status rather
 // than never returning.
 func (m *Manager) Exec(p *Process, path string, args []string) (int, error) {
-	prog, argv, err := m.loadModule(p.cred, path, args)
+	prog, _, argv, err := m.loadModule(p.cred, path, args)
 	if err != nil {
-		return -1, err
+		return -1, wrapFsSiteErr(err)
 	}
 	code := prog(&Ctx{M: m, Self: p, Args: argv, Env: p.env})
 	return code, nil
@@ -449,19 +546,49 @@ func (m *Manager) exit(p *Process, st ExitStatus) {
 		return
 	}
 	p.exited = true
+	migrated := p.migrated
 	fds := p.fds
 	p.fds = map[int]*FD{}
 	p.mu.Unlock()
 	for _, fd := range fds {
 		fd.Close() //locus:vet-allow uncheckedcall releasing on exit
 	}
+	if migrated {
+		// Handoff, not death: the new incarnation owns the parent
+		// notification. Wait's local path sees ErrMigrated and chases the
+		// forwarding record instead of reaping.
+		p.done <- ExitStatus{Code: st.Code, Err: ErrMigrated}
+		return
+	}
 	// The process stays in the table as a zombie until reaped by Wait.
 	p.done <- st
+	if p.pid.Site != m.site {
+		// Migrant hosted here: retire it from the migrant table, tell the
+		// origin to drop its forwarding record, and notify the parent
+		// directly (the origin only forwards while the process lives).
+		m.mu.Lock()
+		delete(m.migrants, p.pid)
+		m.mu.Unlock()
+		if p.parent != (PID{}) {
+			msg := &childExitMsg{
+				Child: p.pid, Parent: p.parent, Code: st.Code,
+				SiteFailed: st.Err != nil && errors.Is(st.Err, ErrSiteFailed),
+			}
+			if p.parent.Site == m.site {
+				m.handleChildExit(m.site, msg) //locus:vet-allow uncheckedcall local delivery
+			} else {
+				m.cast(p.parent.Site, mChildExit, msg) //locus:vet-allow uncheckedcall parent site failure handled by its own cleanup
+			}
+		}
+		m.cast(p.pid.Site, mMigrateGone, &migrateGoneMsg{PID: p.pid}) //locus:vet-allow uncheckedcall origin failure handled by partition cleanup
+		return
+	}
 	// Notify the parent's site so Wait unblocks across machines; a
 	// remotely-parented process has no local waiter, so reap it here.
 	if p.parent != (PID{}) && p.parent.Site != m.site {
 		m.cast(p.parent.Site, mChildExit, &childExitMsg{ //locus:vet-allow uncheckedcall parent site failure handled by its own cleanup
 			Child: p.pid, Parent: p.parent, Code: st.Code,
+			SiteFailed: st.Err != nil && errors.Is(st.Err, ErrSiteFailed),
 		})
 		m.mu.Lock()
 		delete(m.procs, p.pid.Num)
@@ -473,12 +600,32 @@ type childExitMsg struct {
 	Child  PID
 	Parent PID
 	Code   int
+	// SiteFailed marks an exit forced by a site failure rather than a
+	// normal return; the parent's ExitStatus carries ErrSiteFailed (§5.6).
+	SiteFailed bool
 }
 
 func (m *Manager) handleChildExit(_ SiteID, p any) (any, error) {
 	msg := p.(*childExitMsg)
+	st := ExitStatus{Code: msg.Code}
+	if msg.SiteFailed {
+		st.Err = fmt.Errorf("%w: child %v lost with its executing site", ErrSiteFailed, msg.Child)
+	}
 	m.mu.Lock()
-	parent := m.procs[msg.Parent.Num]
+	var parent *Process
+	if msg.Parent.Site == m.site {
+		parent = m.procs[msg.Parent.Num]
+		if parent == nil {
+			if rec, ok := m.migratedTo[msg.Parent.Num]; ok {
+				// The parent itself migrated; chase it.
+				m.mu.Unlock()
+				m.cast(rec.host, mChildExit, msg) //locus:vet-allow uncheckedcall host failure handled by partition cleanup
+				return nil, nil
+			}
+		}
+	} else {
+		parent = m.migrants[msg.Parent]
+	}
 	var ch chan ExitStatus
 	if parent != nil {
 		parent.mu.Lock()
@@ -489,36 +636,63 @@ func (m *Manager) handleChildExit(_ SiteID, p any) (any, error) {
 			if parent.earlyExits == nil {
 				parent.earlyExits = make(map[PID]ExitStatus)
 			}
-			parent.earlyExits[msg.Child] = ExitStatus{Code: msg.Code}
+			parent.earlyExits[msg.Child] = st
 		}
 		parent.mu.Unlock()
 	}
 	m.mu.Unlock()
 	if ch != nil {
-		ch <- ExitStatus{Code: msg.Code}
+		ch <- st
 	}
 	return nil, nil
 }
 
 // Wait blocks until the identified child exits and returns its status.
-// For a local child it waits on the process directly; for a remote
-// child it registers for the exit notification message.
+// For a local child it waits on the process directly; for a remote or
+// migrated child it registers for the exit notification message.
 func (m *Manager) Wait(parent *Process, child PID) ExitStatus {
 	if child.Site == m.site {
 		m.mu.Lock()
 		cp := m.procs[child.Num]
+		_, forwarded := m.migratedTo[child.Num]
 		m.mu.Unlock()
-		if cp == nil {
+		if cp != nil {
+			st := <-cp.done
+			if errors.Is(st.Err, ErrMigrated) {
+				// Handoff: the live incarnation runs elsewhere now; wait
+				// on it through the exit-notification machinery.
+				return m.waitRemote(parent, child)
+			}
+			m.mu.Lock()
+			delete(m.procs, child.Num) // reap the zombie
+			m.mu.Unlock()
+			return st
+		}
+		if !forwarded {
 			return ExitStatus{Code: -1, Err: ErrNoProcess}
 		}
-		st := <-cp.done
-		m.mu.Lock()
-		delete(m.procs, child.Num) // reap the zombie
-		m.mu.Unlock()
-		return st
 	}
+	return m.waitRemote(parent, child)
+}
+
+// waitRemote registers for the child's exit notification, then rechecks
+// reachability. The register-then-recheck order closes the race with
+// CleanupAfterPartitionChange: if the child's site died before we
+// registered, the cleanup scan that fails pending waits has already
+// run, so without the recheck this wait would hang forever (§5.6:
+// "return error to caller", never hang).
+func (m *Manager) waitRemote(parent *Process, child PID) ExitStatus {
 	ch := make(chan ExitStatus, 1)
 	parent.mu.Lock()
+	if parent.exited {
+		// The caller's own process is dead — its site crashed beneath it
+		// (crashLocal marks every resident process exited and drains the
+		// waits registered so far). Registering now would strand this
+		// wait forever: nothing sweeps a table added to a swept-away
+		// process.
+		parent.mu.Unlock()
+		return ExitStatus{Code: -1, Err: fmt.Errorf("%w: waiting process %v died with its site", ErrSiteFailed, parent.pid)}
+	}
 	if st, ok := parent.earlyExits[child]; ok {
 		delete(parent.earlyExits, child)
 		parent.mu.Unlock()
@@ -529,6 +703,23 @@ func (m *Manager) Wait(parent *Process, child PID) ExitStatus {
 	}
 	parent.waitFor[child] = ch
 	parent.mu.Unlock()
+	host := child.Site
+	m.mu.Lock()
+	if rec, ok := m.migratedTo[child.Num]; ok && child.Site == m.site {
+		host = rec.host
+	}
+	m.mu.Unlock()
+	if host != m.site && !m.node.Network().Connected(m.site, host) {
+		parent.mu.Lock()
+		if parent.waitFor[child] == ch {
+			delete(parent.waitFor, child)
+			parent.mu.Unlock()
+			return ExitStatus{Code: -1, Err: fmt.Errorf("%w: child %v at site %d unreachable", ErrSiteFailed, child, host)}
+		}
+		// Cleanup or the exit notification claimed the channel between
+		// our registration and the recheck; honor its answer.
+		parent.mu.Unlock()
+	}
 	return <-ch
 }
 
@@ -544,20 +735,61 @@ func (m *Manager) Signal(target PID, sig Signal) error {
 	return m.signalInfo(target, sig, "")
 }
 
+// isSiteFailure reports whether err is (or wraps) any of the
+// site-failure sentinels — transport-level or the proc-layer
+// ErrSiteFailed, whose wrapping flattens the transport chain.
+func isSiteFailure(err error) bool {
+	return errors.Is(err, ErrSiteFailed) || errors.Is(err, netsim.ErrUnreachable) ||
+		errors.Is(err, netsim.ErrCircuitClosed) || errors.Is(err, netsim.ErrTimeout) ||
+		errors.Is(err, netsim.ErrSiteDown)
+}
+
 func (m *Manager) signalInfo(target PID, sig Signal, info string) error {
 	msg := &signalMsg{Target: target, Sig: sig, Info: info}
+	var err error
 	if target.Site == m.site {
-		_, err := m.handleSignal(m.site, msg)
-		return err
+		_, err = m.handleSignal(m.site, msg)
+	} else {
+		_, err = m.call(target.Site, mSignal, msg)
 	}
-	_, err := m.call(target.Site, mSignal, msg)
+	if err != nil && isSiteFailure(err) {
+		// §2.4.2: signals are supported across the network; a partition
+		// only defers them. Queue at the sender and replay after merge.
+		m.sigMu.Lock()
+		m.sigQueue = append(m.sigQueue, msg)
+		m.sigMu.Unlock()
+		m.node.Network().Meter().AddSignalsQueued()
+		return fmt.Errorf("%w: signal %d to %v queued for delivery after merge: %v", ErrSiteFailed, sig, target, err)
+	}
 	return err
+}
+
+// QueuedSignals reports the number of cross-partition signals queued at
+// this site awaiting replay after merge.
+func (m *Manager) QueuedSignals() int {
+	m.sigMu.Lock()
+	defer m.sigMu.Unlock()
+	return len(m.sigQueue)
 }
 
 func (m *Manager) handleSignal(_ SiteID, p any) (any, error) {
 	msg := p.(*signalMsg)
 	m.mu.Lock()
-	proc := m.procs[msg.Target.Num]
+	var proc *Process
+	if msg.Target.Site == m.site {
+		proc = m.procs[msg.Target.Num]
+		if proc == nil {
+			if rec, ok := m.migratedTo[msg.Target.Num]; ok {
+				// The origin stays the network-wide name authority for the
+				// PID (§3.1); forward to the current host.
+				m.mu.Unlock()
+				_, err := m.call(rec.host, mSignal, msg)
+				return nil, wrapSiteErr(err, rec.host)
+			}
+		}
+	} else {
+		proc = m.migrants[msg.Target]
+	}
 	m.mu.Unlock()
 	if proc == nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoProcess, msg.Target)
@@ -568,6 +800,13 @@ func (m *Manager) handleSignal(_ SiteID, p any) (any, error) {
 		proc.mu.Unlock()
 	}
 	if msg.Sig == SIGKILL {
+		// Nudge the signal channel first so a cooperative program body
+		// blocked on <-ctx.Signals() returns and DrainPrograms can join
+		// it; exit() is idempotent when the body then exits on its own.
+		select {
+		case proc.sigCh <- SIGKILL:
+		default:
+		}
 		m.exit(proc, ExitStatus{Code: -int(SIGKILL)})
 		return nil, nil
 	}
@@ -581,16 +820,46 @@ func (m *Manager) handleSignal(_ SiteID, p any) (any, error) {
 // CleanupAfterPartitionChange reflects site failures into process state
 // (§3.3, §5.6): parents waiting on children at lost sites receive the
 // error signal with information deposited in the process structure;
-// children whose parent site was lost are notified likewise.
+// children whose parent site was lost are notified likewise; migrants
+// whose origin (name authority) was lost die; forwarding records whose
+// host was lost synthesize the child's death to the parent; pipe
+// endpoints at lost sites tear down so readers see EOF and writers see
+// an error instead of hanging; and queued cross-partition signals are
+// replayed to every site now back in the partition.
 func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
 	in := make(map[SiteID]bool, len(newPartition))
 	for _, s := range newPartition {
 		in[s] = true
 	}
+	meter := m.node.Network().Meter()
 	m.mu.Lock()
 	var procs []*Process
 	for _, p := range m.procs {
 		procs = append(procs, p)
+	}
+	for _, p := range m.migrants {
+		procs = append(procs, p)
+	}
+	var doomedMigrants []*Process
+	for pid, p := range m.migrants {
+		if !in[pid.Site] {
+			doomedMigrants = append(doomedMigrants, p)
+		}
+	}
+	type lostFwd struct {
+		num int
+		rec migrRecord
+	}
+	var lostFwds []lostFwd
+	for num, rec := range m.migratedTo {
+		if !in[rec.host] {
+			lostFwds = append(lostFwds, lostFwd{num, rec})
+			delete(m.migratedTo, num)
+		}
+	}
+	pipes := make([]*pipeState, 0, len(m.pipes))
+	for _, ps := range m.pipes {
+		pipes = append(pipes, ps)
 	}
 	m.mu.Unlock()
 	for _, p := range procs {
@@ -609,9 +878,187 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
 		p.mu.Unlock()
 		for _, child := range lostChildren {
 			m.signalInfo(p.pid, SIGCHILDERR, fmt.Sprintf("child %v lost: site failed", child)) //locus:vet-allow uncheckedcall local delivery
+			meter.AddOrphanNotices(1)
 		}
 		if parentLost {
 			m.signalInfo(p.pid, SIGPARENTERR, fmt.Sprintf("parent %v lost: site failed", p.parent)) //locus:vet-allow uncheckedcall local delivery
+			meter.AddOrphanNotices(1)
 		}
 	}
+	for _, p := range doomedMigrants {
+		// Home-site failure kills the migrant: with the name authority
+		// gone, no signal or wait can ever reach this incarnation again.
+		select {
+		case p.sigCh <- SIGKILL:
+		default:
+		}
+		m.exit(p, ExitStatus{Code: -1, Err: fmt.Errorf("%w: origin site %d lost", ErrSiteFailed, p.pid.Site)})
+		meter.AddOrphanNotices(1)
+	}
+	for _, lf := range lostFwds {
+		// The migrated process died with its host; tell the parent as if
+		// an exit notification with the site-failure flag had arrived.
+		msg := &childExitMsg{
+			Child: PID{Site: m.site, Num: lf.num}, Parent: lf.rec.parent,
+			Code: -1, SiteFailed: true,
+		}
+		if lf.rec.parent != (PID{}) {
+			if lf.rec.parent.Site == m.site {
+				m.handleChildExit(m.site, msg) //locus:vet-allow uncheckedcall local delivery
+				m.signalInfo(lf.rec.parent, SIGCHILDERR, fmt.Sprintf("migrated child %d.%d lost: host site %d failed", m.site, lf.num, lf.rec.host)) //locus:vet-allow uncheckedcall local delivery
+			} else if in[lf.rec.parent.Site] {
+				m.cast(lf.rec.parent.Site, mChildExit, msg) //locus:vet-allow uncheckedcall parent site failure handled by its own cleanup
+			}
+		}
+		meter.AddOrphanNotices(1)
+	}
+	torn := 0
+	for _, ps := range pipes {
+		torn += ps.dropSites(in, m.site)
+	}
+	if torn > 0 {
+		meter.AddPipeTeardowns(torn)
+	}
+	m.replaySignals(in, meter)
+}
+
+// replaySignals redelivers queued cross-partition signals whose target
+// site is back in the partition. A definitive ErrNoProcess answer means
+// the target is dead — the signal expires; a fresh site failure keeps
+// it queued for the next merge.
+func (m *Manager) replaySignals(in map[SiteID]bool, meter *netsim.Stats) {
+	m.sigMu.Lock()
+	pend := m.sigQueue
+	m.sigQueue = nil
+	m.sigMu.Unlock()
+	var keep []*signalMsg
+	for _, msg := range pend {
+		if !in[msg.Target.Site] {
+			keep = append(keep, msg)
+			continue
+		}
+		var err error
+		if msg.Target.Site == m.site {
+			_, err = m.handleSignal(m.site, msg)
+		} else {
+			_, err = m.call(msg.Target.Site, mSignal, msg)
+		}
+		switch {
+		case err == nil:
+			meter.AddSignalsReplayed(1)
+		case isSiteFailure(err):
+			keep = append(keep, msg)
+		default:
+			// ErrNoProcess or another definitive answer: the target is
+			// dead, the signal dies with it.
+			meter.AddSignalsExpired(1)
+		}
+	}
+	m.sigMu.Lock()
+	m.sigQueue = append(m.sigQueue, keep...)
+	m.sigMu.Unlock()
+}
+
+// crashLocal discards every volatile process-table structure when this
+// site crashes (§5.6): processes die, pipe buffers vanish, descriptor
+// tokens and queued signals are lost. Registered via netsim.OnCrash.
+func (m *Manager) crashLocal() {
+	m.mu.Lock()
+	procs := m.procs
+	migrants := m.migrants
+	pipes := m.pipes
+	m.procs = make(map[int]*Process)
+	m.migrants = make(map[PID]*Process)
+	m.migratedTo = make(map[int]migrRecord)
+	m.pipes = make(map[storage.FileID]*pipeState)
+	m.fdHomes = make(map[int]*fdHome)
+	m.localFDStates = nil
+	m.mu.Unlock()
+	m.sigMu.Lock()
+	m.sigQueue = nil
+	m.sigMu.Unlock()
+	crashErr := fmt.Errorf("%w: site %d crashed", ErrSiteFailed, m.site)
+	kill := func(p *Process) {
+		// Unblock a cooperative body stuck on <-ctx.Signals() so
+		// DrainPrograms can join it, then mark the process dead and fail
+		// any local waiters (harness goroutines survive the simulated
+		// crash even though "processes" do not).
+		select {
+		case p.sigCh <- SIGKILL:
+		default:
+		}
+		p.mu.Lock()
+		already := p.exited
+		p.exited = true
+		waiters := p.waitFor
+		p.waitFor = nil
+		p.earlyExits = nil
+		p.mu.Unlock()
+		if !already {
+			select {
+			case p.done <- ExitStatus{Code: -1, Err: crashErr}:
+			default:
+			}
+		}
+		for _, ch := range waiters {
+			ch <- ExitStatus{Code: -1, Err: crashErr}
+		}
+	}
+	for _, p := range procs {
+		kill(p)
+	}
+	for _, p := range migrants {
+		kill(p)
+	}
+	for _, ps := range pipes {
+		ps.poison()
+	}
+}
+
+// LivePIDs returns the network-wide PIDs of every started program
+// process currently hosted at this site (local and migrant), excluding
+// shells (never started) and zombies. The chaos harness sweeps these at
+// final heal to assert nothing leaked.
+func (m *Manager) LivePIDs() []PID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []PID
+	collect := func(p *Process) {
+		p.mu.Lock()
+		if p.started && !p.exited {
+			out = append(out, p.pid)
+		}
+		p.mu.Unlock()
+	}
+	for _, p := range m.procs {
+		collect(p)
+	}
+	for _, p := range m.migrants {
+		collect(p)
+	}
+	return out
+}
+
+// KillLocal force-terminates a process hosted at this site (local or
+// migrant) without any remote exchange, reporting whether it was found.
+// The chaos harness uses it to sweep strays — e.g. the far half of a
+// migration whose reply was lost — after the final heal.
+func (m *Manager) KillLocal(pid PID) bool {
+	m.mu.Lock()
+	var p *Process
+	if pid.Site == m.site {
+		p = m.procs[pid.Num]
+	} else {
+		p = m.migrants[pid]
+	}
+	m.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	select {
+	case p.sigCh <- SIGKILL:
+	default:
+	}
+	m.exit(p, ExitStatus{Code: -9})
+	return true
 }

@@ -427,7 +427,30 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) int {
 			t.mu.Unlock()
 		}
 	}
+	if len(doomed) > 0 {
+		m.kernel.Node().Network().Meter().AddTxnPartitionAborts(len(doomed))
+	}
 	return len(doomed)
+}
+
+// CrashLocal discards every active transaction when this site crashes
+// (§5.6): the buffered updates and the lock table are volatile and die
+// with the site. No rollback RPCs are attempted — the modify locks are
+// reclaimed by the filesystem's own crash cleanup at the surviving
+// sites. Registered via netsim.OnCrash in the cluster wiring.
+func (m *Manager) CrashLocal() {
+	m.mu.Lock()
+	active := m.active
+	m.active = make(map[int]*Txn)
+	m.mu.Unlock()
+	for _, t := range active {
+		t.mu.Lock()
+		if t.state == Active {
+			t.state = Aborted
+		}
+		t.locks = map[storage.FileID]*lockedFile{}
+		t.mu.Unlock()
+	}
 }
 
 // ActiveCount reports the number of live top-level transactions.

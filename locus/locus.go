@@ -186,6 +186,9 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 			site.Txn.CleanupAfterPartitionChange(p)
 			site.FS.RequeueStalledPropagations()
 		})
+		// A crash additionally discards the volatile transaction tables
+		// (proc registers its own crash hook in NewManager).
+		node.OnCrash(site.Txn.CrashLocal)
 		kernels[ss.ID] = k
 		c.sites[ss.ID] = site
 		c.order = append(c.order, ss.ID)
