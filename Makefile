@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet locusvet test race invariants bench benchsmoke benchjson benchdiff chaos ci
+.PHONY: all build vet locusvet vet-stats test race invariants bench benchsmoke benchjson benchdiff chaos ci
 
 all: ci
 
@@ -10,14 +10,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-# locus-vet is this repository's own analyzer suite (cmd/locus-vet):
-# simclock, uncheckedcall, lockorder, rawcall, panicdiscipline, plus
-# the dataflow tier: pageleak, inodealias, goroutinejoin,
-# rpcconsistency, blockinglock. The -cache stamp skips the
-# whole-program load when no non-test .go file changed since the last
-# clean run; delete .locusvet.cache to force a full run.
+# locus-vet is this repository's own analyzer suite (cmd/locus-vet),
+# three tiers: syntactic (simclock, uncheckedcall, lockorder, rawcall,
+# panicdiscipline), intraprocedural dataflow (pageleak, inodealias,
+# goroutinejoin, rpcconsistency, blockinglock), and interprocedural
+# summaries (maporder, sentinelerr, vvmutation, atomiccounter), plus
+# the suppression audits (vet-allow reasons, staleallow). The -cache
+# stamp skips the whole-program load when neither the sources nor the
+# analyzer registry changed since the last clean run; delete
+# .locusvet.cache to force a full run.
 locusvet:
 	$(GO) run ./cmd/locus-vet -cache .locusvet.cache ./...
+
+# vet-stats prints the analyzer-suite telemetry: findings and audited
+# suppressions per analyzer plus the interprocedural summary-cache hit
+# rate (one table build shared by maporder/sentinelerr/atomiccounter).
+vet-stats:
+	$(GO) run ./cmd/locus-vet -stats ./...
 
 test:
 	$(GO) test ./...

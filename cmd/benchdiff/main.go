@@ -35,7 +35,7 @@ func main() {
 		os.Exit(2)
 	}
 	base, err := bench.ReadJSON(f)
-	f.Close() //locus:vet-allow uncheckedcall read-only baseline file
+	f.Close() // error unchecked by design: read-only baseline file
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baseline, err)
 		os.Exit(2)

@@ -63,7 +63,7 @@ func main() {
 			os.Exit(1)
 		}
 		if err := bench.WriteJSON(f, results); err != nil {
-			f.Close() //locus:vet-allow uncheckedcall warm-up handle; a real failure resurfaces in the measured run
+			f.Close() // error unchecked by design: warm-up handle; a real failure resurfaces in the measured run
 			fmt.Fprintf(os.Stderr, "locus-bench: %v\n", err)
 			os.Exit(1)
 		}

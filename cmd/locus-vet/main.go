@@ -1,20 +1,29 @@
 // Command locus-vet runs the repository's custom static analyzers (see
-// internal/lint): simclock, uncheckedcall, lockorder, panicdiscipline,
-// rawcall, pageleak, inodealias, goroutinejoin, rpcconsistency, and
-// blockinglock, plus the allow-directive audit (every suppression must
-// carry a reason).
+// internal/lint): the syntactic tier (simclock, uncheckedcall,
+// lockorder, panicdiscipline, rawcall), the intraprocedural dataflow
+// tier (pageleak, inodealias, goroutinejoin, rpcconsistency,
+// blockinglock), and the interprocedural summary tier (maporder,
+// sentinelerr, vvmutation, atomiccounter), plus the allow-directive
+// audits: every suppression must carry a reason, and a suppression that
+// hides no finding is itself reported (staleallow).
 //
 // Usage:
 //
-//	go run ./cmd/locus-vet [-json] [-cache FILE] ./...
+//	go run ./cmd/locus-vet [-json] [-allows] [-stats] [-cache FILE] ./...
 //
 // The package pattern argument is accepted for familiarity but the tool
 // always analyzes the whole module containing the working directory —
 // several analyses are whole-program fixpoints and partial runs would
 // under-report. For the same reason -cache is a whole-module stamp: the
-// digest covers every non-test .go file plus go.mod, and only a clean
-// run writes it, so a hit can only ever mean "unchanged since last
-// clean run".
+// digest covers every non-test .go file plus go.mod and the analyzer
+// registry fingerprint, and only a clean run writes it, so a hit can
+// only ever mean "unchanged since last clean run with this analyzer
+// set".
+//
+// -allows prints the audited suppression inventory (per-analyzer counts
+// plus every directive's position and reason) instead of running the
+// analyzers. -stats appends run telemetry to a normal run: findings and
+// allows per analyzer and the interprocedural summary-cache hit rate.
 //
 // Exit status: 0 clean, 1 findings, 2 load failure (any package that
 // fails to parse or type-check).
@@ -44,36 +53,54 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// summaryStats is the interprocedural summary-cache telemetry.
+type summaryStats struct {
+	Builds int `json:"builds"`
+	Hits   int `json:"hits"`
+}
+
 // report is the -json output shape; CI uploads it as an artifact.
 type report struct {
 	Findings   []jsonFinding       `json:"findings"`
 	ByAnalyzer map[string]int      `json:"findings_by_analyzer"`
 	Allows     []lint.Allow        `json:"allows"`
 	AllowedBy  map[string]int      `json:"allows_by_analyzer"`
+	Summary    *summaryStats       `json:"summary_cache,omitempty"`
 	LoadErrors []lint.PackageError `json:"load_errors,omitempty"`
 	Cached     bool                `json:"cached,omitempty"`
 }
 
-func main() {
-	jsonOut := flag.Bool("json", false, "emit findings, allow directives, and load errors as JSON on stdout")
-	cachePath := flag.String("cache", "", "whole-module content-hash stamp file; skip the run when unchanged since the last clean run")
-	flag.Parse()
-	os.Exit(run(*jsonOut, *cachePath, os.Stdout))
+// options are the parsed command-line flags.
+type options struct {
+	jsonOut   bool
+	allowsOut bool
+	statsOut  bool
+	cachePath string
 }
 
-func run(jsonOut bool, cachePath string, stdout io.Writer) int {
+func main() {
+	var opts options
+	flag.BoolVar(&opts.jsonOut, "json", false, "emit findings, allow directives, and load errors as JSON on stdout")
+	flag.BoolVar(&opts.allowsOut, "allows", false, "print the audited suppression inventory (per-analyzer counts and every directive) instead of findings")
+	flag.BoolVar(&opts.statsOut, "stats", false, "append run telemetry: findings and allows per analyzer plus the summary-cache hit rate")
+	flag.StringVar(&opts.cachePath, "cache", "", "whole-module content-hash stamp file; skip the run when unchanged since the last clean run")
+	flag.Parse()
+	os.Exit(run(opts, os.Stdout))
+}
+
+func run(opts options, stdout io.Writer) int {
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
-		return loadFailure(jsonOut, stdout, []lint.PackageError{{Path: "(module)", Err: err.Error()}})
+		return loadFailure(opts.jsonOut, stdout, []lint.PackageError{{Path: "(module)", Err: err.Error()}})
 	}
 
 	var digest string
-	if cachePath != "" {
+	if opts.cachePath != "" && !opts.allowsOut && !opts.statsOut {
 		if digest, err = moduleDigest(root); err != nil {
 			fmt.Fprintln(os.Stderr, "locus-vet: cache digest:", err)
 			digest = "" // fall through to a full run, never a stale hit
-		} else if prev, rerr := os.ReadFile(cachePath); rerr == nil && strings.TrimSpace(string(prev)) == digest {
-			if jsonOut {
+		} else if prev, rerr := os.ReadFile(opts.cachePath); rerr == nil && strings.TrimSpace(string(prev)) == digest {
+			if opts.jsonOut {
 				emit(stdout, report{
 					Findings: []jsonFinding{}, ByAnalyzer: map[string]int{},
 					Allows: []lint.Allow{}, AllowedBy: map[string]int{}, Cached: true,
@@ -83,27 +110,49 @@ func run(jsonOut bool, cachePath string, stdout io.Writer) int {
 			}
 			return 0
 		}
+	} else if opts.cachePath != "" {
+		digest, _ = moduleDigest(root) // stamp a clean -stats run too
 	}
 
 	prog, err := lint.LoadAll(root, nil)
 	if err != nil {
 		var le *lint.LoadError
 		if errors.As(err, &le) {
-			return loadFailure(jsonOut, stdout, le.Packages)
+			return loadFailure(opts.jsonOut, stdout, le.Packages)
 		}
-		return loadFailure(jsonOut, stdout, []lint.PackageError{{Path: "(module)", Err: err.Error()}})
+		return loadFailure(opts.jsonOut, stdout, []lint.PackageError{{Path: "(module)", Err: err.Error()}})
 	}
 
-	findings := lint.Run(prog, lint.DefaultConfig(), lint.Analyzers())
-	findings = append(findings, lint.AllowPolicyFindings(prog)...)
 	allows := lint.CollectAllows(prog)
+	if opts.allowsOut {
+		printAllowInventory(stdout, allows)
+		return 0
+	}
 
-	if jsonOut {
+	cfg := lint.DefaultConfig()
+	findings := lint.Run(prog, cfg, lint.Analyzers())
+	findings = append(findings, lint.AllowPolicyFindings(prog)...)
+	// The stale-suppression audit must run last: it reads the ledger of
+	// directives that fired during the analyzer runs above.
+	findings = append(findings, lint.StaleAllowFindings(prog, cfg)...)
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos.Filename != findings[j].Pos.Filename {
+			return findings[i].Pos.Filename < findings[j].Pos.Filename
+		}
+		if findings[i].Pos.Line != findings[j].Pos.Line {
+			return findings[i].Pos.Line < findings[j].Pos.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+
+	if opts.jsonOut {
+		builds, hits := cfg.SummaryCacheStats()
 		r := report{
 			Findings:   []jsonFinding{},
 			ByAnalyzer: map[string]int{},
 			Allows:     allows,
 			AllowedBy:  map[string]int{},
+			Summary:    &summaryStats{Builds: builds, Hits: hits},
 		}
 		for _, f := range findings {
 			r.Findings = append(r.Findings, jsonFinding{
@@ -123,16 +172,82 @@ func run(jsonOut bool, cachePath string, stdout io.Writer) int {
 			fmt.Fprintln(stdout, f)
 		}
 	}
+	if opts.statsOut {
+		printStats(stdout, cfg, findings, allows)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "locus-vet: %d finding(s)\n", len(findings))
 		return 1
 	}
-	if cachePath != "" && digest != "" {
-		if werr := os.WriteFile(cachePath, []byte(digest+"\n"), 0o644); werr != nil {
+	if opts.cachePath != "" && digest != "" {
+		if werr := os.WriteFile(opts.cachePath, []byte(digest+"\n"), 0o644); werr != nil {
 			fmt.Fprintln(os.Stderr, "locus-vet: writing cache:", werr)
 		}
 	}
 	return 0
+}
+
+// printAllowInventory lists every audited suppression with per-analyzer
+// counts, so reviewers can read the repository's exception surface in
+// one screen.
+func printAllowInventory(w io.Writer, allows []lint.Allow) {
+	counts := map[string]int{}
+	for _, a := range allows {
+		for _, name := range a.Analyzers {
+			counts[name]++
+		}
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%d allow directive(s)\n", len(allows))
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-16s %d\n", name, counts[name])
+	}
+	for _, a := range allows {
+		tag := ""
+		if a.Legacy {
+			tag = " [legacy //nolint]"
+		}
+		fmt.Fprintf(w, "%s:%d: %s%s: %s\n",
+			a.Pos.Filename, a.Pos.Line, strings.Join(a.Analyzers, ","), tag, a.Reason)
+	}
+}
+
+// printStats summarizes a run: findings and allows per analyzer plus
+// the interprocedural summary-cache hit rate (`make vet-stats`).
+func printStats(w io.Writer, cfg *lint.Config, findings []lint.Finding, allows []lint.Allow) {
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+	}
+	allowedBy := map[string]int{}
+	for _, a := range allows {
+		for _, name := range a.Analyzers {
+			allowedBy[name]++
+		}
+	}
+	fmt.Fprintf(w, "findings: %d\n", len(findings))
+	for _, name := range sortedKeys(byAnalyzer) {
+		fmt.Fprintf(w, "  %-16s %d\n", name, byAnalyzer[name])
+	}
+	fmt.Fprintf(w, "allows: %d\n", len(allows))
+	for _, name := range sortedKeys(allowedBy) {
+		fmt.Fprintf(w, "  %-16s %d\n", name, allowedBy[name])
+	}
+	builds, hits := cfg.SummaryCacheStats()
+	fmt.Fprintf(w, "summary cache: %d build(s), %d hit(s)\n", builds, hits)
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func loadFailure(jsonOut bool, stdout io.Writer, pkgErrs []lint.PackageError) int {
@@ -156,10 +271,19 @@ func emit(w io.Writer, r report) {
 	}
 }
 
-// moduleDigest hashes every non-test .go file under root plus go.mod,
-// keyed by repo-relative path, so the stamp changes whenever any input
-// to the analysis (including the analyzers' own sources) changes.
+// moduleDigest hashes the analyzer registry fingerprint plus every
+// non-test .go file under root and go.mod, keyed by repo-relative path,
+// so the stamp changes whenever any input to the analysis — the
+// sources, the analyzers' own sources, or the set of enabled analyzers
+// — changes.
 func moduleDigest(root string) (string, error) {
+	return moduleDigestWith(root, lint.RegistryFingerprint())
+}
+
+// moduleDigestWith is moduleDigest with the registry fingerprint
+// injected (separated so the cache-staleness regression test can prove
+// the fingerprint participates in the stamp).
+func moduleDigestWith(root, registry string) (string, error) {
 	var paths []string
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -182,6 +306,7 @@ func moduleDigest(root string) (string, error) {
 	}
 	sort.Strings(paths)
 	h := sha256.New()
+	fmt.Fprintf(h, "registry %s\n", registry)
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
 		if err != nil {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestCacheStampIncludesRegistryFingerprint pins the cache-staleness
+// fix: the .locusvet.cache stamp must change when the analyzer registry
+// changes, even with every source file untouched. A stamp written by a
+// locus-vet with fewer analyzers must never satisfy one with more.
+func TestCacheStampIncludesRegistryFingerprint(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	current, err := moduleDigest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := moduleDigestWith(root, lint.RegistryFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if current != same {
+		t.Error("moduleDigest does not use the live registry fingerprint")
+	}
+	older, err := moduleDigestWith(root, "registry-without-the-summary-tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if older == current {
+		t.Error("stamp unchanged across a registry change: a stale cache would mask new analyzers")
+	}
+}
+
+// TestRegistryFingerprintCoversAllAnalyzers guards the fingerprint's
+// inputs: every registered analyzer name and both policy audits
+// participate, and the digest is deterministic.
+func TestRegistryFingerprintCoversAllAnalyzers(t *testing.T) {
+	if lint.RegistryFingerprint() != lint.RegistryFingerprint() {
+		t.Fatal("registry fingerprint is not deterministic")
+	}
+	if n := len(lint.Analyzers()); n < 14 {
+		t.Fatalf("analyzer registry lists %d analyzers, want >= 14 (did a registration go missing?)", n)
+	}
+}

@@ -58,7 +58,7 @@ func main() {
 				if err != nil {
 					return 1
 				}
-				defer pipe.Close() //locus:vet-allow uncheckedcall example: process exit reclaims the pipe
+				defer pipe.Close() // error unchecked by design: example: process exit reclaims the pipe
 				msg := fmt.Sprintf("crunched on site %d (%s)\n", ctx.M.Site(), ctx.M.MachineType())
 				if err := pipe.Write([]byte(msg)); err != nil {
 					return 1

@@ -540,12 +540,12 @@ func E6() *Table {
 		}
 		c.Network().HealAll()
 		c.Network().Quiesce()
-		c.Site(1).Topo.RunMergeProtocol() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
+		c.Site(1).Topo.RunMergeProtocol() // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
 		c.Network().Quiesce()
 		c.Settle()
 		before := c.Stats()
-		ra.ReconcileAll() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
-		rb.ReconcileAll() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
+		ra.ReconcileAll() // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
+		rb.ReconcileAll() // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
 		c.Settle()
 		msgs := c.Stats().Sub(before).Msgs
 		result := cell("%d entries merged", 2*inserts)
@@ -770,17 +770,17 @@ func E9() *Table {
 		pre, _ := ra.ReadMail("bob")
 		c.Partition([]SiteID{1}, []SiteID{2})
 		for i := 0; i < 5; i++ {
-			ra.DeliverMail("bob", "a", cell("a%d", i)) //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
-			rb.DeliverMail("bob", "b", cell("b%d", i)) //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
+			ra.DeliverMail("bob", "a", cell("a%d", i)) // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
+			rb.DeliverMail("bob", "b", cell("b%d", i)) // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
 		}
-		rb.DeleteMail("bob", pre[0].ID) //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
+		rb.DeleteMail("bob", pre[0].ID) // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
 		c.Network().HealAll()
 		c.Network().Quiesce()
-		c.Site(1).Topo.RunMergeProtocol() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
+		c.Site(1).Topo.RunMergeProtocol() // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
 		c.Network().Quiesce()
 		c.Settle()
-		ra.ReconcileAll() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
-		rb.ReconcileAll() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
+		ra.ReconcileAll() // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
+		rb.ReconcileAll() // error unchecked by design: bench harness: a failure here surfaces as wrong pinned counts
 		c.Settle()
 		got, _ := ra.ReadMail("bob")
 		t.Rows = append(t.Rows, []string{"single-file mailbox", "5/5 (+1 pre)", "1", cell("%d live", len(got)), "10"})

@@ -235,7 +235,7 @@ func Run(cfg Config) (*Result, error) {
 
 	r := &run{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(int64(cfg.Seed))), //locusvet:allow simclock seeded schedule PRNG, not a clock
+		rng:       rand.New(rand.NewSource(int64(cfg.Seed))), // seeded schedule PRNG, not a clock
 		c:         c,
 		res:       &Result{Seed: cfg.Seed, Config: cfg},
 		files:     make(map[string]*fileState),

@@ -382,7 +382,7 @@ func (p *procPlane) pipeCreate() {
 		if !r.strandRisk {
 			r.violate("opening pipe reader %s at site %d on a clean network: %v", path, rSite, err)
 		}
-		w.Close() //locus:vet-allow uncheckedcall abandoning half-open pipe
+		w.Close() // error unchecked by design: abandoning half-open pipe
 		return
 	}
 	p.pipes = append(p.pipes, &pipeRec{
@@ -473,7 +473,7 @@ func (p *procPlane) pipeDrainClose(pr *pipeRec) {
 		got += len(data)
 	}
 	r.log("proc pipe-drain %s %d bytes", pr.path, got)
-	pr.rd.Close() //locus:vet-allow uncheckedcall reader close after drain is advisory
+	pr.rd.Close() // error unchecked by design: reader close after drain is advisory
 }
 
 // opTxn begins, commits, or aborts nested transactions.
@@ -535,7 +535,7 @@ func (p *procPlane) txnBegin() {
 	if err := stage(); err != nil {
 		r.log("proc txn %d begin at %d: %s", p.nextTxn, site, errClass(err))
 		p.recordAborted(tr)
-		t.Abort() //locus:vet-allow uncheckedcall best-effort abort of a failed stage
+		t.Abort() // error unchecked by design: best-effort abort of a failed stage
 		return
 	}
 	p.txns = append(p.txns, tr)
@@ -750,7 +750,7 @@ func (p *procPlane) probeReaderEOF(pr *pipeRec) {
 	case <-time.After(5 * time.Second):
 		r.violate("pipe %s read HUNG after writer-site loss; §5.6 requires EOF, never a hang", pr.path)
 	}
-	pr.rd.Close() //locus:vet-allow uncheckedcall retiring a probed pipe
+	pr.rd.Close() // error unchecked by design: retiring a probed pipe
 }
 
 // finish runs after the final heal: every prescribed outcome must now

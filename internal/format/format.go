@@ -150,7 +150,7 @@ func readVV(b []byte) (vclock.VV, []byte, error) {
 			return nil, nil, ErrCorrupt
 		}
 		b = b[k2:]
-		vv[vclock.SiteID(s)] = c
+		vv[vclock.SiteID(s)] = c //locus:vet-allow vvmutation wire decode builds the vector entry by entry
 	}
 	return vv, b, nil
 }

@@ -133,7 +133,7 @@ func (pc *pageCache) put(id storage.FileID, pn storage.PageNo, data []byte, size
 func (pc *pageCache) invalidateFile(id storage.FileID) int {
 	pc.mu.Lock()
 	var drop []*list.Element
-	for key, el := range pc.ents {
+	for key, el := range pc.ents { //locus:vet-allow maporder removal set; no order-observable effect
 		if key.id == id {
 			drop = append(drop, el)
 		}

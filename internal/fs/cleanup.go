@@ -70,6 +70,9 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 	}
 
 	// --- US side: open files whose storage site left the partition.
+	// The failover order is part of the deterministic replay schedule
+	// (reopenElsewhere sends on the wire), so iterate handles in
+	// (file, registration) order, never raw map order.
 	k.mu.Lock()
 	var affected []*File
 	for f := range k.openFiles {
@@ -78,6 +81,16 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 		}
 	}
 	k.mu.Unlock()
+	sort.Slice(affected, func(i, j int) bool {
+		a, b := affected[i], affected[j]
+		if a.id.FG != b.id.FG {
+			return a.id.FG < b.id.FG
+		}
+		if a.id.Inode != b.id.Inode {
+			return a.id.Inode < b.id.Inode
+		}
+		return a.serial < b.serial
+	})
 	for _, f := range affected {
 		switch {
 		case f.internal:
@@ -108,7 +121,8 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 		pages []storage.PhysPage
 	}
 	var drops []drop
-	for id, sv := range k.ssState {
+	for _, id := range sortedFileIDs(k.ssState) {
+		sv := k.ssState[id]
 		if sv.writerUS != vclock.NoSite && !in[sv.writerUS] {
 			var freed []storage.PhysPage
 			if sv.incore != nil {
@@ -125,7 +139,7 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 			drops = append(drops, drop{id: id, pages: freed})
 			rep.ServesDiscarded++
 		}
-		for us := range sv.readers {
+		for _, us := range sortedSiteIDs(sv.readers) {
 			if !in[us] {
 				delete(sv.readers, us)
 				rep.ServesDiscarded++
@@ -139,7 +153,8 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 	// --- CSS side: rebuild the lock table. Entries for filegroups we
 	// no longer synchronize are dropped; records naming lost sites are
 	// released.
-	for id, e := range k.cssState {
+	for _, id := range sortedFileIDs(k.cssState) {
+		e := k.cssState[id]
 		css, err := k.cssOfLocked(id.FG)
 		if err != nil || css != k.site {
 			delete(k.cssState, id)
@@ -172,7 +187,7 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 			e.writerSS = vclock.NoSite
 			rep.LocksReleased++
 		}
-		for us := range e.readers {
+		for _, us := range sortedSiteIDs(e.readers) {
 			if !in[us] || !in[e.readerSS[us]] {
 				delete(e.readers, us)
 				delete(e.readerSS, us)
@@ -188,6 +203,32 @@ func (k *Kernel) CleanupAfterPartitionChange(newPartition []SiteID) CleanupRepor
 		}
 	}
 	return rep
+}
+
+// sortedFileIDs returns m's keys in (filegroup, inode) order so state
+// sweeps act in a seed-replayable order.
+func sortedFileIDs[V any](m map[storage.FileID]V) []storage.FileID {
+	ids := make([]storage.FileID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].FG != ids[j].FG {
+			return ids[i].FG < ids[j].FG
+		}
+		return ids[i].Inode < ids[j].Inode
+	})
+	return ids
+}
+
+// sortedSiteIDs returns m's keys in ascending site order.
+func sortedSiteIDs[V any](m map[SiteID]V) []SiteID {
+	sites := make([]SiteID, 0, len(m))
+	for s := range m {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return sites
 }
 
 // cssOfLocked is CSSOf without taking k.mu (caller holds it).

@@ -398,7 +398,7 @@ func (k *Kernel) Link(cred *Cred, oldpath, newpath string) error {
 	if err := k.dirInsert(parent, name, r.ID.Inode); err != nil {
 		// Roll back the link count.
 		if g, e2 := k.OpenID(r.ID, ModeModify); e2 == nil {
-			g.setAttr(&setAttrReq{ID: g.id, Nlink: g.ino.Nlink - 1, Mode: -1}) //locus:vet-allow uncheckedcall rollback
+			g.setAttr(&setAttrReq{ID: g.id, Nlink: g.ino.Nlink - 1, Mode: -1}) // error unchecked by design: rollback
 			g.Commit()                                                         //locus:vet-allow uncheckedcall rollback
 			g.Close()                                                          //locus:vet-allow uncheckedcall rollback
 		}
@@ -436,7 +436,7 @@ func (k *Kernel) Rename(cred *Cred, oldpath, newpath string) error {
 	}
 	if err := k.dirRemove(r.Parent, r.Name, vv); err != nil {
 		// Roll back the insert.
-		k.dirRemove(newParent, newName, vv) //locus:vet-allow uncheckedcall rollback
+		k.dirRemove(newParent, newName, vv) // error unchecked by design: rollback
 		return err
 	}
 	return nil

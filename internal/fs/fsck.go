@@ -125,7 +125,12 @@ func FsckCluster(kernels []*Kernel, opts FsckOptions) []FsckFinding {
 	// Reachability: BFS each filegroup from its root over live entries
 	// of the unioned directory copies.
 	reachable := make(map[storage.FileID]bool)
+	fgList := make([]storage.FilegroupID, 0, len(fgs))
 	for fg := range fgs {
+		fgList = append(fgList, fg)
+	}
+	sort.Slice(fgList, func(i, j int) bool { return fgList[i] < fgList[j] })
+	for _, fg := range fgList {
 		root := storage.FileID{FG: fg, Inode: RootInode}
 		queue := []storage.FileID{root}
 		reachable[root] = true

@@ -2,6 +2,7 @@ package fs
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/lint/invariant"
 	"repro/internal/storage"
@@ -507,6 +508,9 @@ func (k *Kernel) handleCommit(from SiteID, p any) (any, error) {
 		for pn := range sv.dirty {
 			pages = append(pages, pn)
 		}
+		// The page list rides the commit notifications; keep its order
+		// independent of map iteration.
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	}
 	sv.dirty = make(map[storage.PageNo]bool)
 	sv.truncated = false

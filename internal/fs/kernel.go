@@ -250,6 +250,10 @@ type Kernel struct {
 	// openFiles tracks US-side open handles for cleanup on partition
 	// change.
 	openFiles map[*File]bool
+	// openSerial numbers handles as they register, giving cleanup a
+	// total iteration order (two handles on one file are otherwise
+	// indistinguishable and map order is random).
+	openSerial uint64
 	// inflightOpens counts modify opens this site has requested but not
 	// yet recorded in openFiles, so a lock-table validation probe
 	// (mProbeOpen) arriving between the CSS's grant and our receipt of
@@ -574,6 +578,16 @@ type File struct {
 	// to RAMax, resets on a seek).
 	raNext   storage.PageNo
 	raWindow int
+	// serial is the handle's registration number (see Kernel.openSerial).
+	serial uint64
+}
+
+// registerOpenLocked records an open handle for partition cleanup and
+// stamps its serial. Caller holds k.mu.
+func (k *Kernel) registerOpenLocked(f *File) {
+	k.openSerial++
+	f.serial = k.openSerial
+	k.openFiles[f] = true
 }
 
 // SetReadahead enables adaptive streaming readahead for this handle

@@ -126,7 +126,7 @@ func (k *Kernel) releaseLease(l *usLease) {
 		}
 		req := &closeReq{ID: l.id, US: k.site, Mode: ModeModify}
 		if l.ss == k.site {
-			k.handleClose(k.site, req) //locus:vet-allow uncheckedcall best-effort deferred close; partition cleanup reclaims on failure
+			k.handleClose(k.site, req) // error unchecked by design: best-effort deferred close; partition cleanup reclaims on failure
 			return
 		}
 		k.call(l.ss, mClose, req) //locus:vet-allow uncheckedcall best-effort deferred close; partition cleanup reclaims on failure
@@ -134,7 +134,7 @@ func (k *Kernel) releaseLease(l *usLease) {
 	}
 	req := &leaseReleaseReq{ID: l.id, US: k.site}
 	if l.css == k.site {
-		k.handleLeaseRelease(k.site, req) //locus:vet-allow uncheckedcall release of a local delegation cannot fail
+		k.handleLeaseRelease(k.site, req) // error unchecked by design: release of a local delegation cannot fail
 		return
 	}
 	k.call(l.css, mLeaseRelease, req) //locus:vet-allow uncheckedcall best-effort return; the CSS record self-heals on its next revoke round
@@ -240,7 +240,7 @@ func (k *Kernel) revokeWriterLease(id storage.FileID, e *cssEntry, holder, ssHol
 		// Tear down the serving state the skipped close left behind.
 		rreq := &revokeServeReq{ID: id, US: holder}
 		if ssHolder == k.site {
-			k.handleRevokeServe(k.site, rreq) //locus:vet-allow uncheckedcall best effort: the SS validates the writer itself on the next open
+			k.handleRevokeServe(k.site, rreq) // error unchecked by design: best effort: the SS validates the writer itself on the next open
 		} else {
 			k.call(ssHolder, mRevokeServe, rreq) //locus:vet-allow uncheckedcall best effort: the SS validates the writer itself on the next open
 		}
@@ -273,7 +273,7 @@ func (k *Kernel) revokeDelegates(id storage.FileID, e *cssEntry, except SiteID) 
 	for _, us := range targets {
 		req := &leaseRevokeReq{ID: id, Mode: ModeRead}
 		if us == k.site {
-			k.handleLeaseRevoke(k.site, req) //locus:vet-allow uncheckedcall read-delegation revokes always release
+			k.handleLeaseRevoke(k.site, req) // error unchecked by design: read-delegation revokes always release
 			continue
 		}
 		k.call(us, mLeaseRevoke, req) //locus:vet-allow uncheckedcall unreachable delegates are reclaimed by partition cleanup
@@ -344,7 +344,7 @@ func (k *Kernel) openUnderLease(id storage.FileID, mode OpenMode) *File {
 		f.delegated = true
 	}
 	l.opens++
-	k.openFiles[f] = true
+	k.registerOpenLocked(f)
 	return f
 }
 

@@ -522,7 +522,7 @@ func (k *Kernel) OpenID(id storage.FileID, mode OpenMode) (*File, error) {
 		}
 	}
 	k.mu.Lock()
-	k.openFiles[f] = true
+	k.registerOpenLocked(f)
 	k.mu.Unlock()
 	return f, nil
 }
@@ -535,7 +535,7 @@ func (k *Kernel) releaseCSSLock(css SiteID, id storage.FileID, mode OpenMode) {
 	}
 	req := &ssCloseReq{ID: id, SS: k.site, US: k.site, Mode: mode}
 	if css == k.site {
-		k.handleSSClose(k.site, req) //locus:vet-allow uncheckedcall best-effort release
+		k.handleSSClose(k.site, req) // error unchecked by design: best-effort release
 		return
 	}
 	k.call(css, mSSClose, req) //locus:vet-allow uncheckedcall best-effort release
@@ -563,7 +563,7 @@ func (k *Kernel) tryLocalInternal(id storage.FileID) *File {
 		ino: ino, dirty: make(map[storage.PageNo]bool), internal: true,
 	}
 	k.mu.Lock()
-	k.openFiles[f] = true
+	k.registerOpenLocked(f)
 	k.mu.Unlock()
 	return f
 }
@@ -708,7 +708,7 @@ func (k *Kernel) CreateID(fg storage.FilegroupID, typ storage.FileType, cred *Cr
 		ino: r.Ino.Clone(), dirty: make(map[storage.PageNo]bool),
 	}
 	k.mu.Lock()
-	k.openFiles[f] = true
+	k.registerOpenLocked(f)
 	k.mu.Unlock()
 	return f, nil
 }

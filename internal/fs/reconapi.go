@@ -191,7 +191,7 @@ func (k *Kernel) ReconcileCommit(id storage.FileID, ino *storage.Inode, content 
 func (k *Kernel) MarkConflict(id storage.FileID, sites []SiteID) {
 	for _, s := range sites {
 		if s == k.site {
-			k.handleMarkConflict(k.site, &markConflictReq{ID: id}) //locus:vet-allow uncheckedcall local marking cannot fail usefully
+			k.handleMarkConflict(k.site, &markConflictReq{ID: id}) // error unchecked by design: local marking cannot fail usefully
 			continue
 		}
 		if k.inPartition(s) {

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCounterAnalyzer enforces all-or-nothing atomicity per field: a
+// struct field accessed through sync/atomic anywhere must be accessed
+// that way everywhere, transitively through helpers the field's
+// address is forwarded to.
+//
+// Mixing `atomic.AddInt64(&s.n, 1)` on one path with a plain `s.n++`
+// (or a bare read in a log line) on another is a data race the race
+// detector only catches when both paths run in one test. Here the
+// interprocedural tier makes the check transitive: the per-parameter
+// atomicParams summary (summary.go) marks helper parameters whose
+// pointee is atomically accessed, so `&s.n` handed to such a helper is
+// a sanctioned atomic site, while the same address handed to an
+// unclassified function — or any direct selector use — is flagged.
+//
+// Fields typed as sync/atomic values (atomic.Int64 and friends) are
+// exempt by construction: their only access path is already atomic.
+func AtomicCounterAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomiccounter",
+		Doc:  "flag plain accesses to fields that are accessed atomically elsewhere",
+		Run:  runAtomicCounter,
+	}
+}
+
+func runAtomicCounter(prog *Program, cfg *Config) []Finding {
+	if len(cfg.AtomicPackages) == 0 {
+		return nil
+	}
+	sum := cfg.summariesFor(prog)
+
+	// Pass 1: find the atomically-accessed fields and remember each
+	// sanctioned selector node (the x.f under &x.f at an atomic site).
+	atomicAt := make(map[*types.Var]token.Position)
+	sanctioned := make(map[ast.Node]bool)
+	mark := func(pkg *Package, arg ast.Expr) {
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return
+		}
+		sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		f := fieldOf(pkg, sel)
+		if f == nil {
+			return
+		}
+		if _, seen := atomicAt[f]; !seen {
+			atomicAt[f] = prog.Fset.Position(un.Pos())
+		}
+		sanctioned[sel] = true
+	}
+	forEachScoped(prog, cfg.AtomicPackages, func(pkg *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isAtomicCall(pkg.Info, call) {
+				for _, arg := range call.Args {
+					mark(pkg, arg)
+				}
+				return true
+			}
+			callee := funcFor(pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			for _, target := range sum.graph.resolveTargets(callee) {
+				ap := sum.atomicParams[target]
+				for j, arg := range call.Args {
+					if ap[j] {
+						mark(pkg, arg)
+					}
+				}
+			}
+			return true
+		})
+	})
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector use of an atomic field is a plain —
+	// racing — access.
+	var out []Finding
+	forEachScoped(prog, cfg.AtomicPackages, func(pkg *Package, file *ast.File) {
+		sup := suppressionsFor(prog, pkg, cfg)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			f := fieldOf(pkg, sel)
+			if f == nil {
+				return true
+			}
+			at, isAtomic := atomicAt[f]
+			if !isAtomic {
+				return true
+			}
+			pos := prog.Fset.Position(sel.Pos())
+			if sup.allowed(pos, "atomiccounter") {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      pos,
+				Analyzer: "atomiccounter",
+				Message: fmt.Sprintf("field %s is accessed atomically at %s:%d but plainly here; a field atomic anywhere must be atomic everywhere",
+					f.Name(), at.Filename, at.Line),
+			})
+			return true
+		})
+	})
+	return out
+}
+
+// forEachScoped visits every file of every target package matching the
+// scope suffixes.
+func forEachScoped(prog *Program, scope []string, visit func(pkg *Package, file *ast.File)) {
+	for _, pkg := range prog.Targets {
+		if !pkgInScope(pkg, scope) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			visit(pkg, file)
+		}
+	}
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

@@ -56,7 +56,7 @@ func runBlockingLock(prog *Program, cfg *Config) []Finding {
 	for _, fb := range graph.bodies {
 		sup := sups[fb.pkg]
 		if sup == nil {
-			sup = suppressionsFor(prog, fb.pkg)
+			sup = suppressionsFor(prog, fb.pkg, cfg)
 			sups[fb.pkg] = sup
 		}
 		pkg, fset := fb.pkg, prog.Fset

@@ -46,7 +46,7 @@ func runGoroutineJoin(prog *Program, cfg *Config) []Finding {
 		if !pkgInScope(pkg, cfg.GoJoinPackages) {
 			continue
 		}
-		sup := suppressionsFor(prog, pkg)
+		sup := suppressionsFor(prog, pkg, cfg)
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				fn, ok := decl.(*ast.FuncDecl)

@@ -65,7 +65,7 @@ func runInodeAlias(prog *Program, cfg *Config) []Finding {
 		if !pkgInScope(pkg, cfg.AliasPackages) {
 			continue
 		}
-		sup := suppressionsFor(prog, pkg)
+		sup := suppressionsFor(prog, pkg, cfg)
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				fn, ok := decl.(*ast.FuncDecl)

@@ -33,12 +33,14 @@
 package lint
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one analyzer diagnosis.
@@ -87,6 +89,15 @@ type TypeSpec struct {
 }
 
 func (t TypeSpec) String() string { return t.PkgSuffix + "." + t.Type }
+
+// VarSpec names a package-level variable (a sentinel error) by
+// defining-package suffix and name.
+type VarSpec struct {
+	PkgSuffix string
+	Name      string
+}
+
+func (v VarSpec) String() string { return v.PkgSuffix + "." + v.Name }
 
 // Config parameterizes the analyzers. Production runs use
 // DefaultConfig; fixture tests substitute fixture packages and types.
@@ -166,6 +177,90 @@ type Config struct {
 	// BlockingGuard are the lock classes that must never be held across
 	// a blocking call.
 	BlockingGuard []LockClass
+
+	// OrderEffects are the transport exchanges whose ORDER is part of
+	// the deterministic schedule: every send bumps the per-
+	// (from,to,method) occurrence counter the fault plane keys its
+	// drop/dup/delay decisions on, so reordering a group of sends
+	// changes what a pinned seed replays. The interprocedural summary
+	// tier (summary.go) closes "may reach one" over the call graph; the
+	// maporder analyzer flags raw map ranges whose bodies carry the
+	// fact.
+	OrderEffects []MethodSpec
+	// MapOrderPackages scopes the maporder analyzer.
+	MapOrderPackages []string
+
+	// SentinelVars are the raw transport/fs-site sentinels that must
+	// not escape an exported API without passing a wrap funnel
+	// (sentinelerr analyzer; the §5.6 failure-action discipline).
+	SentinelVars []VarSpec
+	// SentinelFunnels are the designated wrap functions that launder a
+	// raw sentinel into the classified form callers are promised
+	// (proc.wrapSiteErr, proc.wrapFsSiteErr).
+	SentinelFunnels []MethodSpec
+	// SentinelSources are calls whose error result is presumed tainted
+	// even without an analyzed body (fixtures use this; production
+	// relies on the transitive summary instead).
+	SentinelSources []MethodSpec
+	// SentinelAPIPackages are the packages whose exported functions and
+	// methods must never return a raw sentinel.
+	SentinelAPIPackages []string
+
+	// VVTypes are the version-vector map types that may only be mutated
+	// through their own package's operations (vvmutation analyzer);
+	// a direct indexed write or delete() elsewhere bypasses the
+	// dominance rules §4.3's reconciliation depends on.
+	VVTypes []TypeSpec
+	// VVExemptPackages may mutate VVTypes directly (the defining
+	// package itself).
+	VVExemptPackages []string
+
+	// AtomicPackages scopes the atomiccounter analyzer: within them, a
+	// struct field accessed through sync/atomic anywhere must be
+	// accessed that way everywhere, transitively through helpers the
+	// field's address is forwarded to.
+	AtomicPackages []string
+
+	// mu guards the interprocedural summary cache and the used-allow
+	// tracker below.
+	mu sync.Mutex
+	// summary/summaryProg cache the summary table built for a Program;
+	// summaryBuilds/summaryHits count builds and cache hits.
+	summary      *summaries
+	summaryProg  *Program
+	summaryBuilds int
+	summaryHits   int
+	// usedAllows records every suppression that actually fired under
+	// this Config: filename -> line -> analyzer names suppressed there.
+	// StaleAllowFindings reports directives that never fired.
+	usedAllows map[string]map[int]map[string]bool
+}
+
+// noteAllowUsed records that a suppression fired at pos for analyzer.
+func (cfg *Config) noteAllowUsed(pos token.Position, analyzer string) {
+	cfg.mu.Lock()
+	defer cfg.mu.Unlock()
+	if cfg.usedAllows == nil {
+		cfg.usedAllows = make(map[string]map[int]map[string]bool)
+	}
+	lineMap := cfg.usedAllows[pos.Filename]
+	if lineMap == nil {
+		lineMap = make(map[int]map[string]bool)
+		cfg.usedAllows[pos.Filename] = lineMap
+	}
+	set := lineMap[pos.Line]
+	if set == nil {
+		set = make(map[string]bool)
+		lineMap[pos.Line] = set
+	}
+	set[analyzer] = true
+}
+
+// allowUsed reports whether any suppression fired at (filename, line).
+func (cfg *Config) allowUsed(filename string, line int) bool {
+	cfg.mu.Lock()
+	defer cfg.mu.Unlock()
+	return len(cfg.usedAllows[filename][line]) > 0
 }
 
 // DefaultConfig is the production configuration for this repository.
@@ -262,6 +357,49 @@ func DefaultConfig() *Config {
 			{PkgSuffix: "internal/storage", Type: "Store"},
 			{PkgSuffix: "internal/storage", Type: "Container"},
 		},
+
+		// The transport exchanges are the order-observable effects: the
+		// fault plane's drop/dup/delay decisions key on the per-
+		// (from,to,method) occurrence number of each send, so the order
+		// of a group of sends is part of the seed-replay contract.
+		// Wrappers (Kernel.call, Manager.cast, pipeCall...) inherit the
+		// fact through the summary closure.
+		OrderEffects: []MethodSpec{
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Call"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "CallSeq"},
+			{PkgSuffix: "internal/netsim", Recv: "Node", Name: "Cast"},
+		},
+		MapOrderPackages: []string{
+			"internal/fs", "internal/proc", "internal/netsim", "internal/chaos",
+		},
+
+		// §5.6 failure-action discipline: proc's exported API promises
+		// ErrSiteFailed (or a classified proc error), never a raw
+		// transport or fs-site sentinel. fs deliberately surfaces the
+		// raw sentinels — proc is the layer that wraps them.
+		SentinelVars: []VarSpec{
+			{PkgSuffix: "internal/netsim", Name: "ErrUnreachable"},
+			{PkgSuffix: "internal/netsim", Name: "ErrTimeout"},
+			{PkgSuffix: "internal/netsim", Name: "ErrCircuitClosed"},
+			{PkgSuffix: "internal/netsim", Name: "ErrSiteDown"},
+			{PkgSuffix: "internal/netsim", Name: "ErrNoHandler"},
+			{PkgSuffix: "internal/netsim", Name: "ErrCrashed"},
+			{PkgSuffix: "internal/fs", Name: "ErrNoCSS"},
+			{PkgSuffix: "internal/fs", Name: "ErrNoStorageSite"},
+		},
+		SentinelFunnels: []MethodSpec{
+			{PkgSuffix: "internal/proc", Name: "wrapSiteErr"},
+			{PkgSuffix: "internal/proc", Name: "wrapFsSiteErr"},
+		},
+		SentinelAPIPackages: []string{"internal/proc"},
+
+		VVTypes:          []TypeSpec{{PkgSuffix: "internal/vclock", Type: "VV"}},
+		VVExemptPackages: []string{"internal/vclock"},
+
+		AtomicPackages: []string{
+			"internal/fs", "internal/proc", "internal/netsim",
+			"internal/storage", "internal/chaos",
+		},
 	}
 }
 
@@ -278,7 +416,27 @@ func Analyzers() []*Analyzer {
 		GoroutineJoinAnalyzer(),
 		RPCConsistencyAnalyzer(),
 		BlockingLockAnalyzer(),
+		MapOrderAnalyzer(),
+		SentinelErrAnalyzer(),
+		VVMutationAnalyzer(),
+		AtomicCounterAnalyzer(),
 	}
+}
+
+// RegistryFingerprint digests the analyzer registry: the registered
+// analyzer names plus the policy audits every run performs. The
+// locus-vet cache mixes it into the clean-run stamp so enabling,
+// removing, or renaming an analyzer invalidates the stamp even when no
+// analyzed source file changed — a run with more checks must never
+// inherit an older registry's "clean".
+func RegistryFingerprint() string {
+	names := []string{"vet-allow", "staleallow"}
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	sum := sha256.Sum256([]byte(strings.Join(names, "\n")))
+	return fmt.Sprintf("%x", sum[:8])
 }
 
 // Run executes the given analyzers and returns all findings sorted by
@@ -312,11 +470,14 @@ func hasPathSuffix(p, suffix string) bool {
 type suppressions struct {
 	// byLine maps filename -> line -> set of allowed analyzer names.
 	byLine map[string]map[int]map[string]bool
+	// cfg, when non-nil, records every suppression that fires so the
+	// stale-allow audit can flag directives that never do.
+	cfg *Config
 }
 
 // suppressionsFor scans a package's comments once.
-func suppressionsFor(prog *Program, pkg *Package) *suppressions {
-	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+func suppressionsFor(prog *Program, pkg *Package, cfg *Config) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]map[string]bool), cfg: cfg}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -469,10 +630,41 @@ func AllowPolicyFindings(prog *Program) []Finding {
 	return out
 }
 
-// allowed reports whether a finding by analyzer at pos is suppressed.
+// allowed reports whether a finding by analyzer at pos is suppressed,
+// recording the hit for the stale-allow audit.
 func (s *suppressions) allowed(pos token.Position, analyzer string) bool {
 	set := s.byLine[pos.Filename][pos.Line]
-	return set[analyzer] || set["all"]
+	ok := set[analyzer] || set["all"]
+	if ok && s.cfg != nil {
+		s.cfg.noteAllowUsed(pos, analyzer)
+	}
+	return ok
+}
+
+// StaleAllowFindings flags `//locus:vet-allow` directives that
+// suppressed zero findings under cfg — a suppression nothing hides is
+// either obsolete (the code was fixed) or mislocated (the finding it
+// meant to silence fires anyway, one line away). Call it only after
+// every analyzer has run with cfg, so the usage ledger is complete.
+// Legacy `//nolint` comments and reasonless directives are excluded:
+// AllowPolicyFindings already flags those.
+func StaleAllowFindings(prog *Program, cfg *Config) []Finding {
+	var out []Finding
+	for _, a := range CollectAllows(prog) {
+		if a.Legacy || a.Reason == "" {
+			continue
+		}
+		if cfg.allowUsed(a.Pos.Filename, a.Pos.Line) {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:      a.Pos,
+			Analyzer: "staleallow",
+			Message: fmt.Sprintf("allow directive for %s suppresses no finding on this run; remove it or re-anchor it to the line it meant to silence",
+				strings.Join(a.Analyzers, ",")),
+		})
+	}
+	return out
 }
 
 // namedOrNil unwraps pointers and returns the named type, or nil.

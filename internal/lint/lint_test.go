@@ -16,6 +16,8 @@ import (
 var fixtureLeaves = []string{
 	"simclock_f", "unchecked_f", "lockorder_f", "panic_f", "rawcall_f",
 	"pageleak_f", "inodealias_f", "gojoin_f", "rpcconsist_f", "blockinglock_f",
+	"maporder_f", "sentinelerr_f", "vvmutation_f", "atomiccounter_f",
+	"staleallow_f",
 }
 
 var (
@@ -226,6 +228,59 @@ func TestBlockingLockFixture(t *testing.T) {
 	checkFixture(t, BlockingLockAnalyzer(), cfg, "blockinglock_f")
 }
 
+func TestMapOrderFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{
+		MapOrderPackages: []string{"maporder_f"},
+		OrderEffects: []MethodSpec{
+			{PkgSuffix: "maporder_f", Recv: "Node", Name: "Call"},
+			{PkgSuffix: "maporder_f", Recv: "Node", Name: "Cast"},
+		},
+	}
+	checkFixture(t, MapOrderAnalyzer(), cfg, "maporder_f")
+}
+
+func TestSentinelErrFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{
+		SentinelAPIPackages: []string{"sentinelerr_f"},
+		SentinelVars:        []VarSpec{{PkgSuffix: "sentinelerr_f", Name: "ErrGone"}},
+		SentinelFunnels:     []MethodSpec{{PkgSuffix: "sentinelerr_f", Name: "wrapErr"}},
+	}
+	checkFixture(t, SentinelErrAnalyzer(), cfg, "sentinelerr_f")
+}
+
+func TestVVMutationFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{VVTypes: []TypeSpec{{PkgSuffix: "vvmutation_f", Type: "VV"}}}
+	checkFixture(t, VVMutationAnalyzer(), cfg, "vvmutation_f")
+}
+
+func TestAtomicCounterFixture(t *testing.T) {
+	t.Parallel()
+	cfg := &Config{AtomicPackages: []string{"atomiccounter_f"}}
+	checkFixture(t, AtomicCounterAnalyzer(), cfg, "atomiccounter_f")
+}
+
+// TestSummaryCacheIsShared pins the summary engine's caching contract:
+// the analyzers that compose interprocedural facts share one table per
+// Config — one build, the rest hits.
+func TestSummaryCacheIsShared(t *testing.T) {
+	t.Parallel()
+	p := sharedProgram(t)
+	cfg := DefaultConfig()
+	for _, a := range []*Analyzer{MapOrderAnalyzer(), SentinelErrAnalyzer(), AtomicCounterAnalyzer()} {
+		a.Run(p, cfg)
+	}
+	builds, hits := cfg.SummaryCacheStats()
+	if builds != 1 {
+		t.Errorf("summary table built %d times for one Config, want 1", builds)
+	}
+	if hits != 2 {
+		t.Errorf("summary cache hits = %d, want 2", hits)
+	}
+}
+
 // TestRepositoryIsClean is the lint gate inside the test suite: the
 // production configuration must report nothing on the real module, so
 // `go test ./...` alone catches regressions even when locus-vet is not
@@ -234,7 +289,8 @@ func TestRepositoryIsClean(t *testing.T) {
 	t.Parallel()
 	p := sharedProgram(t)
 	testdata := string(filepath.Separator) + "testdata" + string(filepath.Separator)
-	for _, f := range Run(p, DefaultConfig(), Analyzers()) {
+	cfg := DefaultConfig()
+	for _, f := range Run(p, cfg, Analyzers()) {
 		if strings.Contains(f.Pos.Filename, testdata) {
 			continue
 		}
@@ -248,6 +304,55 @@ func TestRepositoryIsClean(t *testing.T) {
 		}
 		t.Errorf("unauditable allow directive: %s", f)
 	}
+	// ...and must suppress a live finding: a directive nothing hides is
+	// obsolete or mislocated (staleallow). Fixture directives fire only
+	// under their fixture configs, so testdata is excluded here too.
+	for _, f := range StaleAllowFindings(p, cfg) {
+		if strings.Contains(f.Pos.Filename, testdata) {
+			continue
+		}
+		t.Errorf("stale allow directive: %s", f)
+	}
+}
+
+// TestStaleAllowAudit is the staleallow fixture test: after running the
+// analyzer its directives name, the directive that suppressed a real
+// finding stays quiet and the one that suppressed nothing is reported.
+func TestStaleAllowAudit(t *testing.T) {
+	t.Parallel()
+	p := sharedProgram(t)
+	pkg := fixturePkg(t, p, "staleallow_f")
+	cfg := &Config{VVTypes: []TypeSpec{{PkgSuffix: "staleallow_f", Type: "VV"}}}
+	if fs := VVMutationAnalyzer().Run(p, cfg); len(fs) != 0 {
+		for _, f := range fs {
+			if filepath.Dir(f.Pos.Filename) == pkg.Dir {
+				t.Errorf("fixture's live directive did not suppress: %s", f)
+			}
+		}
+	}
+	var inFixture []Finding
+	for _, f := range StaleAllowFindings(p, cfg) {
+		if filepath.Dir(f.Pos.Filename) == pkg.Dir {
+			inFixture = append(inFixture, f)
+		}
+	}
+	if len(inFixture) != 1 {
+		t.Fatalf("stale-allow audit reported %d directives in the fixture, want exactly 1: %v", len(inFixture), inFixture)
+	}
+	got := inFixture[0]
+	if got.Analyzer != "staleallow" || !strings.Contains(got.Message, "suppresses no finding") {
+		t.Errorf("unexpected stale-allow finding: %s", got)
+	}
+	// The flagged directive is the one whose reason says so.
+	for _, a := range CollectAllows(p) {
+		if a.Pos.Filename == got.Pos.Filename && a.Pos.Line == got.Pos.Line {
+			if !strings.Contains(a.Reason, "suppresses nothing") {
+				t.Errorf("audit flagged the wrong directive: %s (reason %q)", got, a.Reason)
+			}
+			return
+		}
+	}
+	t.Errorf("stale-allow finding at %s does not sit on a directive line", got.Pos)
 }
 
 // TestLegacyNolintIsPolicyFinding pins the retirement of the
@@ -310,6 +415,56 @@ func TestLoadSurfacesTypeErrors(t *testing.T) {
 	}
 	if !strings.Contains(pe.Err, "undefinedIdentifier") {
 		t.Errorf("failure error %q does not mention the undefined identifier", pe.Err)
+	}
+}
+
+// TestLoadErrorAggregatesAllBrokenPackages pins the multi-package
+// aggregation contract: with several broken targets, the loader
+// attempts every one and the LoadError lists each with its own first
+// error — one broken package must not mask another.
+func TestLoadErrorAggregatesAllBrokenPackages(t *testing.T) {
+	t.Parallel()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := module + "/internal/lint/testdata/src/broken_f"
+	broken2 := module + "/internal/lint/testdata/src/broken2_f"
+	_, err = LoadAll(root, []string{broken, broken2})
+	if err == nil {
+		t.Fatal("LoadAll succeeded with two packages that cannot type-check")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("LoadAll error is %T, want *LoadError: %v", err, err)
+	}
+	if len(le.Packages) != 2 {
+		t.Fatalf("LoadError lists %d packages, want 2: %+v", len(le.Packages), le.Packages)
+	}
+	wantErrs := map[string]string{
+		broken:  "undefinedIdentifier",
+		broken2: "anotherMissingName",
+	}
+	for _, pe := range le.Packages {
+		ident, ok := wantErrs[pe.Path]
+		if !ok {
+			t.Errorf("unexpected package in LoadError: %+v", pe)
+			continue
+		}
+		if !strings.Contains(pe.Err, ident) {
+			t.Errorf("%s reported %q, want mention of %q", pe.Path, pe.Err, ident)
+		}
+		delete(wantErrs, pe.Path)
+	}
+	for path := range wantErrs {
+		t.Errorf("broken package %s missing from LoadError", path)
+	}
+	if !strings.Contains(le.Error(), "2 packages") {
+		t.Errorf("LoadError summary %q does not state the aggregate count", le.Error())
 	}
 }
 

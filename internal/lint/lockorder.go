@@ -92,7 +92,7 @@ func (a *lockAnalysis) report() []Finding {
 	for fn, fb := range a.graph.bodies {
 		sup := sups[fb.pkg]
 		if sup == nil {
-			sup = suppressionsFor(a.prog, fb.pkg)
+			sup = suppressionsFor(a.prog, fb.pkg, a.cfg)
 			sups[fb.pkg] = sup
 		}
 		_ = fn

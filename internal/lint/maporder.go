@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `range` statements over maps whose iteration
+// order becomes observable in the deterministic schedule.
+//
+// The chaos replay contract (`Result.ReplayCommand()`) promises that a
+// seed replays byte-identically. Every wire send bumps the per-
+// (from,to,method) occurrence counter the fault plane keys its
+// drop/dup/delay decisions on, so the ORDER of a group of sends is part
+// of the schedule — and Go randomizes map iteration order on purpose.
+// A loop that ranges over a map and (transitively, through any callee;
+// the interprocedural summary tier supplies the closure) performs a
+// wire send therefore breaks seed replay silently: the test passes
+// today and flakes when the hash seed changes.
+//
+// Two shapes are diagnosed:
+//
+//   - the loop body may reach a transport exchange (Config.OrderEffects,
+//     closed over the call graph): always flagged — no later sort can
+//     recover an order already sent;
+//   - the loop body appends to a slice declared outside the loop and
+//     the enclosing function never sorts that slice afterwards: the
+//     random order escaped into a value whose consumers will observe
+//     it. The repository's canonical fix — collect, sort.Slice, then
+//     act — passes, because the sort follows the loop.
+//
+// Iterations whose effects are genuinely order-free (counter sums, set
+// union) take a `//locus:vet-allow maporder <reason>`.
+func MapOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag map iterations whose order reaches the wire or escapes unsorted",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(prog *Program, cfg *Config) []Finding {
+	if len(cfg.MapOrderPackages) == 0 {
+		return nil
+	}
+	sum := cfg.summariesFor(prog)
+	var out []Finding
+	for _, pkg := range prog.Targets {
+		if !pkgInScope(pkg, cfg.MapOrderPackages) {
+			continue
+		}
+		sup := suppressionsFor(prog, pkg, cfg)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				// Each function literal is its own root: a sort inside the
+				// literal cannot fix a loop outside it, and vice versa.
+				for _, root := range funcRoots(fd.Body) {
+					out = append(out, scanMapRanges(prog, pkg, cfg, sum, sup, root)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcRoots lists body and the bodies of every function literal nested
+// inside it.
+func funcRoots(body *ast.BlockStmt) []*ast.BlockStmt {
+	roots := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			roots = append(roots, fl.Body)
+		}
+		return true
+	})
+	return roots
+}
+
+// scanMapRanges walks one function root (skipping nested literals) and
+// classifies every map-typed range statement in it.
+func scanMapRanges(prog *Program, pkg *Package, cfg *Config, sum *summaries, sup *suppressions, root *ast.BlockStmt) []Finding {
+	var out []Finding
+	inspectRoot(root, func(n ast.Node) bool {
+		st, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(st.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		pos := prog.Fset.Position(st.For)
+		if call := wireInBody(pkg, cfg, sum, st.Body); call != nil {
+			if !sup.allowed(pos, "maporder") {
+				out = append(out, Finding{
+					Pos:      pos,
+					Analyzer: "maporder",
+					Message: fmt.Sprintf("map iteration over %s drives an order-observable wire send (%s) per iteration; iterate sorted keys — send order is part of the seed-replay schedule",
+						exprString(st.X), callName(pkg, call)),
+				})
+			}
+			return true
+		}
+		for _, esc := range unsortedEscapes(pkg, st, root) {
+			if sup.allowed(pos, "maporder") {
+				break
+			}
+			out = append(out, Finding{
+				Pos:      pos,
+				Analyzer: "maporder",
+				Message: fmt.Sprintf("map iteration order over %s escapes into %s, which is never sorted afterwards; sort it before the order becomes observable",
+					exprString(st.X), esc.Name()),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// inspectRoot walks a function body without descending into nested
+// function literals (they are separate roots).
+func inspectRoot(root *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != root {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// wireInBody returns a call inside body (descending into literals and
+// go statements: they still run per iteration) that may perform a wire
+// send, or nil.
+func wireInBody(pkg *Package, cfg *Config, sum *summaries, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := matchMustCheck(pkg.Info, call, cfg.OrderEffects); ok {
+			found = call
+			return false
+		}
+		if callee := funcFor(pkg.Info, call); callee != nil {
+			for _, target := range sum.graph.resolveTargets(callee) {
+				if sum.wire[target] {
+					found = call
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// unsortedEscapes lists slice variables declared outside the range
+// statement that its body appends to and the enclosing root never
+// sorts after the loop.
+func unsortedEscapes(pkg *Package, st *ast.RangeStmt, root *ast.BlockStmt) []*types.Var {
+	var escapes []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(st.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pkg.Info, call) || len(call.Args) == 0 {
+				continue
+			}
+			v := identVar(pkg, as.Lhs[i])
+			if v == nil || seen[v] {
+				continue
+			}
+			// Only out-of-loop slices carry the order anywhere; a slice
+			// born inside the body dies with the iteration.
+			if v.Pos() >= st.Pos() && v.Pos() <= st.End() {
+				continue
+			}
+			seen[v] = true
+			if !sortedAfter(pkg, root, st, v) {
+				escapes = append(escapes, v)
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// sortedAfter reports whether root contains, lexically after the range
+// statement, a sort/slices call taking v.
+func sortedAfter(pkg *Package, root *ast.BlockStmt, st *ast.RangeStmt, v *types.Var) bool {
+	sorted := false
+	inspectRoot(root, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < st.End() {
+			return true
+		}
+		fn := funcFor(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if identVar(pkg, arg) == v {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// identVar resolves e to the variable object it names, or nil.
+func identVar(pkg *Package, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// exprString renders a short source form of e for messages.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	}
+	return "map"
+}
+
+// callName renders the called function for messages.
+func callName(pkg *Package, call *ast.CallExpr) string {
+	if fn := funcFor(pkg.Info, call); fn != nil {
+		return fn.Name()
+	}
+	return exprString(call.Fun)
+}

@@ -86,7 +86,7 @@ type pageLeak struct {
 func runPageLeak(prog *Program, cfg *Config) []Finding {
 	var out []Finding
 	for _, pkg := range prog.Targets {
-		sup := suppressionsFor(prog, pkg)
+		sup := suppressionsFor(prog, pkg, cfg)
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				fn, ok := decl.(*ast.FuncDecl)

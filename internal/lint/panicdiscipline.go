@@ -37,7 +37,7 @@ func runPanicDiscipline(prog *Program, cfg *Config) []Finding {
 		if pkg.Types.Name() == "main" || suffixMatchesAny(pkg.Path, cfg.InvariantPackages) {
 			continue
 		}
-		sup := suppressionsFor(prog, pkg)
+		sup := suppressionsFor(prog, pkg, cfg)
 		for _, file := range pkg.Files {
 			marks := invariantCommentLines(prog.Fset, file)
 			for _, decl := range file.Decls {

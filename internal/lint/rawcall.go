@@ -39,7 +39,7 @@ func runRawCall(prog *Program, cfg *Config) []Finding {
 		if !wrapped {
 			continue
 		}
-		sup := suppressionsFor(prog, pkg)
+		sup := suppressionsFor(prog, pkg, cfg)
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)

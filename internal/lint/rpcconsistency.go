@@ -66,7 +66,7 @@ func runRPCConsistency(prog *Program, cfg *Config) []Finding {
 	sup := func(pkg *Package) *suppressions {
 		s := sups[pkg]
 		if s == nil {
-			s = suppressionsFor(prog, pkg)
+			s = suppressionsFor(prog, pkg, cfg)
 			sups[pkg] = s
 		}
 		return s

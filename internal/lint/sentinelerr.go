@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SentinelErrAnalyzer flags exported API functions that can return a
+// raw transport sentinel without passing a designated wrap funnel.
+//
+// The §5.6 failure-action discipline promises callers of the proc
+// layer a *classified* failure — ErrSiteFailed with the site attached —
+// never the raw netsim/fs sentinels (ErrUnreachable, ErrTimeout, the
+// crash variants, ErrNoCSS...) that leak which transport probe
+// happened to fail first. PR 8's chaos checker found three such leaks
+// by running the failure table; this analyzer generalizes those three
+// hand-fixes into a standing guarantee, statically.
+//
+// The check is the interprocedural sentinel-taint summary (summary.go)
+// re-run at reporting granularity over every exported function of
+// Config.SentinelAPIPackages: a return statement is flagged when an
+// error expression reaching it may carry a Config.SentinelVars value —
+// through locals, fmt.Errorf %w-wrapping, and callees' summaries —
+// without passing Config.SentinelFunnels (wrapSiteErr, wrapFsSiteErr).
+// `err != nil` refinement keeps the nil paths quiet, and a funnel call
+// anywhere on the value's path launders it.
+func SentinelErrAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "sentinelerr",
+		Doc:  "flag exported APIs that may return a raw transport sentinel unwrapped",
+		Run:  runSentinelErr,
+	}
+}
+
+func runSentinelErr(prog *Program, cfg *Config) []Finding {
+	if len(cfg.SentinelAPIPackages) == 0 || len(cfg.SentinelVars) == 0 {
+		return nil
+	}
+	sum := cfg.summariesFor(prog)
+	var out []Finding
+	for _, pkg := range prog.Targets {
+		if !pkgInScope(pkg, cfg.SentinelAPIPackages) {
+			continue
+		}
+		sup := suppressionsFor(prog, pkg, cfg)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fb := sum.graph.bodies[obj]
+				if fb == nil {
+					continue
+				}
+				reported := make(map[*ast.ReturnStmt]bool)
+				sum.sentinelReturns(fb, obj, cfg, func(ret *ast.ReturnStmt, _ ast.Expr) {
+					if reported[ret] {
+						return
+					}
+					reported[ret] = true
+					pos := prog.Fset.Position(ret.Pos())
+					if sup.allowed(pos, "sentinelerr") {
+						return
+					}
+					out = append(out, Finding{
+						Pos:      pos,
+						Analyzer: "sentinelerr",
+						Message: fmt.Sprintf("exported %s may return a raw transport sentinel unwrapped; route the error through a wrap funnel so callers see the classified §5.6 failure",
+							funcDisplayName(obj)),
+					})
+				})
+			}
+		}
+	}
+	return out
+}

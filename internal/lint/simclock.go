@@ -40,7 +40,7 @@ func runSimClock(prog *Program, cfg *Config) []Finding {
 		if !suffixMatchesAny(pkg.Path, cfg.ProtocolPackages) {
 			continue
 		}
-		sup := suppressionsFor(prog, pkg)
+		sup := suppressionsFor(prog, pkg, cfg)
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)

@@ -1,0 +1,59 @@
+// Package atomiccounter_f is a locus-vet fixture for the atomiccounter
+// analyzer: a field accessed through sync/atomic anywhere must be
+// accessed that way everywhere. The bump helper exercises the
+// per-parameter summary — a field whose address is forwarded into a
+// helper that uses sync/atomic counts as atomically accessed too.
+package atomiccounter_f
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	plain  int64
+}
+
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// bump forwards its pointer parameter to sync/atomic; the atomicParams
+// summary marks parameter 0, so call sites passing a field address are
+// sanctioned atomic accesses.
+func bump(p *int64) {
+	atomic.AddInt64(p, 1)
+}
+
+func (c *counters) miss() {
+	bump(&c.misses)
+}
+
+// Plain write to an atomic field: a data race the race detector only
+// sees when both paths run in one test.
+func (c *counters) reset() {
+	c.hits = 0 // want "accessed atomically"
+}
+
+// Plain read, same field.
+func (c *counters) logHits() int64 {
+	return c.hits // want "accessed atomically"
+}
+
+// The forwarded field is atomic transitively; a bare read races.
+func (c *counters) logMisses() int64 {
+	return c.misses // want "accessed atomically"
+}
+
+// A field never touched atomically stays plain without complaint.
+func (c *counters) bumpPlain() {
+	c.plain++
+}
+
+// The audited exception: initialization before any concurrency.
+func (c *counters) initHits(n int64) {
+	c.hits = n //locus:vet-allow atomiccounter fixture: constructor runs before any concurrency
+}

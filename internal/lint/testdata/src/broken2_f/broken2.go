@@ -1,0 +1,9 @@
+// Package broken2_f deliberately fails to type-check with a different
+// first error than broken_f. The aggregation test loads both and
+// asserts the loader attempts and reports every broken target in one
+// LoadError instead of stopping at the first.
+package broken2_f
+
+func Bang() string {
+	return anotherMissingName
+}

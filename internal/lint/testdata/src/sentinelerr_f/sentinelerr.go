@@ -1,0 +1,114 @@
+// Package sentinelerr_f is a locus-vet fixture for the sentinelerr
+// analyzer: exported functions that may return the raw transport
+// sentinel ErrGone without passing the wrapErr funnel. The taint flows
+// through locals, callee summaries, and fmt.Errorf %w-wrapping; the
+// `err != nil` and errors.Is refinements keep classified paths quiet.
+package sentinelerr_f
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is the raw transport sentinel (the test config's SentinelVars
+// entry); ErrFailed is the classified failure callers are promised.
+var (
+	ErrGone   = errors.New("transport gone")
+	ErrFailed = errors.New("site failed")
+	ErrBusy   = errors.New("busy")
+)
+
+type Conn struct{}
+
+// call is the transport primitive: its body is where the sentinel is
+// born, so the summary tier marks it without any source configuration.
+func (c *Conn) call(method string) (any, error) { return nil, ErrGone }
+
+// wrapErr is the designated funnel (the test config's SentinelFunnels
+// entry).
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrFailed, err)
+}
+
+// Probe leaks the sentinel raw.
+func Probe(c *Conn) error {
+	_, err := c.call("x")
+	if err != nil {
+		return err // want "raw transport sentinel"
+	}
+	return nil
+}
+
+// fetch returns the sentinel from an unexported helper; only the
+// interprocedural summary makes Transitive's leak visible.
+func fetch(c *Conn) error {
+	_, err := c.call("y")
+	return err
+}
+
+func Transitive(c *Conn) error {
+	if err := fetch(c); err != nil {
+		return err // want "raw transport sentinel"
+	}
+	return nil
+}
+
+// Rewrapped keeps the sentinel errors.Is-reachable through %w.
+func Rewrapped(c *Conn) error {
+	_, err := c.call("z")
+	if err != nil {
+		return fmt.Errorf("probe failed: %w", err) // want "raw transport sentinel"
+	}
+	return nil
+}
+
+// Flattened formats the sentinel with %v: it leaves the chain, and the
+// %w operand is the classified error.
+func Flattened(c *Conn) error {
+	_, err := c.call("z")
+	if err != nil {
+		return fmt.Errorf("%w: probe failed: %v", ErrFailed, err)
+	}
+	return nil
+}
+
+// Classified routes every failure through the funnel.
+func Classified(c *Conn) error {
+	_, err := c.call("w")
+	return wrapErr(err)
+}
+
+// NilGuarded returns err only on the err == nil edge, where the
+// refinement has killed the taint.
+func NilGuarded(c *Conn) (string, error) {
+	_, err := c.call("u")
+	if err == nil {
+		return "ok", err
+	}
+	return "", wrapErr(err)
+}
+
+// IsRefined returns err only after errors.Is proved it is a classified
+// application error, not a raw transport failure.
+func IsRefined(c *Conn) error {
+	_, err := c.call("t")
+	if errors.Is(err, ErrBusy) {
+		return err
+	}
+	return wrapErr(err)
+}
+
+// BareReturn leaks through a named result and a bare return.
+func BareReturn(c *Conn) (err error) {
+	_, err = c.call("s")
+	return // want "raw transport sentinel"
+}
+
+// Audited is the deliberate leak with an audited reason.
+func Audited(c *Conn) error {
+	_, err := c.call("v")
+	return err //locus:vet-allow sentinelerr fixture: deliberate leak exercises the allow path
+}

@@ -1,0 +1,25 @@
+// Package staleallow_f is the fixture for the stale-suppression audit:
+// a //locus:vet-allow directive that suppressed zero findings on a run
+// is itself reported (staleallow) — it is either obsolete (the code was
+// fixed) or mislocated (the finding it meant to hide fires one line
+// away) — while a directive that fires stays quiet.
+package staleallow_f
+
+type SiteID int
+
+// VV mimics the version-vector map type the vvmutation analyzer
+// guards; the audit test runs that analyzer over this package first to
+// populate the usage ledger.
+type VV map[SiteID]uint64
+
+// liveAllow suppresses a real vvmutation finding; the audit must stay
+// quiet about this directive.
+func liveAllow(v VV, s SiteID) {
+	v[s] = 1 //locus:vet-allow vvmutation fixture: suppresses a live finding
+}
+
+// staleAllow carries a directive on a line that produces no finding —
+// reads are legal everywhere — so the audit flags it.
+func staleAllow(v VV, s SiteID) uint64 {
+	return v[s] //locus:vet-allow vvmutation fixture: suppresses nothing
+}

@@ -1,0 +1,51 @@
+// Package vvmutation_f is a locus-vet fixture for the vvmutation
+// analyzer: direct map writes, increments, and deletes on the VV type
+// outside the sanctioned operations. In the real module the exempt
+// vclock package holds the operations; here an audited allow plays that
+// role.
+package vvmutation_f
+
+type SiteID int
+
+// VV mirrors vclock.VV for the fixture config.
+type VV map[SiteID]uint64
+
+// Bump is the sanctioned update operation.
+func (v VV) Bump(s SiteID) VV {
+	v[s]++ //locus:vet-allow vvmutation fixture: stands in for the exempt vclock package
+	return v
+}
+
+func merge(dst, src VV) {
+	for s, c := range src {
+		if c > dst[s] {
+			dst[s] = c // want "indexed write dst"
+		}
+	}
+}
+
+func reset(v VV, s SiteID) {
+	v[s] = 0 // want "indexed write v"
+}
+
+func tick(v VV, s SiteID) {
+	v[s]++ // want "indexed .. on v"
+}
+
+func drop(v VV, s SiteID) {
+	delete(v, s) // want "delete on v"
+}
+
+// Reads and the sanctioned operation are fine.
+func dominates(a, b VV) bool {
+	for s, c := range b {
+		if a[s] < c {
+			return false
+		}
+	}
+	return true
+}
+
+func viaOp(v VV, s SiteID) {
+	v.Bump(s)
+}

@@ -27,7 +27,7 @@ func UncheckedCallAnalyzer() *Analyzer {
 func runUncheckedCall(prog *Program, cfg *Config) []Finding {
 	var out []Finding
 	for _, pkg := range prog.Targets {
-		sup := suppressionsFor(prog, pkg)
+		sup := suppressionsFor(prog, pkg, cfg)
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				var call *ast.CallExpr

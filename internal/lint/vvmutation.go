@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// VVMutationAnalyzer enforces that version-vector state is mutated only
+// through the vclock package's operations, never by direct map writes
+// elsewhere.
+//
+// A version vector's meaning rests on its update rules: Bump increments
+// the owner's slot, Merge takes the element-wise max so dominance
+// (§4.3's conflict predicate) is monotone. A stray `vv[site] = n`,
+// `vv[site]++`, or `delete(vv, site)` outside internal/vclock can make
+// a vector travel backwards — a replica that then "dominates" stale
+// data and silently wins reconciliation. The type system cannot forbid
+// it (VV is a map), so this analyzer does: any indexed write or delete
+// on a Config.VVTypes value outside Config.VVExemptPackages is flagged.
+func VVMutationAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "vvmutation",
+		Doc:  "flag direct map writes to version-vector state outside the vclock package",
+		Run:  runVVMutation,
+	}
+}
+
+func runVVMutation(prog *Program, cfg *Config) []Finding {
+	if len(cfg.VVTypes) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, pkg := range prog.Targets {
+		if pkgInScope(pkg, cfg.VVExemptPackages) {
+			continue
+		}
+		sup := suppressionsFor(prog, pkg, cfg)
+		report := func(n ast.Node, form string) {
+			pos := prog.Fset.Position(n.Pos())
+			if sup.allowed(pos, "vvmutation") {
+				return
+			}
+			out = append(out, Finding{
+				Pos:      pos,
+				Analyzer: "vvmutation",
+				Message: fmt.Sprintf("%s mutates a version vector directly; use the vclock operations (Bump/Merge) so dominance stays monotone",
+					form),
+			})
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if idx := vvIndex(pkg, cfg, lhs); idx != nil {
+							report(lhs, fmt.Sprintf("indexed write %s[...] %s", exprString(idx.X), st.Tok))
+						}
+					}
+				case *ast.IncDecStmt:
+					if idx := vvIndex(pkg, cfg, st.X); idx != nil {
+						report(st, fmt.Sprintf("indexed %s on %s[...]", st.Tok, exprString(idx.X)))
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok {
+						if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(st.Args) == 2 {
+							if isVVType(pkg, cfg, pkg.Info.TypeOf(st.Args[0])) {
+								report(st, fmt.Sprintf("delete on %s", exprString(st.Args[0])))
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// vvIndex returns e as an index expression over a version-vector value,
+// or nil.
+func vvIndex(pkg *Package, cfg *Config, e ast.Expr) *ast.IndexExpr {
+	idx, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	if !isVVType(pkg, cfg, pkg.Info.TypeOf(idx.X)) {
+		return nil
+	}
+	return idx
+}
+
+func isVVType(pkg *Package, cfg *Config, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for _, spec := range cfg.VVTypes {
+		if typeMatches(t, spec.PkgSuffix, spec.Type) {
+			return true
+		}
+	}
+	return false
+}

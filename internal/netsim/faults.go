@@ -265,3 +265,15 @@ func (nw *Network) DisableFaults() { nw.faults.Store(nil) }
 // network-wide. They are on by default; chaos regression tests switch
 // them off to prove the harness catches retried-mutation replay.
 func (nw *Network) SetDedup(on bool) { nw.dedupOff.Store(!on) }
+
+// SetTrace installs fn as the wire-send observer (nil uninstalls). fn
+// runs once per remote exchange at send time, in issue order; the
+// deterministic-replay tests capture wire schedules through it. fn must
+// be fast and must not call back into the network.
+func (nw *Network) SetTrace(fn func(from, to SiteID, method string)) {
+	if fn == nil {
+		nw.trace.Store(nil)
+		return
+	}
+	nw.trace.Store(&fn)
+}

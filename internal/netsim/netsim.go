@@ -32,6 +32,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -473,6 +474,10 @@ type Network struct {
 	// dedupOff disables the callee-side at-most-once dedup tables
 	// (chaos regression testing only).
 	dedupOff atomic.Bool
+	// trace, when set, observes every remote send in issue order; the
+	// determinism tests use it to capture the wire schedule two runs
+	// must reproduce byte for byte.
+	trace atomic.Pointer[func(from, to SiteID, method string)]
 }
 
 // New creates an empty network with the given cost model.
@@ -600,13 +605,14 @@ func (nw *Network) Close() {
 	}
 }
 
-// Sites returns all site ids ever added, in unspecified order.
+// Sites returns all site ids ever added, in ascending order.
 func (nw *Network) Sites() []SiteID {
 	v := nw.view()
 	out := make([]SiteID, 0, len(v.nodes))
 	for id := range v.nodes {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -702,13 +708,20 @@ func (nw *Network) Crash(id SiteID) {
 	nw.up[id] = false
 	nw.publishLocked() // before the pending scan; see SetLink
 	n := nw.nodes[id]
-	var peers []SiteID
-	others := make([]*Node, 0, len(nw.nodes))
-	for other, on := range nw.nodes {
-		if other == id {
-			continue
+	// Fail circuits and fire link-down callbacks in site order: the
+	// failure schedule is visible to the layers above and must replay
+	// identically for a pinned seed.
+	ids := make([]SiteID, 0, len(nw.nodes))
+	for other := range nw.nodes {
+		if other != id {
+			ids = append(ids, other)
 		}
-		others = append(others, on)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var peers []SiteID
+	others := make([]*Node, 0, len(ids))
+	for _, other := range ids {
+		others = append(others, nw.nodes[other])
 		if nw.link[id][other] {
 			peers = append(peers, other)
 		}
@@ -960,8 +973,8 @@ func (n *Node) takePending(id int64) *pendingCall {
 func (n *Node) takePendingTo(peer SiteID) []*pendingCall {
 	n.pendMu.Lock()
 	var out []*pendingCall
-	for id, p := range n.pending {
-		if p.to == peer {
+	for _, id := range sortedPendingIDs(n.pending) {
+		if p := n.pending[id]; p.to == peer {
 			out = append(out, p)
 			delete(n.pending, id)
 		}
@@ -975,12 +988,23 @@ func (n *Node) takePendingTo(peer SiteID) []*pendingCall {
 func (n *Node) takeAllPending() []*pendingCall {
 	n.pendMu.Lock()
 	out := make([]*pendingCall, 0, len(n.pending))
-	for id, p := range n.pending {
-		out = append(out, p)
+	for _, id := range sortedPendingIDs(n.pending) {
+		out = append(out, n.pending[id])
 		delete(n.pending, id)
 	}
 	n.pendMu.Unlock()
 	return out
+}
+
+// sortedPendingIDs returns the pending-call ids in issue order so a
+// teardown wakes blocked callers in the order their calls went out.
+func sortedPendingIDs(pending map[int64]*pendingCall) []int64 {
+	ids := make([]int64, 0, len(pending))
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // NextSeq issues a fresh at-most-once request sequence number for this
@@ -1030,6 +1054,9 @@ func (n *Node) CallSeq(to SiteID, method string, payload any, seq int64) (any, e
 		return nil, view.unreachable(n.id, to)
 	}
 	dest := view.nodes[to]
+	if tr := nw.trace.Load(); tr != nil {
+		(*tr)(n.id, to, method)
+	}
 
 	// Roll the fault plane before committing any accounting. The
 	// decision covers the whole exchange: request loss is resolved
@@ -1129,6 +1156,9 @@ func (n *Node) Cast(to SiteID, method string, payload any) error {
 		return view.unreachable(n.id, to)
 	}
 	dest := view.nodes[to]
+	if tr := nw.trace.Load(); tr != nil {
+		(*tr)(n.id, to, method)
+	}
 	bytes := payloadBytes(payload)
 	nw.stats.chargeExchange(method, 1, bytes, nw.cost.MsgCPU+bytes*nw.cost.PerKBCPU/1024, false)
 
@@ -1195,7 +1225,7 @@ func (n *Node) dispatch() {
 			switch env.kind {
 			case kindOneWay:
 				if h := n.handler(env.method); h != nil {
-					h(env.from, env.payload) //locus:vet-allow uncheckedcall one-way: no reply path
+					h(env.from, env.payload) // error unchecked by design: one-way: no reply path
 				}
 				n.nw.active.Add(-1)
 			case kindRequest:

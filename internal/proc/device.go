@@ -86,14 +86,16 @@ func (d *DeviceHandle) Host() SiteID { return d.host }
 func (m *Manager) OpenDevice(p *Process, path string) (*DeviceHandle, error) {
 	r, err := m.kernel.Resolve(p.cred, path)
 	if err != nil {
-		return nil, err
+		// The name's CSS or storage site being gone is a §5.6 site
+		// failure, not a bad pathname.
+		return nil, wrapFsSiteErr(err)
 	}
 	if r.Type != storage.TypeDevice {
 		return nil, fmt.Errorf("proc: %s is not a device", path)
 	}
 	f, err := m.kernel.OpenID(r.ID, fs.ModeInternal)
 	if err != nil {
-		return nil, err
+		return nil, wrapFsSiteErr(err)
 	}
 	ino := f.Inode()
 	f.Close() //locus:vet-allow uncheckedcall internal close
@@ -118,7 +120,7 @@ func (d *DeviceHandle) Read(max int) ([]byte, error) {
 		resp, err = d.m.call(d.host, mDevRead, req)
 	}
 	if err != nil {
-		return nil, err
+		return nil, wrapSiteErr(err, d.host)
 	}
 	return resp.(*devReadResp).Data, nil
 }
@@ -134,7 +136,7 @@ func (d *DeviceHandle) Write(data []byte) (int, error) {
 		resp, err = d.m.call(d.host, mDevWrite, req)
 	}
 	if err != nil {
-		return 0, err
+		return 0, wrapSiteErr(err, d.host)
 	}
 	return resp.(*devWriteResp).N, nil
 }

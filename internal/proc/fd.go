@@ -66,7 +66,9 @@ type fdYankResp struct {
 func (m *Manager) OpenShared(p *Process, path string, mode fs.OpenMode) (*FD, int, error) {
 	f, err := m.kernel.Open(p.cred, path, mode)
 	if err != nil {
-		return nil, 0, err
+		// A lost CSS/storage site surfaces as a §5.6 site failure, not a
+		// raw fs sentinel.
+		return nil, 0, wrapFsSiteErr(err)
 	}
 	m.mu.Lock()
 	m.nextFDID++
@@ -89,7 +91,7 @@ func (m *Manager) OpenShared(p *Process, path string, mode fs.OpenMode) (*FD, in
 func (m *Manager) AttachShared(p *Process, homeSite SiteID, homeID int, path string, mode fs.OpenMode) (*FD, int, error) {
 	f, err := m.kernel.Open(p.cred, path, mode)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, wrapFsSiteErr(err)
 	}
 	s := &fdState{
 		m: m, homeSite: homeSite, homeID: homeID,
@@ -142,7 +144,9 @@ func (s *fdState) fetchToken() (int64, error) {
 		resp, err = m.call(s.homeSite, mFDToken, req)
 	}
 	if err != nil {
-		return 0, err
+		// Token negotiation failing because the home site is gone is the
+		// §5.6 "site failed" row, not a raw transport error.
+		return 0, wrapSiteErr(err, s.homeSite)
 	}
 	return resp.(*fdTokenResp).Offset, nil
 }
@@ -288,7 +292,9 @@ func (fd *FD) Close() error {
 	}
 	s.mu.Unlock()
 	if last {
-		return s.file.Close()
+		// The final close can cross the network (remote storage site);
+		// classify its failure like every other proc-layer site error.
+		return wrapFsSiteErr(s.file.Close())
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ package proc
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -61,7 +62,10 @@ func wrapSiteErr(err error, site SiteID) error {
 		return nil
 	}
 	if errors.Is(err, netsim.ErrUnreachable) || errors.Is(err, netsim.ErrCircuitClosed) ||
-		errors.Is(err, netsim.ErrTimeout) || errors.Is(err, netsim.ErrSiteDown) {
+		errors.Is(err, netsim.ErrTimeout) || errors.Is(err, netsim.ErrSiteDown) ||
+		errors.Is(err, netsim.ErrNoHandler) {
+		// ErrNoHandler: the site answers but its proc subsystem is gone —
+		// from the caller's §5.6 viewpoint that site has failed.
 		return fmt.Errorf("%w: site %d: %v", ErrSiteFailed, site, err)
 	}
 	return err
@@ -114,6 +118,15 @@ type PID struct {
 }
 
 func (p PID) String() string { return fmt.Sprintf("%d.%d", p.Site, p.Num) }
+
+// pidLess orders PIDs by (site, number); cleanup and teardown loops
+// iterate in this order so their wire effects replay deterministically.
+func pidLess(a, b PID) bool {
+	if a.Site != b.Site {
+		return a.Site < b.Site
+	}
+	return a.Num < b.Num
+}
 
 // ExitStatus is the result of a completed process.
 type ExitStatus struct {
@@ -550,8 +563,16 @@ func (m *Manager) exit(p *Process, st ExitStatus) {
 	fds := p.fds
 	p.fds = map[int]*FD{}
 	p.mu.Unlock()
-	for _, fd := range fds {
-		fd.Close() //locus:vet-allow uncheckedcall releasing on exit
+	// Close in descriptor order: a close can cross the network (token
+	// yank, remote storage), and wire-send order is part of the
+	// deterministic schedule seed replay pins.
+	nums := make([]int, 0, len(fds))
+	for num := range fds {
+		nums = append(nums, num)
+	}
+	sort.Ints(nums)
+	for _, num := range nums {
+		fds[num].Close() // error unchecked by design: releasing on exit
 	}
 	if migrated {
 		// Handoff, not death: the new incarnation owns the parent
@@ -575,7 +596,7 @@ func (m *Manager) exit(p *Process, st ExitStatus) {
 				SiteFailed: st.Err != nil && errors.Is(st.Err, ErrSiteFailed),
 			}
 			if p.parent.Site == m.site {
-				m.handleChildExit(m.site, msg) //locus:vet-allow uncheckedcall local delivery
+				m.handleChildExit(m.site, msg) // error unchecked by design: local delivery
 			} else {
 				m.cast(p.parent.Site, mChildExit, msg) //locus:vet-allow uncheckedcall parent site failure handled by its own cleanup
 			}
@@ -741,7 +762,7 @@ func (m *Manager) Signal(target PID, sig Signal) error {
 func isSiteFailure(err error) bool {
 	return errors.Is(err, ErrSiteFailed) || errors.Is(err, netsim.ErrUnreachable) ||
 		errors.Is(err, netsim.ErrCircuitClosed) || errors.Is(err, netsim.ErrTimeout) ||
-		errors.Is(err, netsim.ErrSiteDown)
+		errors.Is(err, netsim.ErrSiteDown) || errors.Is(err, netsim.ErrNoHandler)
 }
 
 func (m *Manager) signalInfo(target PID, sig Signal, info string) error {
@@ -761,7 +782,11 @@ func (m *Manager) signalInfo(target PID, sig Signal, info string) error {
 		m.node.Network().Meter().AddSignalsQueued()
 		return fmt.Errorf("%w: signal %d to %v queued for delivery after merge: %v", ErrSiteFailed, sig, target, err)
 	}
-	return err
+	// Anything the queue predicate let through is either an application
+	// error (no such process) or a transport sentinel a future predicate
+	// misses; the funnel keeps the §5.6 classification airtight either
+	// way (sentinelerr pins this).
+	return wrapSiteErr(err, target.Site)
 }
 
 // QueuedSignals reports the number of cross-partition signals queued at
@@ -832,6 +857,10 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
 		in[s] = true
 	}
 	meter := m.node.Network().Meter()
+	// Every collection below is sorted before it drives signals, exits,
+	// or pipe teardown: those actions send on the wire and wake blocked
+	// goroutines, and their order is part of the deterministic schedule
+	// a pinned chaos seed replays (maporder pins this).
 	m.mu.Lock()
 	var procs []*Process
 	for _, p := range m.procs {
@@ -840,12 +869,14 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
 	for _, p := range m.migrants {
 		procs = append(procs, p)
 	}
+	sort.Slice(procs, func(i, j int) bool { return pidLess(procs[i].pid, procs[j].pid) })
 	var doomedMigrants []*Process
 	for pid, p := range m.migrants {
 		if !in[pid.Site] {
 			doomedMigrants = append(doomedMigrants, p)
 		}
 	}
+	sort.Slice(doomedMigrants, func(i, j int) bool { return pidLess(doomedMigrants[i].pid, doomedMigrants[j].pid) })
 	type lostFwd struct {
 		num int
 		rec migrRecord
@@ -857,9 +888,20 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
 			delete(m.migratedTo, num)
 		}
 	}
-	pipes := make([]*pipeState, 0, len(m.pipes))
-	for _, ps := range m.pipes {
-		pipes = append(pipes, ps)
+	sort.Slice(lostFwds, func(i, j int) bool { return lostFwds[i].num < lostFwds[j].num })
+	pipeIDs := make([]storage.FileID, 0, len(m.pipes))
+	for id := range m.pipes {
+		pipeIDs = append(pipeIDs, id)
+	}
+	sort.Slice(pipeIDs, func(i, j int) bool {
+		if pipeIDs[i].FG != pipeIDs[j].FG {
+			return pipeIDs[i].FG < pipeIDs[j].FG
+		}
+		return pipeIDs[i].Inode < pipeIDs[j].Inode
+	})
+	pipes := make([]*pipeState, 0, len(pipeIDs))
+	for _, id := range pipeIDs {
+		pipes = append(pipes, m.pipes[id])
 	}
 	m.mu.Unlock()
 	for _, p := range procs {
@@ -867,21 +909,24 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
 		// parent.
 		p.mu.Lock()
 		var lostChildren []PID
-		for child, ch := range p.waitFor {
+		for child := range p.waitFor {
 			if !in[child.Site] {
-				ch <- ExitStatus{Code: -1, Err: fmt.Errorf("%w: child %v", ErrSiteFailed, child)}
-				delete(p.waitFor, child)
 				lostChildren = append(lostChildren, child)
 			}
+		}
+		sort.Slice(lostChildren, func(i, j int) bool { return pidLess(lostChildren[i], lostChildren[j]) })
+		for _, child := range lostChildren {
+			p.waitFor[child] <- ExitStatus{Code: -1, Err: fmt.Errorf("%w: child %v", ErrSiteFailed, child)}
+			delete(p.waitFor, child)
 		}
 		parentLost := p.parent != (PID{}) && p.parent.Site != m.site && !in[p.parent.Site]
 		p.mu.Unlock()
 		for _, child := range lostChildren {
-			m.signalInfo(p.pid, SIGCHILDERR, fmt.Sprintf("child %v lost: site failed", child)) //locus:vet-allow uncheckedcall local delivery
+			m.signalInfo(p.pid, SIGCHILDERR, fmt.Sprintf("child %v lost: site failed", child)) // error unchecked by design: local delivery
 			meter.AddOrphanNotices(1)
 		}
 		if parentLost {
-			m.signalInfo(p.pid, SIGPARENTERR, fmt.Sprintf("parent %v lost: site failed", p.parent)) //locus:vet-allow uncheckedcall local delivery
+			m.signalInfo(p.pid, SIGPARENTERR, fmt.Sprintf("parent %v lost: site failed", p.parent)) // error unchecked by design: local delivery
 			meter.AddOrphanNotices(1)
 		}
 	}
@@ -904,8 +949,8 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) {
 		}
 		if lf.rec.parent != (PID{}) {
 			if lf.rec.parent.Site == m.site {
-				m.handleChildExit(m.site, msg) //locus:vet-allow uncheckedcall local delivery
-				m.signalInfo(lf.rec.parent, SIGCHILDERR, fmt.Sprintf("migrated child %d.%d lost: host site %d failed", m.site, lf.num, lf.rec.host)) //locus:vet-allow uncheckedcall local delivery
+				m.handleChildExit(m.site, msg) // error unchecked by design: local delivery
+				m.signalInfo(lf.rec.parent, SIGCHILDERR, fmt.Sprintf("migrated child %d.%d lost: host site %d failed", m.site, lf.num, lf.rec.host)) // error unchecked by design: local delivery
 			} else if in[lf.rec.parent.Site] {
 				m.cast(lf.rec.parent.Site, mChildExit, msg) //locus:vet-allow uncheckedcall parent site failure handled by its own cleanup
 			}

@@ -422,7 +422,7 @@ func (m *Manager) CleanupAfterPartitionChange(newPartition []SiteID) int {
 		if t.state == Active {
 			t.state = Aborted
 			t.mu.Unlock()
-			t.releaseAborted() //locus:vet-allow uncheckedcall best-effort rollback during failure handling
+			t.releaseAborted() // error unchecked by design: best-effort rollback during failure handling
 		} else {
 			t.mu.Unlock()
 		}
