@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet locusvet vet-stats test race invariants bench benchsmoke benchjson benchdiff chaos ci
+.PHONY: all build vet locusvet vet-stats test race invariants bench benchsmoke benchjson benchdiff workloadsmoke profile chaos ci
 
 all: ci
 
@@ -53,12 +53,32 @@ benchjson:
 	$(GO) run ./cmd/locus-bench -json BENCH_locus.json > experiments_output.txt
 
 # benchdiff is the perf-regression gate: re-run the full experiment
-# suite and diff the deterministic message/byte counters against the
-# committed BENCH_locus.json, failing on >10% regression in any pinned
-# experiment. Regenerate the baseline with `make benchjson` when a
-# protocol change is intended.
+# suite (including the million-op E16 workload) and diff the
+# deterministic message/byte counters against the committed
+# BENCH_locus.json, failing on >10% regression in any pinned
+# experiment. It then runs the wall-clock throughput gate: the E16
+# workload at a moderate fixed op budget must sustain the ops/sec
+# floor committed in BENCH_throughput.json (25% tolerance).
+# Regenerate the counter baseline with `make benchjson` when a
+# protocol change is intended; re-measure the throughput floor with
+# `go run ./cmd/locus-bench -workload -workload-ops 20000`.
 benchdiff:
 	$(GO) run ./cmd/benchdiff
+
+# workloadsmoke runs the workload engine's own tests — histogram math,
+# Zipf determinism, engine schedule determinism — plus the sized E16
+# shape/determinism assertions, under the race detector with the
+# runtime invariant layer (including page-pool poison-on-put) compiled
+# in.
+workloadsmoke:
+	$(GO) test -race -tags locusinvariants -count=1 ./internal/workload ./internal/bench
+	$(GO) test -race -tags locusinvariants -run 'TestExperimentTables|TestBenchSmoke' -count=1 .
+
+# profile captures CPU and heap pprof data for a 60k-op workload run:
+# the workflow that found the directory-decode hot path documented in
+# DESIGN.md. Inspect with `go tool pprof cpu.prof` / `mem.prof`.
+profile:
+	$(GO) run ./cmd/locus-bench -workload -workload-ops 20000 -cpuprofile cpu.prof -memprofile mem.prof
 
 # chaos runs the seeded chaos harness (internal/chaos) on its pinned
 # seeds — the workload-only regimes plus TestChaosProcSeeds, which adds
@@ -70,4 +90,4 @@ benchdiff:
 chaos:
 	$(GO) test -run TestChaos -race -tags locusinvariants -count=1 ./internal/chaos
 
-ci: build vet locusvet test race invariants benchsmoke benchdiff chaos
+ci: build vet locusvet test race invariants benchsmoke workloadsmoke benchdiff chaos

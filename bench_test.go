@@ -519,12 +519,23 @@ func BenchmarkE14_HotFileOpenStorm(b *testing.B) {
 	}
 }
 
-// TestExperimentTables runs the full experiment suite and asserts the
-// headline shapes the paper reports.
+// TestExperimentTables runs the experiment suite and asserts the
+// headline shapes the paper reports. E16's registry entry is the full
+// million-op workload (run by locus-bench/benchdiff, not here); the
+// test exercises the same engine and configuration through
+// bench.E16Sized at a small op budget, including the byte-identical
+// determinism the full run relies on.
 func TestExperimentTables(t *testing.T) {
-	tables := bench.All()
-	if len(tables) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(tables))
+	exps := bench.Experiments()
+	if len(exps) != 16 {
+		t.Fatalf("expected 16 experiments in the registry, got %d", len(exps))
+	}
+	var tables []*bench.Table
+	for _, e := range exps {
+		if e.ID == "E16" {
+			continue // sized variant asserted below
+		}
+		tables = append(tables, e.Run())
 	}
 	byID := map[string]*bench.Table{}
 	for _, tb := range tables {
@@ -742,6 +753,37 @@ func TestExperimentTables(t *testing.T) {
 		if strings.Contains(note, "eof=false") {
 			t.Errorf("E15: the pipe reader never reached io.EOF: %s", note)
 		}
+	}
+
+	// E16 (sized): the workload engine behind the million-op registry
+	// entry, at a small op budget but the full 2,100-actor fleet. The
+	// table must report every pinned metric with zero errors, and two
+	// runs with the same seed must produce byte-identical rows — the
+	// property the full run's BENCH_locus.json counters depend on.
+	e16 := bench.E16Sized(300)
+	e16Vals := map[string]string{}
+	for _, row := range e16.Rows {
+		e16Vals[row[0]] = row[1]
+	}
+	if e16Vals["ops"] != "900" || e16Vals["errors"] != "0" {
+		t.Errorf("E16 sized: ops=%s errors=%s, want 900/0", e16Vals["ops"], e16Vals["errors"])
+	}
+	for _, metric := range []string{"sim_cost_us", "ops/sim-sec", "op read", "op write",
+		"op build", "op readdir", "op stat", "tenant scan", "tenant edit", "tenant build",
+		"lat_us p50", "lat_us p95", "lat_us p99", "lat_us max", "msgs", "msgs/op"} {
+		if e16Vals[metric] == "" {
+			t.Errorf("E16 sized: metric %q missing from table", metric)
+		}
+	}
+	for _, tenant := range []string{"scan", "edit", "build"} {
+		if got := e16Vals["tenant "+tenant]; !strings.HasPrefix(got, "300 ops") {
+			t.Errorf("E16 sized: tenant %s = %q, want 300 ops", tenant, got)
+		}
+	}
+	e16again := bench.E16Sized(300)
+	if fmt.Sprint(e16.Rows) != fmt.Sprint(e16again.Rows) {
+		t.Errorf("E16 sized is nondeterministic across runs with the same seed:\n%v\nvs\n%v",
+			e16.Rows, e16again.Rows)
 	}
 }
 

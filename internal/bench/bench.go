@@ -162,68 +162,62 @@ func E1() *Table {
 // protocol in every US/CSS/SS role combination, plus read, write,
 // commit and close.
 func E2() *Table {
-	c := mustCluster(3)
-	defer c.Close()
-	u1 := c.Site(1).Login("u")
-	// fileA stored only at site 3 (CSS=1 stores nothing): general case.
-	mustWrite(u1, "/a", page('a'))
-	if err := c.Site(1).FS.SetReplication(u1.Cred(), "/a", []SiteID{3}); err != nil {
-		must(err)
-	}
-	// fileB stored at 1 and 3.
-	mustWrite(u1, "/b", page('b'))
-	if err := c.Site(1).FS.SetReplication(u1.Cred(), "/b", []SiteID{1, 3}); err != nil {
-		must(err)
-	}
-	c.Settle()
-	ra, _ := c.Site(1).FS.Resolve(u1.Cred(), "/a")
-	rb, _ := c.Site(1).FS.Resolve(u1.Cred(), "/b")
-
-	t := &Table{
+	h := NewHarness(3, &Table{
 		ID:      "E2",
 		Title:   "Figure 2 — protocol message counts per operation and role assignment",
 		Paper:   "open general=4, US=SS=2, CSS=SS=2, all-local=0; network read=2; write=1; close (US,SS,CSS distinct)=4",
 		Headers: []string{"operation", "roles", "messages", "paper"},
+	})
+	defer h.Close()
+	c := h.C
+	u1 := h.Login(1, "u")
+	// fileA stored only at site 3 (CSS=1 stores nothing): general case.
+	h.Write(u1, "/a", page('a'))
+	if err := c.Site(1).FS.SetReplication(u1.Cred(), "/a", []SiteID{3}); err != nil {
+		must(err)
 	}
-	count := func(op func()) int64 {
-		before := c.Stats()
-		op()
-		return c.Stats().Sub(before).Msgs
+	// fileB stored at 1 and 3.
+	h.Write(u1, "/b", page('b'))
+	if err := c.Site(1).FS.SetReplication(u1.Cred(), "/b", []SiteID{1, 3}); err != nil {
+		must(err)
 	}
+	h.Settle()
+	ra, _ := c.Site(1).FS.Resolve(u1.Cred(), "/a")
+	rb, _ := c.Site(1).FS.Resolve(u1.Cred(), "/b")
 
 	var f *fs.File
-	t.Rows = append(t.Rows, []string{"open(read)", "US=2 CSS=1 SS=3 (general)", cell("%d", count(func() {
+	h.Row("open(read)", "US=2 CSS=1 SS=3 (general)", cell("%d", h.MsgDelta(func() {
 		var err error
 		f, err = c.Site(2).FS.OpenID(ra.ID, fs.ModeRead)
 		if err != nil {
 			must(err)
 		}
-	})), "4"})
-	rd := count(func() {
+	})), "4")
+	rd := h.MsgDelta(func() {
 		buf := make([]byte, storage.PageSize)
 		if _, err := f.ReadAt(buf, 0); err != nil {
 			must(err)
 		}
 	})
-	t.Rows = append(t.Rows, []string{"read page", "US=2 SS=3", cell("%d", rd), "2"})
-	cl := count(func() {
+	h.Row("read page", "US=2 SS=3", cell("%d", rd), "2")
+	cl := h.MsgDelta(func() {
 		if err := f.Close(); err != nil {
 			must(err)
 		}
 	})
-	t.Rows = append(t.Rows, []string{"close(read)", "US=2 SS=3 CSS=1", cell("%d", cl), "4"})
+	h.Row("close(read)", "US=2 SS=3 CSS=1", cell("%d", cl), "4")
 
 	openCase := func(roles string, us SiteID, id storage.FileID, want string) {
-		var h *fs.File
-		msgs := count(func() {
+		var hf *fs.File
+		msgs := h.MsgDelta(func() {
 			var err error
-			h, err = c.Site(us).FS.OpenID(id, fs.ModeRead)
+			hf, err = c.Site(us).FS.OpenID(id, fs.ModeRead)
 			if err != nil {
 				must(err)
 			}
 		})
-		t.Rows = append(t.Rows, []string{"open(read)", roles, cell("%d", msgs), want})
-		h.Close() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
+		h.Row("open(read)", roles, cell("%d", msgs), want)
+		hf.Close() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
 	}
 	openCase("US=SS=3, CSS=1", 3, rb.ID, "2")
 	openCase("US=2, CSS=SS=1", 2, rb.ID, "2")
@@ -234,21 +228,21 @@ func E2() *Table {
 	if err != nil {
 		must(err)
 	}
-	wr := count(func() {
+	wr := h.MsgDelta(func() {
 		if _, err := w.WriteAt(page('z'), 0); err != nil {
 			must(err)
 		}
 	})
-	t.Rows = append(t.Rows, []string{"write page", "US=2 SS=3", cell("%d", wr), "1"})
-	cm := count(func() {
+	h.Row("write page", "US=2 SS=3", cell("%d", wr), "1")
+	cm := h.MsgDelta(func() {
 		if err := w.Commit(); err != nil {
 			must(err)
 		}
 	})
-	t.Rows = append(t.Rows, []string{"commit", "US=2 SS=3 (+notify)", cell("%d", cm), "2 + 1/replica"})
+	h.Row("commit", "US=2 SS=3 (+notify)", cell("%d", cm), "2 + 1/replica")
 	w.Close() //locus:vet-allow uncheckedcall bench harness: a failure here surfaces as wrong pinned counts
-	c.Settle()
-	return t
+	h.Settle()
+	return h.T
 }
 
 // E3 reproduces the §2.2.1 cost claim: "the cpu overhead of accessing a
@@ -468,7 +462,8 @@ func E5() *Table {
 		Headers: []string{"sites", "split", "partition msgs", "merge msgs", "converged"},
 	}
 	for _, n := range []int{4, 8, 12, 16, 17, 24, 32} {
-		c := mustCluster(n)
+		h := NewHarness(n, t)
+		c := h.C
 		var a, b []SiteID
 		for i := 1; i <= n; i++ {
 			if i <= n/2 {
@@ -479,18 +474,18 @@ func E5() *Table {
 		}
 		c.Network().PartitionGroups(a, b)
 		c.Network().Quiesce()
-		before := c.Stats()
-		c.Site(a[0]).Topo.RunPartitionProtocol()
-		c.Site(b[0]).Topo.RunPartitionProtocol()
-		partMsgs := c.Stats().Sub(before).Msgs
+		partMsgs := h.MsgDelta(func() {
+			c.Site(a[0]).Topo.RunPartitionProtocol()
+			c.Site(b[0]).Topo.RunPartitionProtocol()
+		})
 
 		c.Network().HealAll()
 		c.Network().Quiesce()
-		before = c.Stats()
-		if _, err := c.Site(a[0]).Topo.RunMergeProtocol(); err != nil {
-			must(err)
-		}
-		mergeMsgs := c.Stats().Sub(before).Msgs
+		mergeMsgs := h.MsgDelta(func() {
+			if _, err := c.Site(a[0]).Topo.RunMergeProtocol(); err != nil {
+				must(err)
+			}
+		})
 
 		converged := true
 		want := c.Site(a[0]).Topo.Partition()
@@ -500,11 +495,9 @@ func E5() *Table {
 				converged = false
 			}
 		}
-		t.Rows = append(t.Rows, []string{
-			cell("%d", n), cell("%d/%d", len(a), len(b)),
-			cell("%d", partMsgs), cell("%d", mergeMsgs), cell("%v", converged),
-		})
-		c.Close()
+		h.Row(cell("%d", n), cell("%d/%d", len(a), len(b)),
+			cell("%d", partMsgs), cell("%d", mergeMsgs), cell("%v", converged))
+		h.Close()
 	}
 	t.Notes = append(t.Notes, "17 sites is the paper's UCLA configuration (17 VAX-11/750s)")
 	return t

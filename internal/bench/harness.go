@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/locus"
+)
+
+// Harness bundles the scaffolding every experiment repeats: a tracked
+// cluster, the table under construction, and stats-delta measurement.
+// The experiment functions stay focused on the protocol sequence they
+// reproduce; the harness owns the bookkeeping. Failure mode is panic,
+// like the rest of the bench package (see must).
+type Harness struct {
+	C *locus.Cluster
+	T *Table
+}
+
+// NewHarness builds an n-site tracked cluster for table t. Callers must
+// Close (deferred, normally) so the cluster's dispatch loops stop.
+func NewHarness(n int, t *Table) *Harness {
+	return &Harness{C: mustCluster(n), T: t}
+}
+
+// Close tears the cluster down.
+func (h *Harness) Close() { h.C.Close() }
+
+// Login opens a session for user at site.
+func (h *Harness) Login(site SiteID, user string) *locus.Session {
+	return h.C.Site(site).Login(user)
+}
+
+// Write seeds a file through se, panicking on error.
+func (h *Harness) Write(se *locus.Session, path string, data []byte) {
+	mustWrite(se, path, data)
+}
+
+// Settle drains in-flight traffic and pending propagation.
+func (h *Harness) Settle() { h.C.Settle() }
+
+// MsgDelta runs op and returns the cluster-wide message-count delta it
+// caused — the measurement at the heart of every pinned-count table.
+func (h *Harness) MsgDelta(op func()) int64 {
+	return h.Delta(op).Msgs
+}
+
+// Delta runs op and returns the full simulated-cost delta.
+func (h *Harness) Delta(op func()) netsim.Snapshot {
+	before := h.C.Stats()
+	op()
+	return h.C.Stats().Sub(before)
+}
+
+// Row appends one row to the table.
+func (h *Harness) Row(cells ...string) { h.T.Rows = append(h.T.Rows, cells) }
+
+// Notef appends a formatted note to the table.
+func (h *Harness) Notef(format string, args ...any) {
+	h.T.Notes = append(h.T.Notes, fmt.Sprintf(format, args...))
+}

@@ -22,6 +22,7 @@ func Experiments() []Experiment {
 		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
 		{"E11", E11}, {"E12", E12}, {"E13", E13}, {"E14", E14},
 		{"E15", E15},
+		{"E16", E16},
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/storage"
+	"repro/internal/workload"
 	"repro/locus"
 )
 
@@ -56,6 +57,16 @@ type Config struct {
 	// (error to caller, EOF not hang, exactly-once abort, queued-signal
 	// replay) after each failure event and at final heal.
 	Procs bool
+	// Workload replaces a share of the hand-rolled schedule ops with
+	// steps of the multi-tenant workload engine (internal/workload)
+	// bound to the same cluster: Zipf-skewed reads through the pooled
+	// page path, zero-copy write casts, build-style rename cycles, and
+	// readdir/stat traffic interleave with partitions, crashes, and
+	// fault bursts. The engine runs with SkipQuiesce (chaos owns the
+	// schedule) and its site-liveness gate wired to the harness
+	// topology model; the post-heal invariant checks must still hold
+	// over the engine's tenant trees.
+	Workload bool
 }
 
 func (c *Config) fill() {
@@ -112,6 +123,9 @@ func (r *Result) ReplayCommand() string {
 	}
 	if c.Procs {
 		b.WriteString(" -chaos.procs")
+	}
+	if c.Workload {
+		b.WriteString(" -chaos.workload")
 	}
 	return b.String()
 }
@@ -170,6 +184,9 @@ type run struct {
 	// plane is the process-level adversarial plane (nil unless
 	// Config.Procs).
 	plane *procPlane
+	// eng is the multi-tenant workload engine (nil unless
+	// Config.Workload).
+	eng *workload.Engine
 }
 
 // reachable reports whether sites a and b can currently exchange
@@ -250,6 +267,26 @@ func Run(cfg Config) (*Result, error) {
 		}
 		r.plane = plane
 	}
+	if cfg.Workload {
+		// A small fleet with an op budget the bounded schedule can
+		// never exhaust: two actors per tenant, eight Zipf-ranked files
+		// each. The liveness gate reads the harness's own topology
+		// model, so an actor on a crashed site skips its turn instead
+		// of retrying into a dead network.
+		eng, err := workload.New(c, workload.Config{
+			Seed:        cfg.Seed,
+			SkipQuiesce: true,
+			Alive:       func(id locus.SiteID) bool { return !r.down[id] },
+			Tenants:     workload.DefaultTenants(2, cfg.Steps, 8),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.Setup(); err != nil {
+			return nil, err
+		}
+		r.eng = eng
+	}
 
 	for step := 0; step < cfg.Steps; step++ {
 		r.step()
@@ -296,12 +333,27 @@ func (r *run) step() {
 	case roll < 36:
 		r.log("settle (%d pulls)", r.c.Settle())
 	default:
-		if r.plane != nil && r.rng.Intn(100) < 45 {
+		// Guarded draws: a nil plane/engine must not consume an Intn,
+		// so schedules for configs without the toggle replay unchanged.
+		if r.eng != nil && r.rng.Intn(100) < 40 {
+			r.engineOp()
+		} else if r.plane != nil && r.rng.Intn(100) < 45 {
 			r.plane.op()
 		} else {
 			r.workloadOp()
 		}
 	}
+}
+
+// engineOp advances the multi-tenant workload engine one deterministic
+// step (or falls back to a harness op once the engine is exhausted).
+func (r *run) engineOp() {
+	if !r.eng.Step() {
+		r.workloadOp()
+		return
+	}
+	res := r.eng.Result()
+	r.log("workload engine step (ops=%d errors=%d)", res.Ops, res.Errors)
 }
 
 // eventPartition splits the up sites into two groups.

@@ -29,6 +29,7 @@ var (
 	serialPullFlag = flag.Bool("chaos.serialpull", false, "disable bulk propagation for -chaos.seed")
 	leasesFlag     = flag.Bool("chaos.leases", false, "enable the lease layer for -chaos.seed")
 	procsFlag      = flag.Bool("chaos.procs", false, "enable the process plane for -chaos.seed")
+	workloadFlag   = flag.Bool("chaos.workload", false, "drive the workload engine for -chaos.seed")
 )
 
 // reportFailure fails the test with the full replayable report and, when
@@ -147,6 +148,40 @@ func TestChaosProcSeeds(t *testing.T) {
 	}
 }
 
+// TestChaosWorkloadSeeds reruns the fixed seeds with the multi-tenant
+// workload engine driving a share of the schedule AND the process
+// plane on: Zipf reads through the pooled page path, zero-copy write
+// casts, and build-style rename cycles interleave with partitions,
+// crashes, fault bursts, and §5.6 process failures. Every global
+// invariant and every §5.6 failure action must still hold — this is
+// the regression net proving the perf machinery (page pooling,
+// zero-copy payloads, batched delivery, directory cache) does not
+// trade correctness for speed.
+func TestChaosWorkloadSeeds(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		seed := seed
+		t.Run(fmtSeed(seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: seed, Workload: true, Procs: true})
+			if err != nil {
+				t.Fatalf("chaos run failed to execute: %v", err)
+			}
+			if len(res.Violations) != 0 {
+				reportFailure(t, "invariants violated under workload schedule", res)
+			}
+			engineSteps := 0
+			for _, line := range res.Schedule {
+				if strings.HasPrefix(line, "workload engine step") {
+					engineSteps++
+				}
+			}
+			if engineSteps == 0 {
+				t.Errorf("seed %d ran no workload engine steps; the toggle never engaged", seed)
+			}
+		})
+	}
+}
+
 // TestChaosProcReplayDeterminism runs the same proc-plane seed twice
 // and requires byte-identical schedules: the replay command printed on
 // failure is only useful if the schedule really is a pure function of
@@ -191,6 +226,7 @@ func TestChaosExtraSeed(t *testing.T) {
 		SerialPull:   *serialPullFlag,
 		Leases:       *leasesFlag,
 		Procs:        *procsFlag,
+		Workload:     *workloadFlag,
 	})
 	if err != nil {
 		t.Fatalf("chaos run failed to execute: %v", err)

@@ -122,6 +122,15 @@ func (d *Directory) put(e DirEntry) {
 // propagate tombstones between copies).
 func (d *Directory) PutRaw(e DirEntry) { d.put(e) }
 
+// Clone returns a copy that can be mutated through the Directory API
+// without affecting d. The entry slice is copied; tombstone DelVV maps
+// are shared, which is safe because no Directory method mutates a
+// DelVV in place (Remove installs a fresh Copy, Insert and put replace
+// whole entries).
+func (d *Directory) Clone() *Directory {
+	return &Directory{Entries: append([]DirEntry(nil), d.Entries...)}
+}
+
 func appendVV(b []byte, vv vclock.VV) []byte {
 	sites := vv.Sites()
 	b = binary.AppendUvarint(b, uint64(len(sites)))

@@ -59,13 +59,20 @@ func (k *Kernel) updateDir(id storage.FileID, mutate func(*format.Directory) err
 		return err
 	}
 	defer f.Close() //locus:vet-allow uncheckedcall commit already happened or failed below
-	raw, err := f.ReadAll()
-	if err != nil {
-		return err
-	}
-	d, err := format.DecodeDir(raw)
-	if err != nil {
-		return err
+	var d *format.Directory
+	if cached, ok := k.dirs.get(id, f.ino.VV); ok {
+		// Start from the cached decode of exactly this version; the
+		// clone keeps the cached copy immutable while we mutate.
+		d = cached.Clone()
+	} else {
+		raw, err := f.ReadAll()
+		if err != nil {
+			return err
+		}
+		d, err = format.DecodeDir(raw)
+		if err != nil {
+			return err
+		}
 	}
 	if err := mutate(d); err != nil {
 		f.Abort() //locus:vet-allow uncheckedcall best-effort rollback
@@ -74,13 +81,21 @@ func (k *Kernel) updateDir(id storage.FileID, mutate func(*format.Directory) err
 	if err := f.WriteAll(format.EncodeDir(d)); err != nil {
 		return err
 	}
-	return f.Commit()
+	if err := f.Commit(); err != nil {
+		return err
+	}
+	// Commit assigned the new content its version vector; hand the
+	// already-decoded directory to the cache so the next pathname search
+	// does not re-parse what we just wrote. d is not touched again here.
+	k.dirs.put(id, f.ino.VV, d)
+	return nil
 }
 
 // openDirForUpdate opens a directory for modification, retrying while
-// another updater briefly holds the writer lock. The wait goes through
-// the simulated clock's backoff so the kernel never consults the wall
-// clock (the simclock analyzer enforces this).
+// another updater briefly holds the writer lock. (Transient
+// no-storage-site windows are retried inside OpenID itself.) The wait
+// goes through the simulated clock's backoff so the kernel never
+// consults the wall clock (the simclock analyzer enforces this).
 func (k *Kernel) openDirForUpdate(id storage.FileID) (*File, error) {
 	clock := k.node.Network().Clock()
 	var err error

@@ -43,7 +43,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			break
 		}
 		pn := storage.PageNo(cur / storage.PageSize)
-		data, ssSize, err := f.fetchPage(pn)
+		data, ssSize, owned, err := f.fetchPage(pn)
 		if err != nil {
 			return total, err
 		}
@@ -52,6 +52,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			f.ino.Size = ssSize
 		}
 		if cur >= size {
+			if owned {
+				storage.PutPageBuf(data)
+			}
 			break
 		}
 		pageOff := int(cur % storage.PageSize)
@@ -60,9 +63,17 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			avail = rem - int64(pageOff)
 		}
 		if avail <= 0 {
+			if owned {
+				storage.PutPageBuf(data)
+			}
 			break
 		}
 		n := copy(p[total:], data[pageOff:int64(pageOff)+avail])
+		if owned {
+			// The page was copied into the caller's buffer; recycle the
+			// exclusively owned fetch buffer.
+			storage.PutPageBuf(data)
+		}
 		total += n
 		if n == 0 {
 			break
@@ -76,22 +87,28 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 // (§2.2.1 buffer management); a miss runs the two-message read protocol
 // of §2.3.3 with adaptive streaming readahead, depositing the piggy-
 // backed pages into the cache for the sequential reads that follow.
-func (f *File) fetchPage(pn storage.PageNo) ([]byte, int64, error) {
+//
+// The returned owned flag reports buffer ownership: a locally served
+// page is an exclusive pooled copy the caller must release with
+// storage.PutPageBuf once it has copied the bytes out; a remote or
+// cached page aliases an immutable shared buffer (readResp declares
+// netsim.ImmutablePayload) and must never be released.
+func (f *File) fetchPage(pn storage.PageNo) (data []byte, size int64, owned bool, err error) {
 	k := f.k
 	incore := f.mode == ModeModify
 	if f.ss == k.site {
-		data, size, _, err := k.localPage(f.id, pn, incore, f.us)
-		return data, size, err
+		data, size, _, err := k.localPage(f.id, pn, incore, f.us, false)
+		return data, size, true, err
 	}
 	if incore {
 		// The writer reads its own in-core (shadowed) state at the SS;
 		// uncommitted data never enters the committed-page cache.
 		resp, err := k.call(f.ss, mRead, &readReq{ID: f.id, Page: pn, Incore: true})
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		r := resp.(*readResp)
-		return r.Data, r.Size, nil
+		return r.Data, r.Size, false, nil
 	}
 
 	// Track sequentiality: the window doubles while the reader keeps
@@ -114,7 +131,7 @@ func (f *File) fetchPage(pn storage.PageNo) ([]byte, int64, error) {
 
 	if cached {
 		if data, size, ok := k.cache.get(f.id, pn, f.ino.VV); ok {
-			return data, size, nil
+			return data, size, false, nil
 		}
 	}
 
@@ -124,22 +141,35 @@ func (f *File) fetchPage(pn storage.PageNo) ([]byte, int64, error) {
 	}
 	resp, err := k.call(f.ss, mRead, req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	r := resp.(*readResp)
 	k.cache.put(f.id, pn, r.Data, r.Size, r.VV, false)
 	for i, extra := range r.Extra {
 		k.cache.put(f.id, pn+1+storage.PageNo(i), extra, r.Size, r.VV, true)
 	}
-	return r.Data, r.Size, nil
+	return r.Data, r.Size, false, nil
 }
+
+// zeroPage is the page served for holes on the zero-copy path. It is
+// immutable by the same contract as every shared page buffer: all
+// receivers copy out of served pages, none write into them.
+var zeroPage = make([]byte, storage.PageSize)
 
 // localPage serves a page at the storage site: from the writer's
 // in-core (shadowed) inode when incore is set and the requester is the
 // writer, otherwise from the committed disk inode. The returned version
 // vector is the committed version served, or nil for in-core state
 // (which must never be cached as committed).
-func (k *Kernel) localPage(id storage.FileID, pn storage.PageNo, incore bool, us SiteID) ([]byte, int64, vclock.VV, error) {
+//
+// shared selects buffer ownership. With shared=false the returned page
+// is an exclusive pooled copy the caller owns (and may release with
+// storage.PutPageBuf). With shared=true — the network serve path — the
+// container's internal buffer is returned without copying; it is
+// immutable (shadow pages are never rewritten) and is protected from
+// pool recycling by the container's shared-page tracking, so it may be
+// shipped in an ImmutablePayload response and aliased by remote caches.
+func (k *Kernel) localPage(id storage.FileID, pn storage.PageNo, incore bool, us SiteID, shared bool) ([]byte, int64, vclock.VV, error) {
 	c := k.container(id.FG)
 	if c == nil {
 		return nil, 0, nil, fmt.Errorf("%w: %v at site %d", ErrNoStorageSite, id, k.site)
@@ -166,14 +196,20 @@ func (k *Kernel) localPage(id storage.FileID, pn storage.PageNo, incore bool, us
 	if !fromIncore {
 		vv = ino.VV
 	}
-	if int(pn) >= len(ino.Pages) {
-		return make([]byte, storage.PageSize), ino.Size, vv, nil
+	if int(pn) >= len(ino.Pages) || ino.Pages[pn] == storage.PhysPageNil {
+		if shared {
+			return zeroPage, ino.Size, vv, nil
+		}
+		return storage.GetPageBuf(), ino.Size, vv, nil
 	}
 	pp := ino.Pages[pn]
-	if pp == storage.PhysPageNil {
-		return make([]byte, storage.PageSize), ino.Size, vv, nil
+	var data []byte
+	var err error
+	if shared {
+		data, err = c.ReadPageShared(pp)
+	} else {
+		data, err = c.ReadPage(pp)
 	}
-	data, err := c.ReadPage(pp)
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -182,7 +218,7 @@ func (k *Kernel) localPage(id storage.FileID, pn storage.PageNo, incore bool, us
 
 func (k *Kernel) handleRead(from SiteID, p any) (any, error) {
 	req := p.(*readReq)
-	data, size, vv, err := k.localPage(req.ID, req.Page, req.Incore, from)
+	data, size, vv, err := k.localPage(req.ID, req.Page, req.Incore, from, true)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +235,7 @@ func (k *Kernel) handleRead(from SiteID, p any) (any, error) {
 		if int64(next)*storage.PageSize >= size {
 			break
 		}
-		extra, _, _, err := k.localPage(req.ID, next, req.Incore, from)
+		extra, _, _, err := k.localPage(req.ID, next, req.Incore, from, true)
 		if err != nil {
 			break // serve what we have; the US fetches the rest on demand
 		}
@@ -241,22 +277,34 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			n = len(p) - total
 		}
 		var page []byte
+		var merged bool
 		if pageOff == 0 && n == storage.PageSize {
 			// Entire page changes: no read needed (§2.3.5).
 			page = p[total : total+n]
 		} else {
 			// Partial page: read-merge-write.
-			old, _, err := f.fetchPage(pn)
+			old, _, owned, err := f.fetchPage(pn)
 			if err != nil {
 				return total, err
 			}
 			page = mergePartialPage(old, pageOff, p[total:total+n])
+			merged = true
+			if owned {
+				storage.PutPageBuf(old)
+			}
 		}
 		newSize := f.ino.Size
 		if end := cur + int64(n); end > newSize {
 			newSize = end
 		}
-		if err := f.sendWrite(pn, page, newSize); err != nil {
+		err := f.sendWrite(pn, page, newSize)
+		if merged {
+			// sendWrite never retains the page (the local SS copies it
+			// into a shadow page synchronously; the remote path ships a
+			// private copy), so the merge buffer recycles.
+			storage.PutPageBuf(page)
+		}
+		if err != nil {
 			return total, err
 		}
 		f.ino.Size = newSize
@@ -266,12 +314,12 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
-// mergePartialPage returns a fresh page holding old with src written at
-// off. The fetched page may alias a cached committed page (or the SS's
-// committed page buffer on a local open); merging must never mutate it
-// in place.
+// mergePartialPage returns a fresh pooled page holding old with src
+// written at off. The fetched page may alias a cached committed page
+// (or the SS's committed page buffer on a local open); merging must
+// never mutate it in place. The caller owns the returned buffer.
 func mergePartialPage(old []byte, off int, src []byte) []byte {
-	page := make([]byte, len(old))
+	page := storage.GetPageBuf()[:len(old)]
 	copy(page, old)
 	copy(page[off:], src)
 	return page
@@ -282,11 +330,16 @@ func (f *File) Append(p []byte) (int, error) { return f.WriteAt(p, f.ino.Size) }
 
 func (f *File) sendWrite(pn storage.PageNo, page []byte, size int64) error {
 	k := f.k
-	req := &writeReq{ID: f.id, Page: pn, Data: append([]byte(nil), page...), Size: size}
 	if f.ss == k.site {
-		_, err := k.applyWrite(k.site, req)
+		// Local SS: applyWrite copies the data into a pooled shadow-page
+		// buffer before returning, so the caller's buffer crosses without
+		// a defensive copy.
+		_, err := k.applyWrite(k.site, &writeReq{ID: f.id, Page: pn, Data: page, Size: size})
 		return err
 	}
+	// Remote SS: the cast is delivered asynchronously and the caller may
+	// reuse its buffer the moment we return, so ship a private copy.
+	req := &writeReq{ID: f.id, Page: pn, Data: append([]byte(nil), page...), Size: size}
 	return k.cast(f.ss, mWrite, req)
 }
 

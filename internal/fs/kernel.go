@@ -275,6 +275,10 @@ type Kernel struct {
 
 	// cache is the using-site page cache of committed pages (§2.2.1).
 	cache *pageCache
+	// dirs caches decoded directory content by (file, version vector)
+	// so pathname searching does not re-parse an unchanged directory on
+	// every component of every path (see dircache.go).
+	dirs dirCache
 
 	// Ablation switches (benchmarks only; production behavior is both
 	// enabled, as in LOCUS).

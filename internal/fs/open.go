@@ -1,6 +1,7 @@
 package fs
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/storage"
@@ -425,7 +426,35 @@ func containsSite(ss []SiteID, s SiteID) bool {
 // OpenID opens a file by its globally unique low-level name. Most
 // callers use Open (pathname) instead; benchmarks and pathname
 // searching use OpenID directly.
+//
+// A failure with ErrNoStorageSite is retried on the simulated clock's
+// backoff: under concurrent cross-site updates the CSS's poll can
+// momentarily find no usable storage site — the replica holding the
+// just-committed version is still busy serving its committing writer,
+// and every other replica is one propagation pull away from current —
+// and that window closes as soon as the async propagations land. In a
+// partition that genuinely holds no current copy the retries burn out
+// and the error surfaces as before, just later; retries consume no
+// charged simulated cost and send no messages unless they run, so
+// settled deterministic runs are unaffected.
 func (k *Kernel) OpenID(id storage.FileID, mode OpenMode) (*File, error) {
+	clock := k.node.Network().Clock()
+	var err error
+	for attempt := 0; attempt < 2000; attempt++ {
+		var f *File
+		f, err = k.openIDOnce(id, mode)
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, ErrNoStorageSite) {
+			return nil, err
+		}
+		clock.Backoff(attempt)
+	}
+	return nil, err
+}
+
+func (k *Kernel) openIDOnce(id storage.FileID, mode OpenMode) (*File, error) {
 	// Internal unsynchronized read fast path (§2.3.4): a locally stored
 	// directory with no pending propagations is searched without
 	// informing the CSS.

@@ -61,7 +61,8 @@ func (k *Kernel) rootID() (storage.FileID, error) {
 }
 
 // readDirByID reads and decodes a directory through an internal
-// unsynchronized open (§2.3.4).
+// unsynchronized open (§2.3.4). The returned Directory may be shared
+// with the kernel's directory cache and must not be mutated.
 func (k *Kernel) readDirByID(id storage.FileID) (*format.Directory, *storage.Inode, error) {
 	f, err := k.OpenID(id, ModeInternal)
 	if err != nil {
@@ -71,6 +72,10 @@ func (k *Kernel) readDirByID(id storage.FileID) (*format.Directory, *storage.Ino
 	if f.ino.Type != storage.TypeDirectory && f.ino.Type != storage.TypeHiddenDir {
 		return nil, nil, fmt.Errorf("%w: %v is %v", ErrNotDir, id, f.ino.Type)
 	}
+	ino := f.ino.Clone()
+	if d, ok := k.dirs.get(id, ino.VV); ok {
+		return d, ino, nil
+	}
 	raw, err := f.ReadAll()
 	if err != nil {
 		return nil, nil, err
@@ -79,7 +84,8 @@ func (k *Kernel) readDirByID(id storage.FileID) (*format.Directory, *storage.Ino
 	if err != nil {
 		return nil, nil, err
 	}
-	return d, f.ino.Clone(), nil
+	k.dirs.put(id, ino.VV, d)
+	return d, ino, nil
 }
 
 // statType returns a file's type via an internal open. A conflicted

@@ -83,6 +83,9 @@ func (k *Kernel) localDir(id storage.FileID) (*format.Directory, *storage.Inode,
 	if ino.Type != storage.TypeDirectory && ino.Type != storage.TypeHiddenDir {
 		return nil, nil, false
 	}
+	if d, ok := k.dirs.get(id, ino.VV); ok {
+		return d, ino, true
+	}
 	raw := make([]byte, 0, ino.Size)
 	for pn := range ino.Pages {
 		data, err := c.ReadLogicalPage(id.Inode, storage.PageNo(pn))
@@ -98,6 +101,7 @@ func (k *Kernel) localDir(id storage.FileID) (*format.Directory, *storage.Inode,
 	if err != nil {
 		return nil, nil, false
 	}
+	k.dirs.put(id, ino.VV, d)
 	return d, ino, true
 }
 

@@ -757,7 +757,7 @@ func (k *Kernel) handlePullOpen(_ SiteID, p any) (any, error) {
 			if need != nil && !need[storage.PageNo(i)] {
 				continue
 			}
-			data, err := c.ReadPage(ino.Pages[i])
+			data, err := c.ReadPageShared(ino.Pages[i])
 			if err != nil {
 				break // partial window is fine; the puller fetches the rest
 			}
@@ -778,7 +778,7 @@ func (k *Kernel) handleReadPhys(_ SiteID, p any) (any, error) {
 	if c == nil {
 		return nil, fmt.Errorf("fs: site %d has no pack of filegroup %d", k.site, req.FG)
 	}
-	data, err := c.ReadPage(req.Phys)
+	data, err := c.ReadPageShared(req.Phys)
 	if err != nil {
 		return nil, err
 	}
@@ -800,7 +800,7 @@ func (k *Kernel) handlePullPages(_ SiteID, p any) (any, error) {
 	}
 	resp := &pullPagesResp{Pages: make([][]byte, 0, len(req.Phys))}
 	for _, pp := range req.Phys {
-		data, err := c.ReadPage(pp)
+		data, err := c.ReadPageShared(pp)
 		if err != nil {
 			return nil, err
 		}

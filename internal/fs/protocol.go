@@ -1,8 +1,17 @@
 package fs
 
 import (
+	"repro/internal/netsim"
 	"repro/internal/storage"
 	"repro/internal/vclock"
+)
+
+// The page-carrying responses are served zero-copy from committed
+// storage buffers and declare so to the transport.
+var (
+	_ netsim.ImmutablePayload = (*readResp)(nil)
+	_ netsim.ImmutablePayload = (*pullOpenResp)(nil)
+	_ netsim.ImmutablePayload = (*pullPagesResp)(nil)
 )
 
 // Network method names. The protocols are the paper's specialized
@@ -151,6 +160,13 @@ func (r *readResp) WireSize() int {
 	}
 	return n
 }
+
+// ImmutablePayload declares the zero-copy handoff contract
+// (netsim.ImmutablePayload): Data and Extra alias the storage site's
+// committed page buffers, which shadow paging never rewrites and the
+// shared-page tracking never recycles, so the US page cache may retain
+// them without copying.
+func (r *readResp) ImmutablePayload() {}
 
 type writeReq struct {
 	ID   storage.FileID
@@ -350,6 +366,11 @@ func (r *pullOpenResp) WireSize() int {
 	return n
 }
 
+// ImmutablePayload: First aliases the origin's committed page buffers
+// (see readResp.ImmutablePayload); pullers copy each page into their
+// own container via WritePage.
+func (r *pullOpenResp) ImmutablePayload() {}
+
 type readPhysReq struct {
 	FG   storage.FilegroupID
 	Phys storage.PhysPage
@@ -375,6 +396,10 @@ func (r *pullPagesResp) WireSize() int {
 	}
 	return n
 }
+
+// ImmutablePayload: Pages aliases the origin's committed page buffers
+// (see readResp.ImmutablePayload).
+func (r *pullPagesResp) ImmutablePayload() {}
 
 // setAttrReq updates descriptive inode information in the writer's
 // in-core inode (ownership, permissions, link count, deletion). It is

@@ -120,14 +120,16 @@ func (k *Kernel) FetchCopyFrom(site SiteID, id storage.FileID) (*storage.Inode, 
 	data := make([]byte, 0, ino.Size)
 	for _, pp := range ino.Pages {
 		var page []byte
+		var owned bool
 		if pp == storage.PhysPageNil {
-			page = make([]byte, storage.PageSize)
+			page = zeroPage
 		} else if site == k.site {
 			var err error
 			page, err = k.container(id.FG).ReadPage(pp)
 			if err != nil {
 				return nil, nil, err
 			}
+			owned = true
 		} else {
 			resp, err := k.call(site, mReadPhys, &readPhysReq{FG: id.FG, Phys: pp})
 			if err != nil {
@@ -136,6 +138,9 @@ func (k *Kernel) FetchCopyFrom(site SiteID, id storage.FileID) (*storage.Inode, 
 			page = resp.(*readResp).Data
 		}
 		data = append(data, page...)
+		if owned {
+			storage.PutPageBuf(page)
+		}
 	}
 	if int64(len(data)) > ino.Size {
 		data = data[:ino.Size]

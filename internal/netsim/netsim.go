@@ -80,6 +80,19 @@ type Handler func(from SiteID, payload any) (any, error)
 // defaultWireSize.
 type Sizer interface{ WireSize() int }
 
+// ImmutablePayload marks a payload (request, cast, or response) whose
+// referenced buffers will never be mutated after the send. The
+// simulated network passes payloads by reference; by default a careful
+// receiver must therefore copy any []byte it wants to retain, in case
+// the sender reuses the buffer. A payload declaring ImmutablePayload
+// waives that: the receiver may alias its buffers indefinitely without
+// copying (zero-copy handoff). Senders must guarantee the buffers are
+// frozen — in this codebase that is the shadow-page rule (committed
+// page buffers are never rewritten) plus the storage layer's shared-
+// page tracking (a buffer served zero-copy is never recycled through
+// the page pool).
+type ImmutablePayload interface{ ImmutablePayload() }
+
 const (
 	defaultWireSize = 200 // bytes charged for an unsized payload
 	headerWireSize  = 64  // bytes charged per message for headers
@@ -535,6 +548,15 @@ func (nw *Network) Stats() Snapshot { return nw.stats.snapshot() }
 // Meter charges CPU/disk cost directly (used by the storage layer).
 func (nw *Network) Meter() *Stats { return &nw.stats }
 
+// CostUs returns the total charged simulated cost (CPU + disk virtual
+// microseconds) so far. Unlike Clock().NowUs() it moves only on
+// deterministic charges, never on idle-wait Backoff escalations, so
+// deltas of CostUs replay byte-identically for a deterministic
+// schedule — the workload engine's latency histograms depend on that.
+func (nw *Network) CostUs() int64 {
+	return nw.stats.cpuUs.Load() + nw.stats.diskUs.Load()
+}
+
 // AddSite creates and starts a node for site id, fully connected to all
 // existing sites. Adding an existing id panics: site identity is
 // configuration, not runtime data.
@@ -552,7 +574,7 @@ func (nw *Network) AddSite(id SiteID) *Node {
 		handlers: make(map[string]Handler),
 		pending:  make(map[int64]*pendingCall),
 		dedup:    make(map[SiteID]map[int64]*dedupEntry),
-		inbox:    make(chan *envelope, 1024),
+		inbox:    msgQueue{notify: make(chan struct{}, 1)},
 		quit:     make(chan struct{}),
 	}
 	nw.nodes[id] = n
@@ -849,8 +871,61 @@ type Node struct {
 	dedupMu sync.Mutex
 	dedup   map[SiteID]map[int64]*dedupEntry
 
-	inbox chan *envelope
+	inbox msgQueue
 	quit  chan struct{}
+}
+
+// msgQueue is a node's inbound message queue. Senders append under the
+// mutex and nudge the cap-1 notify channel; the dispatch pump swaps the
+// whole pending slice out and services it as a batch, so delivering N
+// queued messages costs one wakeup instead of N channel receives. Two
+// slices double-buffer: the batch being serviced and the slice being
+// appended to never share a backing array.
+type msgQueue struct {
+	mu      sync.Mutex
+	pending []*envelope
+	stopped bool
+	notify  chan struct{}
+}
+
+// push enqueues one envelope. It reports false — without enqueueing —
+// once the node's pump has stopped (network closed), mirroring the old
+// behavior of a send racing a closed quit channel.
+func (q *msgQueue) push(env *envelope) bool {
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		return false
+	}
+	q.pending = append(q.pending, env)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default: // pump already has a wakeup pending
+	}
+	return true
+}
+
+// swap hands the accumulated batch to the pump, recycling the pump's
+// previous batch slice as the new pending buffer.
+func (q *msgQueue) swap(spent []*envelope) []*envelope {
+	q.mu.Lock()
+	batch := q.pending
+	q.pending = spent[:0]
+	q.mu.Unlock()
+	return batch
+}
+
+// stop marks the queue dead and returns whatever was still pending so
+// the pump can settle the active-message accounting for undelivered
+// envelopes.
+func (q *msgQueue) stop() []*envelope {
+	q.mu.Lock()
+	q.stopped = true
+	rest := q.pending
+	q.pending = nil
+	q.mu.Unlock()
+	return rest
 }
 
 // dedupEntry caches the outcome of one seq-tagged request. A retry that
@@ -1106,9 +1181,7 @@ func (n *Node) CallSeq(to SiteID, method string, payload any, seq int64) (any, e
 	if env.tracked {
 		nw.active.Add(1)
 	}
-	select {
-	case dest.inbox <- env:
-	case <-dest.quit:
+	if !dest.inbox.push(env) {
 		if env.tracked {
 			nw.active.Add(-1)
 		}
@@ -1124,9 +1197,7 @@ func (n *Node) CallSeq(to SiteID, method string, payload any, seq int64) (any, e
 		nw.stats.addFaultDup()
 		dupEnv := *env
 		nw.active.Add(1)
-		select {
-		case dest.inbox <- &dupEnv:
-		case <-dest.quit:
+		if !dest.inbox.push(&dupEnv) {
 			nw.active.Add(-1)
 		}
 	}
@@ -1182,9 +1253,7 @@ func (n *Node) Cast(to SiteID, method string, payload any) error {
 
 	env := &envelope{kind: kindOneWay, from: n.id, method: method, payload: payload}
 	nw.active.Add(1)
-	select {
-	case dest.inbox <- env:
-	case <-dest.quit:
+	if !dest.inbox.push(env) {
 		nw.active.Add(-1)
 		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, n.id, to)
 	}
@@ -1193,51 +1262,75 @@ func (n *Node) Cast(to SiteID, method string, payload any) error {
 		nw.stats.methCounter(method).Add(1)
 		nw.stats.addFaultDup()
 		nw.active.Add(1)
-		select {
-		case dest.inbox <- env:
-		case <-dest.quit:
+		if !dest.inbox.push(env) {
 			nw.active.Add(-1)
 		}
 	}
 	return nil
 }
 
-// dispatch is the node's kernel network-message loop. One-way messages
-// are serviced inline (preserving circuit ordering relative to later
-// requests from the same peer); requests are serviced in their own
-// goroutine because servicing may require nested remote service.
+// dispatch is the node's kernel network-message loop. One wakeup
+// drains the entire pending queue in slice batches (instead of one
+// channel receive — and one scheduler round trip — per message), then
+// services each envelope in arrival order: one-way messages inline
+// (preserving circuit ordering relative to later requests from the
+// same peer), requests in their own goroutine because servicing may
+// require nested remote service.
 func (n *Node) dispatch() {
+	var batch []*envelope
 	for {
 		select {
 		case <-n.quit:
-			return
-		case env := <-n.inbox:
-			if !n.nw.Connected(env.from, n.id) {
-				// The circuit closed while the message was queued:
-				// it is lost, and for a request the caller was
-				// already failed by the circuit teardown.
-				n.nw.stats.addDropped()
+			// Settle accounting for anything still queued: those
+			// envelopes are lost with the network, and the sender
+			// already counted them in active.
+			for _, env := range n.inbox.stop() {
 				if env.kind == kindOneWay || env.tracked {
 					n.nw.active.Add(-1)
 				}
-				continue
 			}
-			switch env.kind {
-			case kindOneWay:
-				if h := n.handler(env.method); h != nil {
-					h(env.from, env.payload) // error unchecked by design: one-way: no reply path
-				}
-				n.nw.active.Add(-1)
-			case kindRequest:
-				if env.tracked {
-					go func() { //locus:vet-allow goroutinejoin the matching active.Add(1) ran at the send site when the fault plane marked this delivery tracked; the deferred Add(-1) is its join half, drained by Quiesce
-						defer n.nw.active.Add(-1)
-						n.serve(env)
-					}()
-				} else {
-					go n.serve(env) //locus:vet-allow goroutinejoin the requester's pending-exchange entry joins the reply, and circuit teardown fails the pending call, so nothing waits on this goroutine after close
-				}
+			return
+		case <-n.inbox.notify:
+		}
+		for {
+			batch = n.inbox.swap(batch)
+			if len(batch) == 0 {
+				break
 			}
+			for i, env := range batch {
+				n.deliver(env)
+				batch[i] = nil
+			}
+		}
+	}
+}
+
+// deliver services one inbound envelope on the dispatch pump.
+func (n *Node) deliver(env *envelope) {
+	if !n.nw.Connected(env.from, n.id) {
+		// The circuit closed while the message was queued:
+		// it is lost, and for a request the caller was
+		// already failed by the circuit teardown.
+		n.nw.stats.addDropped()
+		if env.kind == kindOneWay || env.tracked {
+			n.nw.active.Add(-1)
+		}
+		return
+	}
+	switch env.kind {
+	case kindOneWay:
+		if h := n.handler(env.method); h != nil {
+			h(env.from, env.payload) // error unchecked by design: one-way: no reply path
+		}
+		n.nw.active.Add(-1)
+	case kindRequest:
+		if env.tracked {
+			go func() { //locus:vet-allow goroutinejoin the matching active.Add(1) ran at the send site when the fault plane marked this delivery tracked; the deferred Add(-1) is its join half, drained by Quiesce
+				defer n.nw.active.Add(-1)
+				n.serve(env)
+			}()
+		} else {
+			go n.serve(env) //locus:vet-allow goroutinejoin the requester's pending-exchange entry joins the reply, and circuit teardown fails the pending call, so nothing waits on this goroutine after close
 		}
 	}
 }

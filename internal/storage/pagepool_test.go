@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lint/invariant"
+)
+
+func TestPageBufGetZeroed(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		buf := GetPageBuf()
+		if len(buf) != PageSize {
+			t.Fatalf("GetPageBuf length %d, want %d", len(buf), PageSize)
+		}
+		for j, b := range buf {
+			if b != 0 {
+				t.Fatalf("GetPageBuf returned dirty buffer: byte %d = 0x%02x", j, b)
+			}
+		}
+		for j := range buf {
+			buf[j] = 0xAA
+		}
+		PutPageBuf(buf)
+	}
+}
+
+func TestPutPageBufScrubs(t *testing.T) {
+	buf := GetPageBuf()
+	for i := range buf {
+		buf[i] = 0x55
+	}
+	PutPageBuf(buf)
+	// After Put the buffer is either poisoned (invariants build) or
+	// zeroed (normal build) — in neither case does payload survive.
+	want := byte(0)
+	if invariant.Enabled {
+		want = pagePoisonByte
+	}
+	for i, b := range buf {
+		if b != want {
+			t.Fatalf("byte %d after Put = 0x%02x, want 0x%02x", i, b, want)
+		}
+	}
+}
+
+func TestPutPageBufRejectsOddSizes(t *testing.T) {
+	_, puts0, _ := PagePoolStats()
+	PutPageBuf(make([]byte, PageSize-1))
+	PutPageBuf(nil)
+	_, puts1, _ := PagePoolStats()
+	if puts1 != puts0 {
+		t.Fatalf("pool accepted non-PageSize buffers: puts %d -> %d", puts0, puts1)
+	}
+}
+
+func TestPagePoolStatsAdvance(t *testing.T) {
+	gets0, puts0, _ := PagePoolStats()
+	buf := GetPageBuf()
+	PutPageBuf(buf)
+	gets1, puts1, _ := PagePoolStats()
+	if gets1 <= gets0 || puts1 <= puts0 {
+		t.Fatalf("pool stats did not advance: gets %d->%d puts %d->%d", gets0, gets1, puts0, puts1)
+	}
+}
+
+// TestPoolPoisonCatchesWriteAfterFree proves the locusinvariants build
+// detects a stale owner scribbling on a returned buffer. sync.Pool does
+// not guarantee which buffer a Get returns, so the test hunts for its
+// corrupted buffer for a bounded number of Gets and skips if the pool
+// dropped it.
+func TestPoolPoisonCatchesWriteAfterFree(t *testing.T) {
+	if !invariant.Enabled {
+		t.Skip("needs -tags locusinvariants")
+	}
+	buf := GetPageBuf()
+	PutPageBuf(buf)
+	buf[17] = 0x42 // write-after-free
+
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatalf("Get returned the corrupted buffer without panicking")
+		}
+	}()
+	for i := 0; i < 64; i++ {
+		got := GetPageBuf()
+		if &got[0] == &buf[0] {
+			// Reaching here means Get handed the corrupted buffer back
+			// without the poison check firing.
+			t.Fatalf("poison check missed the corruption")
+		}
+	}
+	t.Skip("pool dropped the corrupted buffer before it was re-issued")
+}
+
+// TestReadPageSharedSurvivesFree pins the zero-copy aliasing contract:
+// a buffer handed out by ReadPageShared keeps its contents even after
+// the page is freed and recycled, because shared pages are never
+// returned to the pool.
+func TestReadPageSharedSurvivesFree(t *testing.T) {
+	c := MustContainer(1, 1, 1, 100, nil, Costs{})
+	payload := bytes.Repeat([]byte{0xC3}, PageSize)
+	pp, err := c.WritePage(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := c.ReadPageShared(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FreePages(pp)
+	// Churn the pool: if the shared buffer had been recycled, these
+	// writes would scribble over it.
+	for i := 0; i < 8; i++ {
+		b := GetPageBuf()
+		for j := range b {
+			b[j] = 0x11
+		}
+		PutPageBuf(b)
+	}
+	if !bytes.Equal(shared, payload) {
+		t.Fatalf("shared buffer mutated after FreePages: first byte 0x%02x", shared[0])
+	}
+}
+
+// TestReadPageExclusiveCopy pins ReadPage's contract: the returned
+// buffer is a caller-owned copy, independent of the stored page.
+func TestReadPageExclusiveCopy(t *testing.T) {
+	c := MustContainer(1, 1, 1, 100, nil, Costs{})
+	pp, err := c.WritePage([]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.ReadPage(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[0] = 99
+	b, err := c.ReadPage(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 {
+		t.Fatalf("ReadPage copy aliases stored page: got %d", b[0])
+	}
+	PutPageBuf(a)
+	PutPageBuf(b)
+}

@@ -204,6 +204,13 @@ type Container struct {
 
 	inodes map[InodeNum]*Inode
 	pages  map[PhysPage][]byte
+	// shared marks pages whose internal buffer has been handed out by
+	// ReadPageShared (zero-copy network serve). A shared buffer may be
+	// aliased by a remote page cache, so freeing the page must drop the
+	// buffer to the garbage collector instead of recycling it through
+	// the page pool — recycling would let a new writer scribble over
+	// bytes a concurrent reader is still copying.
+	shared map[PhysPage]bool
 	// reserved tracks numbers handed out by AllocInode but not yet
 	// committed, so reallocation never double-issues a live number.
 	reserved map[InodeNum]bool
@@ -228,6 +235,7 @@ func NewContainer(fg FilegroupID, site vclock.SiteID, lo, hi InodeNum, meter Met
 		site:     site,
 		inodes:   make(map[InodeNum]*Inode),
 		pages:    make(map[PhysPage][]byte),
+		shared:   make(map[PhysPage]bool),
 		reserved: make(map[InodeNum]bool),
 		// PhysPage 0 is PhysPageNil; start allocation at 1.
 		nextPage: 1,
@@ -324,7 +332,9 @@ func (c *Container) ListInodes() []InodeNum {
 }
 
 // ReadPage returns the contents of a physical page. The returned slice
-// is a copy (pages on disk are immutable).
+// is a copy (pages on disk are immutable), drawn from the page pool:
+// the caller owns it exclusively and may release it with PutPageBuf
+// once done.
 func (c *Container) ReadPage(p PhysPage) ([]byte, error) {
 	c.mu.Lock()
 	data, ok := c.pages[p]
@@ -333,9 +343,50 @@ func (c *Container) ReadPage(p PhysPage) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d at site %d", ErrNoPage, p, c.site)
 	}
 	c.chargeDisk()
-	out := make([]byte, len(data))
+	out := GetPageBuf()
 	copy(out, data)
-	return out, nil
+	return out[:len(data)], nil
+}
+
+// ReadPageShared returns the container's internal buffer for a physical
+// page without copying. The buffer is immutable (shadow-page writes
+// allocate new physical pages, never touch old ones) and remains valid
+// even after the page is freed: serving it marks the page shared, and
+// freeing a shared page drops its buffer to the GC instead of recycling
+// it. Used by the network serve path so a remote page read costs zero
+// allocations and zero copies at the storage site.
+func (c *Container) ReadPageShared(p PhysPage) ([]byte, error) {
+	c.mu.Lock()
+	data, ok := c.pages[p]
+	if ok {
+		c.shared[p] = true
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d at site %d", ErrNoPage, p, c.site)
+	}
+	c.chargeDisk()
+	return data, nil
+}
+
+// releasePageLocked frees one physical page, recycling its buffer
+// through the page pool unless the buffer has been shared out by
+// ReadPageShared (then it must survive for any aliasing reader and is
+// left to the GC). Caller holds c.mu.
+func (c *Container) releasePageLocked(p PhysPage) {
+	if p == PhysPageNil {
+		return
+	}
+	buf, ok := c.pages[p]
+	if !ok {
+		return
+	}
+	delete(c.pages, p)
+	if c.shared[p] {
+		delete(c.shared, p)
+		return
+	}
+	PutPageBuf(buf)
 }
 
 // ReadLogicalPage reads logical page pn of the committed file ino.
@@ -355,7 +406,7 @@ func (c *Container) ReadLogicalPage(n InodeNum, pn PageNo) ([]byte, error) {
 	c.mu.Unlock()
 	if pp == PhysPageNil {
 		c.chargeDisk()
-		return make([]byte, PageSize), nil
+		return GetPageBuf(), nil
 	}
 	return c.ReadPage(pp)
 }
@@ -368,7 +419,7 @@ func (c *Container) WritePage(data []byte) (PhysPage, error) {
 	if len(data) > PageSize {
 		return 0, fmt.Errorf("storage: page data %d bytes exceeds page size %d", len(data), PageSize)
 	}
-	buf := make([]byte, PageSize)
+	buf := GetPageBuf()
 	copy(buf, data)
 	c.mu.Lock()
 	p := c.nextPage
@@ -396,9 +447,7 @@ func (c *Container) FreePages(pp ...PhysPage) {
 		}
 	}
 	for _, p := range pp {
-		if p != PhysPageNil {
-			delete(c.pages, p)
-		}
+		c.releasePageLocked(p)
 	}
 }
 
@@ -451,7 +500,7 @@ func (c *Container) CommitInode(ino *Inode) error {
 		}
 		for _, p := range old.Pages {
 			if p != PhysPageNil && !kept[p] {
-				delete(c.pages, p)
+				c.releasePageLocked(p)
 			}
 		}
 	}
@@ -474,9 +523,7 @@ func (c *Container) DropInode(n InodeNum) {
 		return
 	}
 	for _, p := range ino.Pages {
-		if p != PhysPageNil {
-			delete(c.pages, p)
-		}
+		c.releasePageLocked(p)
 	}
 	delete(c.inodes, n)
 	delete(c.reserved, n)

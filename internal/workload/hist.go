@@ -1,0 +1,128 @@
+package workload
+
+import "math/bits"
+
+// Hist is a fixed-bucket log-linear latency histogram (HDR-style):
+// values 0..31 land in exact unit buckets, larger values in 16
+// sub-buckets per power of two, giving <= 6.25% relative error with a
+// few hundred fixed buckets. Recording a million samples is two array
+// increments per sample and quantiles never sort anything, so the
+// histogram is safe on the workload engine's hot path and its output
+// is deterministic.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	// histBuckets covers every int64: exponents histSubBits..63 each
+	// contribute histSub buckets on top of the 2*histSub linear ones.
+	histBuckets = 2*histSub + (63-histSubBits)*histSub
+)
+
+// Hist's zero value is ready to use.
+type Hist struct {
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < 2*histSub {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // >= histSubBits+1
+	shift := uint(exp - histSubBits)
+	sub := int((u >> shift) & (histSub - 1))
+	return (exp-histSubBits-1)*histSub + sub + 2*histSub
+}
+
+// bucketUpper returns the largest value stored in bucket i (the
+// inverse of bucketIndex); quantiles report this upper bound.
+func bucketUpper(i int) int64 {
+	if i < 2*histSub {
+		return int64(i)
+	}
+	exp := (i-2*histSub)/histSub + histSubBits + 1
+	sub := (i - 2*histSub) % histSub
+	shift := uint(exp - histSubBits)
+	return int64(uint64(histSub+sub+1)<<shift - 1)
+}
+
+// Record adds one sample. Negative samples clamp to zero (the sim
+// clock never runs backward; the clamp keeps a bad caller harmless).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Mean returns the exact arithmetic mean of the samples (the sum is
+// tracked exactly; only quantiles are bucketed).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest recorded sample, exactly.
+func (h *Hist) Max() int64 { return h.max }
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1):
+// the upper edge of the bucket holding the sample of rank
+// ceil(q*count), clamped to the exact observed maximum so a high
+// quantile never reports a value larger than any sample. Within-bucket
+// error is bounded by the log-linear bucket width (<= 6.25%). Returns
+// 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.count) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	upper := bucketUpper(histBuckets - 1)
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			upper = bucketUpper(i)
+			break
+		}
+	}
+	if upper > h.max {
+		upper = h.max
+	}
+	return upper
+}
+
+// Merge adds other's samples into h (exact: buckets add; max takes the
+// larger).
+func (h *Hist) Merge(other *Hist) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import "testing"
+
+// TestBucketBoundaries pins the exact bucket layout: linear unit
+// buckets through 31, then 16 log-linear sub-buckets per octave.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v     int64
+		idx   int
+		upper int64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{17, 17, 17},
+		{31, 31, 31},
+		{32, 32, 33}, // first log-linear bucket: [32,33]
+		{33, 32, 33},
+		{34, 33, 35},
+		{63, 47, 63},
+		{64, 48, 67}, // [64,67]
+		{67, 48, 67},
+		{68, 49, 71},
+		{1024, 112, 1087}, // [1024,1087]: width 64 = 6.25% of 1024
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.idx {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.idx)
+		}
+		if got := bucketUpper(c.idx); got != c.upper {
+			t.Errorf("bucketUpper(%d) = %d, want %d", c.idx, got, c.upper)
+		}
+	}
+	// Round trip: every value's bucket upper bound is >= the value and
+	// within 6.25% above it (for v >= 32).
+	for v := int64(0); v < 100000; v += 7 {
+		up := bucketUpper(bucketIndex(v))
+		if up < v {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+		if v >= 32 && float64(up-v) > 0.0625*float64(v)+1 {
+			t.Fatalf("bucket width at %d too wide: upper %d", v, up)
+		}
+	}
+}
+
+// TestQuantilesKnownDistribution checks p50/p95/p99 against a known
+// population: values 1..1000 recorded once each.
+func TestQuantilesKnownDistribution(t *testing.T) {
+	var h Hist
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Exact ranks: p50 -> 500, p95 -> 950, p99 -> 990. The histogram
+	// reports the holding bucket's upper bound, within 6.25% above.
+	for _, c := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}, {1.0, 1000}} {
+		got := h.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*1.0625+1 {
+			t.Errorf("q%.2f = %d, want in [%d, %.0f]", c.q, got, c.want, float64(c.want)*1.0625+1)
+		}
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %d, want 1000", h.Max())
+	}
+	if m := h.Mean(); m < 500.4 || m > 500.6 {
+		t.Errorf("mean = %v, want 500.5", m)
+	}
+}
+
+// TestQuantileSkewed: 99 fast ops and 1 slow op — p99 must see the
+// slow one's bucket, p50 the fast one's.
+func TestQuantileSkewed(t *testing.T) {
+	var h Hist
+	for i := 0; i < 99; i++ {
+		h.Record(10)
+	}
+	h.Record(100000)
+	if got := h.Quantile(0.50); got != 10 {
+		t.Errorf("p50 = %d, want 10", got)
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("p99 = %d, want 10 (rank 99 of 100 is still fast)", got)
+	}
+	if got := h.Quantile(1.0); got < 100000 {
+		t.Errorf("p100 = %d, want >= 100000", got)
+	}
+}
+
+// TestHistDeterminism: same samples in different order produce
+// identical quantiles (histograms are order-free).
+func TestHistDeterminism(t *testing.T) {
+	var a, b Hist
+	r1 := newRNG(42)
+	var vs []int64
+	for i := 0; i < 10000; i++ {
+		vs = append(vs, int64(r1.intn(1_000_000)))
+	}
+	for _, v := range vs {
+		a.Record(v)
+	}
+	for i := len(vs) - 1; i >= 0; i-- {
+		b.Record(vs[i])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q%v differs: %d vs %d", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	if a.Mean() != b.Mean() || a.Max() != b.Max() || a.Count() != b.Count() {
+		t.Fatal("summary stats differ across orderings")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, all Hist
+	for v := int64(0); v < 1000; v++ {
+		if v%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(&b)
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("merged q%v = %d, want %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.Count() != all.Count() || a.Max() != all.Max() {
+		t.Fatal("merged summary stats wrong")
+	}
+}

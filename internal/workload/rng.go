@@ -1,0 +1,50 @@
+// Package workload is a seeded, deterministic multi-tenant workload
+// engine for the LOCUS simulation. It drives thousands of simulated
+// tenant processes against a live cluster — Zipf-distributed file
+// popularity, per-tenant op mixes — with every scheduling decision
+// derived from the seed, so two runs with the same seed replay the
+// same ops in the same order and produce byte-identical counters.
+//
+// The engine is a discrete-event simulator, not a goroutine fleet:
+// actors are interleaved by a virtual-time heap on a single issuing
+// thread, and the network is drained after every mutating op, so op
+// counts, message counts, and simulated-clock latencies are pure
+// functions of the seed. Wall-clock throughput is measured by callers
+// (cmd/locus-bench, cmd/benchdiff) around Run; no wall-clock value
+// ever enters a Result.
+package workload
+
+// rng is a splitmix64 pseudo-random stream. Each actor owns one,
+// seeded from (engine seed, actor id), so actors draw independent,
+// reproducible streams regardless of interleaving. splitmix64 is used
+// instead of math/rand to pin the exact sequence across Go versions.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) rng { return rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n). n must be > 0.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float64v returns a uniform float64 in [0, 1).
+func (r *rng) float64v() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// mixSeed derives a child stream seed from a parent seed and an index
+// (splitmix64 finalizer over the pair — cheap, well-distributed).
+func mixSeed(seed uint64, idx uint64) uint64 {
+	z := seed ^ (idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

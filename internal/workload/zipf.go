@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s — the classic file-popularity skew (a few hot files
+// take most of the traffic). Implemented as a precomputed CDF plus
+// binary search rather than math/rand's rejection sampler so the draw
+// sequence is a stable function of the seed across Go releases.
+type Zipf struct {
+	cdf []float64 // cdf[i] = P(rank <= i), cdf[n-1] == 1
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. n must be
+// >= 1; s <= 0 degenerates to uniform.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		if s <= 0 {
+			sum += 1
+		} else {
+			sum += 1 / math.Pow(float64(i+1), s)
+		}
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // exact upper fence despite float rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one rank using r's next uniform variate.
+func (z *Zipf) Sample(r *rng) int {
+	u := r.float64v()
+	return sort.SearchFloat64s(z.cdf, u)
+}
